@@ -1,0 +1,161 @@
+// Benchmarks regenerating the paper's tables and figures (one per
+// experiment, at a reduced grid scale so `go test -bench=.` stays
+// tractable; `cmd/orion-bench -scale 1` produces the recorded full-scale
+// artifacts), plus micro-benchmarks of the compiler stages.
+package orion_test
+
+import (
+	"testing"
+
+	orion "repro"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/regalloc"
+)
+
+// benchScale keeps experiment benchmarks test-sized.
+const benchScale = 0.0625
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := orion.NewSuite(benchScale)
+	e, err := s.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig01 regenerates Figure 1 (imageDenoising vs occupancy,
+// GTX680).
+func BenchmarkFig01(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig02 regenerates Figure 2 (matrixMul vs occupancy, C2075).
+func BenchmarkFig02(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig05 regenerates Figure 5 (inter-procedural ablations).
+func BenchmarkFig05(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig10 regenerates Figure 10 (srad vs occupancy, C2075).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (speedup over nvcc, both devices).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (downward tuning).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (energy, C2075).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14 (gaussian/streamcluster, C2075).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15 (backprop/bfs, GTX680).
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkTable2 regenerates Table 2 (benchmark characteristics).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (cache configurations).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkCompilerRealize measures one full occupancy realization
+// (webs, liveness, Chaitin-Briggs, compressible stack) of the
+// highest-pressure benchmark.
+func BenchmarkCompilerRealize(b *testing.B) {
+	k, err := kernels.ByName("imageDenoising")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := device.GTX680()
+	r := core.NewRealizer(d, device.SmallCache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Realize(k.Prog, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegalloc measures the single-procedure allocator on the cfd
+// entry function.
+func BenchmarkRegalloc(b *testing.B) {
+	k, err := kernels.ByName("cfd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := k.Prog.Entry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regalloc.Run(f, 40, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitWebs measures pruned-SSA web construction.
+func BenchmarkSplitWebs(b *testing.B) {
+	k, err := kernels.ByName("cfd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := k.Prog.Entry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.SplitWebs(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the timing simulator's throughput
+// (instructions per second reported as a custom metric).
+func BenchmarkSimulator(b *testing.B) {
+	k, err := kernels.ByName("srad")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := device.TeslaC2075()
+	r := core.NewRealizer(d, device.SmallCache)
+	v, err := r.Realize(k.Prog, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := v.RunAt(d, device.SmallCache, 48, &interp.Launch{Prog: v.Prog, GridWarps: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkInterp measures the functional executor alone.
+func BenchmarkInterp(b *testing.B) {
+	k, err := kernels.ByName("srad")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := interp.Run(&interp.Launch{Prog: k.Prog, GridWarps: 64}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -1,0 +1,76 @@
+// Command oasm assembles and disassembles OASM kernels (the front/back
+// end of the Orion compiler pipeline, standing in for the paper's
+// asfermi-based SASS tooling).
+//
+// Usage:
+//
+//	oasm [-o out.orn] kernel.oasm          assemble text -> ORN1 binary
+//	oasm -d [-o out.oasm] kernel.orn       disassemble binary -> text
+//	oasm -check kernel.oasm                parse and validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	orion "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "oasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dis := flag.Bool("d", false, "disassemble an ORN1 binary to OASM text")
+	check := flag.Bool("check", false, "parse and validate only")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("exactly one input file required")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	var output []byte
+	switch {
+	case *dis:
+		p, err := orion.DecodeKernel(data)
+		if err != nil {
+			return err
+		}
+		if err := orion.ValidateKernel(p); err != nil {
+			return err
+		}
+		output = []byte(orion.FormatKernel(p))
+	default:
+		p, err := orion.ParseKernel(string(data))
+		if err != nil {
+			return err
+		}
+		if err := orion.ValidateKernel(p); err != nil {
+			return err
+		}
+		if *check {
+			stats := 0
+			for _, f := range p.Funcs {
+				stats += len(f.Instrs)
+			}
+			fmt.Printf("%s: %d functions, %d instructions, %d static calls, shared %d B\n",
+				p.Name, len(p.Funcs), stats, p.StaticCalls(), p.SharedBytes)
+			return nil
+		}
+		output = orion.EncodeKernel(p)
+	}
+
+	if *out == "" {
+		_, err = os.Stdout.Write(output)
+		return err
+	}
+	return os.WriteFile(*out, output, 0o644)
+}

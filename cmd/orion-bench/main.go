@@ -1,0 +1,76 @@
+// Command orion-bench regenerates the paper's evaluation tables and
+// figures on the simulated devices.
+//
+// Usage:
+//
+//	orion-bench [-exp fig1,fig11,... | -exp all] [-scale 1.0] [-progress]
+//
+// At scale 1.0 the full suite takes tens of minutes (it sweeps every
+// occupancy level of every benchmark on both devices); smaller scales
+// shrink the grids proportionally and preserve the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	orion "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orion-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("orion-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "comma-separated experiment ids (fig1,fig2,fig5,fig10..fig15,table2,table3) or 'all'")
+	scale := fs.Float64("scale", 1.0, "grid scale factor (1.0 = recorded configuration)")
+	progress := fs.Bool("progress", false, "print per-step progress to stderr")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := orion.NewSuite(*scale)
+	if *progress {
+		s.Progress = os.Stderr
+	}
+	var selected []string
+	if *exp == "all" {
+		for _, e := range s.Experiments() {
+			selected = append(selected, e.ID)
+		}
+	} else {
+		selected = strings.Split(*exp, ",")
+	}
+
+	fmt.Printf("orion-bench: scale %.3f, experiments: %s\n\n", *scale, strings.Join(selected, ", "))
+	for _, id := range selected {
+		e, err := s.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		tbl.AddNote("wall time %s", time.Since(start).Round(time.Millisecond))
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+	return nil
+}

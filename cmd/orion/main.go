@@ -1,0 +1,303 @@
+// Command orion is the CLI for the Orion occupancy tuning framework.
+//
+// Subcommands:
+//
+//	orion compile  -kernel NAME | -file K.oasm  [-device gtx680|c2075] [-cache sc|lc]
+//	    Run compile-time tuning (paper Fig. 8): direction, max-live, the
+//	    candidate versions, and each candidate's resource footprint.
+//	orion tune     -kernel ... [-grid N] [-iters N] [-fat K.ofat]
+//	    Run the full pipeline including runtime adaptation (Fig. 9) on the
+//	    simulated device and report the selected occupancy. With -fat, the
+//	    runtime adapts from a prebuilt multi-version binary instead of
+//	    recompiling.
+//	orion build    -kernel ... -o K.ofat
+//	    Compile-time tuning only, packaged as the paper's multi-version
+//	    binary (Fig. 3).
+//	orion sweep    -kernel ...
+//	    Compile and simulate every occupancy level (the paper's
+//	    exhaustive-search comparison).
+//	orion run      -kernel ... -warps N [-grid N]
+//	    Simulate a single occupancy level and print its statistics.
+//	orion profile  -kernel ... -warps N
+//	    Simulate one level with issue tracing and print a per-warp
+//	    timeline plus the stall breakdown.
+//	orion predict  -kernel ...
+//	    Compare the MWP-CWP analytical model (Hong & Kim, the paper's
+//	    references [12]/[13]) against the simulator per occupancy level.
+//	orion list
+//	    List the built-in benchmark kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	orion "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orion:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: orion compile|tune|sweep|run|list ... (see -h)")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	kernelName := fs.String("kernel", "", "built-in benchmark name (see 'orion list')")
+	file := fs.String("file", "", "OASM source file (alternative to -kernel)")
+	devName := fs.String("device", "gtx680", "gtx680 or c2075")
+	cacheName := fs.String("cache", "sc", "sc (48KB shared) or lc (48KB L1)")
+	grid := fs.Int("grid", 0, "grid size in warps (default: benchmark's)")
+	iters := fs.Int("iters", 0, "application iterations (default: benchmark's)")
+	warps := fs.Int("warps", 0, "occupancy level for 'run' (warps per SM)")
+	out := fs.String("o", "", "output file for 'build'")
+	fat := fs.String("fat", "", "multi-version binary (.ofat) for 'tune'")
+
+	if cmd == "list" {
+		for _, k := range orion.Benchmarks() {
+			fmt.Printf("%-18s %-16s grid %5d warps, %d iterations\n",
+				k.Name, k.Domain, k.GridWarps, k.Iterations)
+		}
+		return nil
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	dev, err := pickDevice(*devName)
+	if err != nil {
+		return err
+	}
+	cc, err := pickCache(*cacheName)
+	if err != nil {
+		return err
+	}
+	prog, gridWarps, iterations, err := loadKernel(*kernelName, *file)
+	if err != nil {
+		return err
+	}
+	if *grid > 0 {
+		gridWarps = *grid
+	}
+	if *iters > 0 {
+		iterations = *iters
+	}
+	r := orion.NewRealizer(dev, cc)
+
+	switch cmd {
+	case "compile":
+		cr, err := r.Compile(prog, iterations > 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kernel %s on %s (%v cache)\n", prog.Name, dev.Name, cc)
+		fmt.Printf("max-live %d, direction %v\n", cr.MaxLive, cr.Direction)
+		fmt.Printf("original: %d regs/thread, %d B shared/block, natural occupancy %.3f (%d warps/SM)\n",
+			cr.Original.RegsPerThread, cr.Original.SharedPerBlock,
+			cr.Original.Occupancy(dev), cr.Original.Natural.ActiveWarps)
+		for i, c := range cr.Candidates {
+			fmt.Printf("candidate %d: target %d warps/SM (occ %.3f), %d regs, %d B shared, %d local slots\n",
+				i+1, c.TargetWarps, c.Occupancy(dev), c.Version.RegsPerThread,
+				c.Version.SharedPerBlock, c.Version.LocalSlots)
+		}
+		for _, c := range cr.FailSafe {
+			fmt.Printf("fail-safe: target %d warps/SM\n", c.TargetWarps)
+		}
+		return nil
+
+	case "tune":
+		var rep *orion.TuneReport
+		if *fat != "" {
+			// Runtime-only deployment: adapt from a prebuilt multi-version
+			// binary without recompiling (paper Figure 3).
+			data, err := os.ReadFile(*fat)
+			if err != nil {
+				return err
+			}
+			cr, err := orion.DecodeFat(data)
+			if err != nil {
+				return err
+			}
+			rep, err = r.TuneCompiled(cr, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			rep, err = r.Tune(prog, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("kernel %s on %s: direction %v, %d candidates\n",
+			prog.Name, dev.Name, rep.Compile.Direction, len(rep.Compile.Candidates))
+		if rep.KernelSplit {
+			fmt.Println("single invocation: kernel splitting created the tuning iterations")
+		}
+		fmt.Printf("selected %d warps/SM (occupancy %.3f) after %d tuning iterations\n",
+			rep.Chosen.TargetWarps, rep.Chosen.Occupancy(dev), rep.TuneIterations)
+		fmt.Printf("total: %d cycles over %d runs, energy %.1f\n",
+			rep.TotalCycles, len(rep.History), rep.TotalEnergy)
+		return nil
+
+	case "sweep":
+		res, err := r.Sweep(prog, gridWarps)
+		if err != nil {
+			return err
+		}
+		best := res[0].Stats.Cycles
+		for _, lr := range res {
+			if lr.Stats.Cycles < best {
+				best = lr.Stats.Cycles
+			}
+		}
+		fmt.Printf("%-9s %-8s %-5s %-12s %-10s %-8s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy")
+		for _, lr := range res {
+			fmt.Printf("%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f\n",
+				lr.Occupancy(dev.MaxWarpsPerSM), lr.TargetWarps,
+				lr.Version.RegsPerThread, lr.Stats.Cycles,
+				float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy)
+		}
+		return nil
+
+	case "run":
+		if *warps <= 0 {
+			return fmt.Errorf("run requires -warps")
+		}
+		v, err := r.Realize(prog, *warps)
+		if err != nil {
+			return err
+		}
+		st, err := orion.Simulate(v, dev, cc, *warps, gridWarps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s at %d warps/SM on %s: %d cycles, %d instructions (IPC %.2f)\n",
+			prog.Name, *warps, dev.Name, st.Cycles, st.Instructions, st.IPC())
+		fmt.Printf("regs/thread %d, shared/block %d B, local slots %d, spill instrs %d, moves %d\n",
+			v.RegsPerThread, v.SharedPerBlock, v.LocalSlots, st.SpillInstrs, st.MoveInstrs)
+		fmt.Printf("L1 %d/%d hit, L2 %d/%d hit, DRAM lines %d, energy %.1f (rf %.1f)\n",
+			st.L1Hits, st.L1Hits+st.L1Misses, st.L2Hits, st.L2Hits+st.L2Misses,
+			st.DRAMLines, st.Energy, st.EnergyRF)
+		fmt.Printf("stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
+			st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
+		fmt.Printf("checksum %016x\n", st.Checksum)
+		return nil
+
+	case "build":
+		// Compile-time tuning only, packaged as the paper's multi-version
+		// binary (Figure 3) for a later 'tune -fat'.
+		if *out == "" {
+			return fmt.Errorf("build requires -o FILE.ofat")
+		}
+		cr, err := r.Compile(prog, iterations > 1)
+		if err != nil {
+			return err
+		}
+		data := orion.EncodeFat(cr)
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d versions (%d candidates, %d fail-safe), direction %v, %d bytes\n",
+			*out, 1+len(cr.Candidates)+len(cr.FailSafe), len(cr.Candidates), len(cr.FailSafe),
+			cr.Direction, len(data))
+		return nil
+
+	case "profile":
+		if *warps <= 0 {
+			return fmt.Errorf("profile requires -warps")
+		}
+		v, err := r.Realize(prog, *warps)
+		if err != nil {
+			return err
+		}
+		st, err := orion.Profile(v, dev, cc, *warps, gridWarps, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s at %d warps/SM on %s: %d cycles\n", prog.Name, *warps, dev.Name, st.Cycles)
+		fmt.Printf("stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
+			st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
+		fmt.Print(st.Trace.Timeline(st.Cycles, 100))
+		return nil
+
+	case "predict":
+		// MWP-CWP analytical prediction across occupancy levels, next to
+		// simulation — the prediction-vs-feedback comparison the paper
+		// draws with [12]/[13].
+		fmt.Printf("%-9s %-10s %-10s %-6s %-6s %-12s\n", "warps/SM", "predicted", "simulated", "MWP", "CWP", "bound")
+		for _, lvl := range orion.OccupancyLevels(dev, prog.BlockDim) {
+			v, err := r.Realize(prog, lvl)
+			if err != nil {
+				continue
+			}
+			pr, err := orion.PredictOccupancy(dev, v.Prog, lvl, gridWarps)
+			if err != nil {
+				return err
+			}
+			st, err := orion.Simulate(v, dev, cc, lvl, gridWarps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9d %-10.0f %-10d %-6.1f %-6.1f %-12s\n",
+				lvl, pr.Cycles, st.Cycles, pr.MWP, pr.CWP, pr.Bound)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+func pickDevice(name string) (*orion.Device, error) {
+	switch strings.ToLower(name) {
+	case "gtx680", "kepler":
+		return orion.GTX680(), nil
+	case "c2075", "teslac2075", "fermi":
+		return orion.TeslaC2075(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q (gtx680 or c2075)", name)
+}
+
+func pickCache(name string) (orion.CacheConfig, error) {
+	switch strings.ToLower(name) {
+	case "sc", "small":
+		return orion.SmallCache, nil
+	case "lc", "large":
+		return orion.LargeCache, nil
+	}
+	return 0, fmt.Errorf("unknown cache config %q (sc or lc)", name)
+}
+
+func loadKernel(name, file string) (*orion.Program, int, int, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, 0, 0, fmt.Errorf("use -kernel or -file, not both")
+	case name != "":
+		k, err := orion.Benchmark(name)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return k.Prog, k.GridWarps, k.Iterations, nil
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		p, err := orion.ParseKernel(string(data))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := orion.ValidateKernel(p); err != nil {
+			return nil, 0, 0, err
+		}
+		return p, 1024, 8, nil
+	}
+	return nil, 0, 0, fmt.Errorf("a kernel is required: -kernel NAME or -file K.oasm")
+}

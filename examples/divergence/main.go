@@ -1,0 +1,85 @@
+// SIMT-mode demonstration: lane-level execution with control divergence
+// and memory coalescing — the "dynamic factors" (Section 3) that make
+// occupancy impossible to choose purely statically. The same kernel is
+// run with coalesced and uncoalesced per-lane addressing; the uncoalesced
+// version pays one memory transaction per lane and its best occupancy
+// shifts.
+//
+//	go run ./examples/divergence
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	orion "repro"
+)
+
+// laneKernel strides each lane's addresses by 1<<shift bytes: shift 2
+// keeps a warp's access inside one 128-byte line, shift 7 touches 32.
+func laneKernel(shift int) string {
+	return fmt.Sprintf(`
+.kernel lanes
+.blockdim 256
+.func main
+  RDSP v0, LANEID
+  RDSP v1, WARPID
+  MOVI v2, 17
+  SHL v3, v1, v2
+  MOVI v4, %d
+  SHL v5, v0, v4
+  IADD v6, v3, v5
+  MOVI v7, 0
+  MOVI v8, 0
+loop:
+  LDG v9, [v6]
+  IADD v8, v8, v9
+  MOVI v10, 4096
+  IADD v6, v6, v10
+  MOVI v11, 1
+  IADD v7, v7, v11
+  MOVI v12, 24
+  ISET.LT v13, v7, v12
+  CBR v13, loop
+  STG [v3], v8
+  EXIT
+`, shift)
+}
+
+func main() {
+	dev := orion.GTX680()
+	for _, cfg := range []struct {
+		name  string
+		shift int
+	}{
+		{"coalesced (4B lane stride)", 2},
+		{"uncoalesced (128B lane stride)", 7},
+	} {
+		prog, err := orion.ParseKernel(laneKernel(cfg.shift))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := orion.NewRealizer(dev, orion.SmallCache)
+		sweep, err := r.Sweep(prog, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := sweep[0].Stats.Cycles
+		for _, lr := range sweep {
+			if lr.Stats.Cycles < best {
+				best = lr.Stats.Cycles
+			}
+		}
+		fmt.Printf("%s:\n", cfg.name)
+		for _, lr := range sweep {
+			n := float64(lr.Stats.Cycles) / float64(best)
+			fmt.Printf("  occ %5.3f: %8d cycles  %5.3f %s (DRAM lines %d)\n",
+				lr.Occupancy(dev.MaxWarpsPerSM), lr.Stats.Cycles, n,
+				strings.Repeat("#", int(n*12)), lr.Stats.DRAMLines)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the uncoalesced variant moves ~32x the DRAM lines; its curve saturates")
+	fmt.Println("at a different occupancy — exactly why Orion measures instead of predicting")
+}

@@ -1,0 +1,65 @@
+// The paper's second principle (Figure 2): matrixMul's performance
+// plateaus above half occupancy, so instead of stopping at "fastest", the
+// tuner keeps walking to find the whole plateau — the lowest occupancy
+// with best-class performance frees registers and shared memory for other
+// optimizations without costing any time.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	orion "repro"
+)
+
+func main() {
+	k, err := orion.Benchmark("matrixMul")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := orion.TeslaC2075()
+	r := orion.NewRealizer(dev, orion.SmallCache)
+	grid := 1024
+
+	sweep, err := r.Sweep(k.Prog, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := sweep[0].Stats.Cycles
+	for _, lr := range sweep {
+		if lr.Stats.Cycles < best {
+			best = lr.Stats.Cycles
+		}
+	}
+	fmt.Printf("%s on %s (paper Figure 2)\n\n", k.Name, dev.Name)
+	fmt.Println("occupancy  normalized runtime")
+	for _, lr := range sweep {
+		n := float64(lr.Stats.Cycles) / float64(best)
+		fmt.Printf("  %5.3f    %5.3f %s\n", lr.Occupancy(dev.MaxWarpsPerSM), n,
+			strings.Repeat("#", int(n*20)))
+	}
+
+	// The plateau: every level within the tuner's 2% tolerance of the best.
+	fmt.Println("\nplateau (within 2% of best):")
+	var lowest *orion.LevelResult
+	for i := range sweep {
+		lr := &sweep[i]
+		if float64(lr.Stats.Cycles) <= float64(best)*1.02 {
+			fmt.Printf("  occupancy %.3f: %d regs/thread, %d B shared, energy %.0f\n",
+				lr.Occupancy(dev.MaxWarpsPerSM), lr.Version.RegsPerThread,
+				lr.Version.SharedPerBlock, lr.Stats.Energy)
+			if lowest == nil {
+				lowest = lr
+			}
+		}
+	}
+	if lowest != nil {
+		top := &sweep[len(sweep)-1]
+		fmt.Printf("\nrunning at the plateau's lowest level (%.3f instead of %.3f) saves %.1f%% register-file energy at equal performance\n",
+			lowest.Occupancy(dev.MaxWarpsPerSM), top.Occupancy(dev.MaxWarpsPerSM),
+			(1-lowest.Stats.EnergyRF/top.Stats.EnergyRF)*100)
+	}
+}

@@ -1,0 +1,69 @@
+package orion_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	orion "repro"
+)
+
+// TestOnDiskKernels loads each .oasm example, validates it, runs it
+// functionally, and pushes it through the Orion compiler at one occupancy
+// level on each device.
+func TestOnDiskKernels(t *testing.T) {
+	paths, err := filepath.Glob("examples/kernels/*.oasm")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example kernels found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := orion.ParseKernel(string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := orion.ValidateKernel(p); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			want, steps, err := orion.Execute(p, 16)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if steps == 0 {
+				t.Fatal("kernel executed no instructions")
+			}
+			for _, d := range orion.Devices() {
+				r := orion.NewRealizer(d, orion.SmallCache)
+				levels := orion.OccupancyLevels(d, p.BlockDim)
+				v, err := r.Realize(p, levels[len(levels)/2])
+				if err != nil {
+					t.Fatalf("%s: realize: %v", d.Name, err)
+				}
+				got, _, err := orion.Execute(v.Prog, 16)
+				if err != nil {
+					t.Fatalf("%s: run allocated: %v", d.Name, err)
+				}
+				if got != want {
+					t.Errorf("%s: allocation changed semantics: %x vs %x", d.Name, got, want)
+				}
+			}
+			// Round-trip through the binary container, as the CLI would.
+			q, err := orion.DecodeKernel(orion.EncodeKernel(p))
+			if err != nil {
+				t.Fatalf("binary round trip: %v", err)
+			}
+			got, _, err := orion.Execute(q, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Error("binary round trip changed semantics")
+			}
+		})
+	}
+}

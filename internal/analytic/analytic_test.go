@@ -1,0 +1,94 @@
+package analytic
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+)
+
+func TestPredictClassifiesMemoryBound(t *testing.T) {
+	d := device.TeslaC2075()
+	// Heavy memory mix at high occupancy: CWP saturates, memory bound.
+	pr, err := Predict(Inputs{
+		Dev: d, InstsPerWarp: 1000, MemInstsPerWarp: 300,
+		ActiveWarpsPerSM: 48, TotalWarps: 48 * d.SMs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Bound != MemoryBound {
+		t.Errorf("bound = %v, want memory (MWP %.1f, CWP %.1f)", pr.Bound, pr.MWP, pr.CWP)
+	}
+}
+
+func TestPredictClassifiesComputeBound(t *testing.T) {
+	d := device.TeslaC2075()
+	pr, err := Predict(Inputs{
+		Dev: d, InstsPerWarp: 10000, MemInstsPerWarp: 2,
+		ActiveWarpsPerSM: 48, TotalWarps: 48 * d.SMs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Bound != ComputeBound {
+		t.Errorf("bound = %v, want compute (MWP %.1f, CWP %.1f)", pr.Bound, pr.MWP, pr.CWP)
+	}
+}
+
+func TestPredictMoreWarpsHelpUntilSaturation(t *testing.T) {
+	d := device.GTX680()
+	in := Inputs{Dev: d, InstsPerWarp: 800, MemInstsPerWarp: 80, TotalWarps: 4096}
+	var prev float64
+	improved := false
+	for _, n := range []int{8, 16, 24, 32, 40, 48, 56, 64} {
+		in.ActiveWarpsPerSM = n
+		pr, err := Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && pr.Cycles < prev*0.98 {
+			improved = true
+		}
+		prev = pr.Cycles
+	}
+	if !improved {
+		t.Error("prediction never improved with occupancy")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if _, err := Predict(Inputs{}); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := Predict(Inputs{Dev: device.GTX680(), ActiveWarpsPerSM: 8, TotalWarps: 8}); err == nil {
+		t.Error("zero instruction counts accepted")
+	}
+}
+
+func TestProfileCountsInstructions(t *testing.T) {
+	src := `
+.kernel prof
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 10
+  SHL v2, v0, v1
+  LDG v3, [v2]
+  LDG v4, [v2+128]
+  IADD v5, v3, v4
+  STG [v2], v5
+  EXIT
+`
+	p := isa.MustParse(src)
+	insts, mems, err := Profile(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts != 8 {
+		t.Errorf("insts/warp = %v, want 8", insts)
+	}
+	if mems != 3 {
+		t.Errorf("mem insts/warp = %v, want 3 (2 loads + 1 store)", mems)
+	}
+}

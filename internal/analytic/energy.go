@@ -1,0 +1,85 @@
+package analytic
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+)
+
+// The integrated power and performance model of the paper's reference
+// [13] (Hong & Kim, ISCA 2010): energy is predicted from the performance
+// model's execution time and a component-based power estimate — static
+// power, dynamic power proportional to instruction throughput, and
+// register-file power proportional to the allocated fraction. The paper
+// uses this line of work as the contrast to measured feedback; here it
+// also cross-checks the simulator's energy accounting.
+
+// EnergyInputs parameterizes an energy prediction.
+type EnergyInputs struct {
+	Perf Inputs
+	// RegsPerThread is the per-thread register allocation backing the
+	// occupancy level.
+	RegsPerThread int
+}
+
+// EnergyPrediction is the model's output (arbitrary units consistent with
+// the simulator's energy scale).
+type EnergyPrediction struct {
+	Cycles  float64
+	Static  float64
+	RegFile float64
+	Dynamic float64
+	Total   float64
+}
+
+// PredictEnergy combines the MWP-CWP execution-time prediction with the
+// component power model.
+func PredictEnergy(in EnergyInputs) (EnergyPrediction, error) {
+	d := in.Perf.Dev
+	perf, err := Predict(in.Perf)
+	if err != nil {
+		return EnergyPrediction{}, err
+	}
+	if in.RegsPerThread <= 0 {
+		return EnergyPrediction{}, fmt.Errorf("analytic: register allocation required for energy")
+	}
+	regsPerWarp := in.RegsPerThread * d.WarpSize
+	if g := d.RegGranularity; g > 1 {
+		regsPerWarp = (regsPerWarp + g - 1) / g * g
+	}
+	allocFrac := float64(in.Perf.ActiveWarpsPerSM*regsPerWarp) / float64(d.RegsPerSM)
+	if allocFrac > 1 {
+		allocFrac = 1
+	}
+
+	ep := EnergyPrediction{Cycles: perf.Cycles}
+	ep.Static = d.StaticPower * perf.Cycles * float64(d.SMs) / 1000
+	ep.RegFile = d.RegFilePower * allocFrac * perf.Cycles * float64(d.SMs) / 1000
+	// Dynamic: every instruction of every warp costs roughly one ALU
+	// energy; memory instructions add the memory energy.
+	totalInsts := in.Perf.InstsPerWarp * float64(in.Perf.TotalWarps)
+	totalMems := in.Perf.MemInstsPerWarp * float64(in.Perf.TotalWarps)
+	ep.Dynamic = totalInsts*d.EnergyALU + totalMems*d.EnergyMem
+	ep.Total = ep.Static + ep.RegFile + ep.Dynamic
+	return ep, nil
+}
+
+// PredictProgramEnergy profiles the program and predicts its energy at the
+// given occupancy and register allocation.
+func PredictProgramEnergy(d *device.Device, p *isa.Program, activeWarpsPerSM, totalWarps, regsPerThread int) (EnergyPrediction, error) {
+	insts, mems, err := Profile(p, 2)
+	if err != nil {
+		return EnergyPrediction{}, err
+	}
+	return PredictEnergy(EnergyInputs{
+		Perf: Inputs{
+			Dev:              d,
+			InstsPerWarp:     insts,
+			MemInstsPerWarp:  mems,
+			ActiveWarpsPerSM: activeWarpsPerSM,
+			TotalWarps:       totalWarps,
+		},
+		RegsPerThread: regsPerThread,
+	})
+}

@@ -1,0 +1,63 @@
+package analytic
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func energyInputs(d *device.Device, warps, regs int) EnergyInputs {
+	return EnergyInputs{
+		Perf: Inputs{
+			Dev: d, InstsPerWarp: 500, MemInstsPerWarp: 60,
+			ActiveWarpsPerSM: warps, TotalWarps: 48 * d.SMs,
+		},
+		RegsPerThread: regs,
+	}
+}
+
+func TestPredictEnergyComponents(t *testing.T) {
+	d := device.TeslaC2075()
+	ep, err := PredictEnergy(energyInputs(d, 32, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Total <= 0 || ep.Static <= 0 || ep.RegFile <= 0 || ep.Dynamic <= 0 {
+		t.Errorf("non-positive components: %+v", ep)
+	}
+	if got := ep.Static + ep.RegFile + ep.Dynamic; got != ep.Total {
+		t.Errorf("components (%v) do not sum to total (%v)", got, ep.Total)
+	}
+}
+
+func TestPredictEnergyRegisterFileScales(t *testing.T) {
+	// More resident warps at the same per-thread allocation burn more
+	// register file — the paper's Figure 13 mechanism, analytically.
+	d := device.TeslaC2075()
+	low, err := PredictEnergy(energyInputs(d, 24, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := PredictEnergy(energyInputs(d, 48, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(e EnergyPrediction) float64 { return e.RegFile / e.Cycles }
+	if frac(high) <= frac(low) {
+		t.Errorf("register-file power per cycle did not grow with occupancy: %v vs %v",
+			frac(high), frac(low))
+	}
+}
+
+func TestPredictEnergyErrors(t *testing.T) {
+	d := device.GTX680()
+	in := energyInputs(d, 32, 20)
+	in.RegsPerThread = 0
+	if _, err := PredictEnergy(in); err == nil {
+		t.Error("zero register allocation accepted")
+	}
+	in = energyInputs(d, 0, 20)
+	if _, err := PredictEnergy(in); err == nil {
+		t.Error("zero warps accepted")
+	}
+}

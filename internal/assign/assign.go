@@ -1,0 +1,97 @@
+// Package assign implements the Kuhn-Munkres (Hungarian) algorithm for
+// maximum-weight perfect bipartite matching in O(n³), the solver the paper
+// uses for the minimal-movement slot-assignment problem (Section 3.2,
+// reference [17]).
+package assign
+
+import "math"
+
+// MaxWeight solves the assignment problem on an n×m weight matrix
+// (rows = left nodes, columns = right nodes, m >= n) and returns, for each
+// row, the column it is matched to, maximizing the total weight of the
+// matching. Every row is matched to a distinct column.
+//
+// The implementation is the classic potential-based Hungarian algorithm on
+// the cost matrix c = -w (minimum-cost assignment maximizes weight).
+func MaxWeight(w [][]float64) []int {
+	n := len(w)
+	if n == 0 {
+		return nil
+	}
+	m := len(w[0])
+	if m < n {
+		panic("assign: matrix must have at least as many columns as rows")
+	}
+
+	const inf = math.MaxFloat64
+	// 1-indexed arrays per the standard formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1) // way[j] = previous column on the alternating path
+	cost := func(i, j int) float64 { return -w[i-1][j-1] }
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}
+
+// TotalWeight sums the weight of an assignment produced by MaxWeight.
+func TotalWeight(w [][]float64, match []int) float64 {
+	t := 0.0
+	for i, j := range match {
+		t += w[i][j]
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightTrivial(t *testing.T) {
+	if got := MaxWeight(nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	got := MaxWeight([][]float64{{3}})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("1x1 = %v", got)
+	}
+}
+
+func TestMaxWeightKnown(t *testing.T) {
+	// Classic example: optimal is the anti-diagonal here.
+	w := [][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{3, 6, 9},
+	}
+	m := MaxWeight(w)
+	// Best total: w[0][2]+w[1][1]+w[2][0] = 3+4+3 = 10? Compare options:
+	// diag: 1+4+9 = 14. So diagonal wins.
+	if got := TotalWeight(w, m); got != 14 {
+		t.Errorf("total = %v, want 14 (match %v)", got, m)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// 2 rows, 4 columns: rows must pick the two best distinct columns.
+	w := [][]float64{
+		{1, 9, 2, 3},
+		{1, 8, 2, 7},
+	}
+	m := MaxWeight(w)
+	if got := TotalWeight(w, m); got != 16 { // 9 + 7
+		t.Errorf("total = %v, want 16 (match %v)", got, m)
+	}
+	if m[0] == m[1] {
+		t.Errorf("columns collide: %v", m)
+	}
+}
+
+func TestMaxWeightNegative(t *testing.T) {
+	// All-negative weights (the paper uses -Wij): must still find the
+	// least-bad perfect matching.
+	w := [][]float64{
+		{-5, -1},
+		{-1, -5},
+	}
+	m := MaxWeight(w)
+	if got := TotalWeight(w, m); got != -2 {
+		t.Errorf("total = %v, want -2 (match %v)", got, m)
+	}
+}
+
+// bruteForce finds the optimal assignment by permutation enumeration.
+func bruteForce(w [][]float64) float64 {
+	n := len(w)
+	m := len(w[0])
+	cols := make([]int, m)
+	for i := range cols {
+		cols[i] = i
+	}
+	best := math.Inf(-1)
+	used := make([]bool, m)
+	var rec func(row int, sum float64)
+	rec = func(row int, sum float64) {
+		if row == n {
+			if sum > best {
+				best = sum
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			rec(row+1, sum+w[row][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	prop := func() bool {
+		n := 1 + r.Intn(6)
+		m := n + r.Intn(3)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = float64(r.Intn(41) - 20)
+			}
+		}
+		match := MaxWeight(w)
+		// Perfect matching on rows, distinct columns.
+		seen := map[int]bool{}
+		for _, j := range match {
+			if j < 0 || j >= m || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return TotalWeight(w, match) == bruteForce(w)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaxWeight64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeight(w)
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kernels"
+)
+
+// Model compares the Hong & Kim MWP-CWP analytical model against the
+// timing simulator across the downward benchmark set: each kernel's
+// predicted-best and simulated-best occupancy level, and the model's
+// ranking error. This reproduces the paper's *argument* (Section 1 and
+// related work): prediction requires off-line profiling, and once the
+// compiler inserts spill code at other occupancy levels, its inputs shift
+// under it — measured feedback does not have that problem.
+func (s *Suite) Model() (*Table, error) {
+	t := &Table{
+		ID:    "model",
+		Title: "MWP-CWP analytical model vs simulator (prediction-based prior approach)",
+		Header: []string{"device", "benchmark", "predicted best", "simulated best",
+			"pred cycles@best", "sim cycles@best", "bound"},
+	}
+	// The spill-light benchmarks, where the model's profile stays valid
+	// across levels.
+	names := []string{"backprop", "bfs", "gaussian", "srad", "streamcluster", "matrixMul"}
+	for _, dev := range device.Both() {
+		for _, name := range names {
+			k, err := kernels.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			r := core.NewRealizer(dev, device.SmallCache)
+			grid := s.grid(k)
+			sweep, err := r.Sweep(k.Prog, grid)
+			if err != nil {
+				return nil, fmt.Errorf("model %s/%s: %w", dev.Name, name, err)
+			}
+			bestSim, bestPred := 0, 0
+			var predAtBest float64
+			var bound analytic.Bound
+			for i, lr := range sweep {
+				pr, err := analytic.PredictProgram(dev, lr.Version.Prog, lr.TargetWarps, grid)
+				if err != nil {
+					return nil, err
+				}
+				if i == 0 || lr.Stats.Cycles < sweep[bestSim].Stats.Cycles {
+					bestSim = i
+				}
+				if i == 0 || pr.Cycles < predAtBest {
+					predAtBest = pr.Cycles
+					bestPred = i
+					bound = pr.Bound
+				}
+			}
+			t.AddRow(dev.Name, name,
+				d2(sweep[bestPred].TargetWarps), d2(sweep[bestSim].TargetWarps),
+				fmt.Sprintf("%.0f", predAtBest), d2(int(sweep[bestSim].Stats.Cycles)),
+				string(bound))
+			s.logf("model %s %s done", dev.Name, name)
+		}
+	}
+	t.AddNote("the model is profiled per level (its required off-line pass); cycle scales are not comparable, orderings are")
+	return t, nil
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickSuite runs at a small grid scale so the whole experiment set stays
+// test-sized. Shape assertions are therefore loose; the full-scale run
+// (cmd/orion-bench) is the recorded artifact.
+func quickSuite() *Suite { return New(0.0625) }
+
+func TestExperimentRegistry(t *testing.T) {
+	s := quickSuite()
+	if len(s.Experiments()) != 12 {
+		t.Errorf("experiments = %d, want 12", len(s.Experiments()))
+	}
+	if _, err := s.ByID("fig11"); err != nil {
+		t.Errorf("ByID(fig11): %v", err)
+	}
+	if _, err := s.ByID("nope"); err == nil {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func parseCol(t *testing.T, tbl *Table, col int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(tbl.Rows))
+	for _, r := range tbl.Rows {
+		v, err := strconv.ParseFloat(r[col], 64)
+		if err != nil {
+			t.Fatalf("column %d cell %q: %v", col, r[col], err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestFig1Shape(t *testing.T) {
+	tbl, err := quickSuite().Fig1()
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("rows = %d, want >= 6 occupancy levels", len(tbl.Rows))
+	}
+	norm := parseCol(t, tbl, 3)
+	// Paper Figure 1: large spread (~3x) with the minimum strictly inside
+	// the range.
+	maxV, minIdx := norm[0], 0
+	for i, v := range norm {
+		if v > maxV {
+			maxV = v
+		}
+		if v < norm[minIdx] {
+			minIdx = i
+		}
+	}
+	if maxV < 1.5 {
+		t.Errorf("runtime spread %.2fx too small for Fig. 1", maxV)
+	}
+	if minIdx == 0 || minIdx == len(norm)-1 {
+		t.Errorf("best occupancy at the boundary (index %d): want an interior minimum", minIdx)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tbl, err := quickSuite().Fig10()
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	norm := parseCol(t, tbl, 3)
+	n := len(norm)
+	// Flat upper half (within ~25% of the max-occupancy runtime), rising
+	// at low occupancy.
+	for i := n / 2; i < n; i++ {
+		if norm[i] > 1.3 {
+			t.Errorf("level %d: %.3f not flat vs max occupancy", i, norm[i])
+		}
+	}
+	if norm[0] < 1.3 {
+		t.Errorf("lowest occupancy %.3f should be clearly slower", norm[0])
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	tbl, err := quickSuite().Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[4] != r[5] {
+			t.Errorf("%s: func %s != paper %s", r[0], r[4], r[5])
+		}
+		if r[6] != r[7] {
+			t.Errorf("%s: smem %s != paper %s", r[0], r[6], r[7])
+		}
+	}
+}
+
+func TestFig5Ablation(t *testing.T) {
+	tbl, err := quickSuite().Fig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		movesOpt, _ := strconv.Atoi(r[3])
+		movesUnopt, _ := strconv.Atoi(r[4])
+		if movesOpt > movesUnopt {
+			t.Errorf("%s: matching increased movements (%d > %d)", r[0], movesOpt, movesUnopt)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("n=%d", 2)
+	out := tbl.String()
+	for _, want := range []string{"== t: demo ==", "a    bb", "333", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "with,comma")
+	tbl.AddNote("ignored")
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}

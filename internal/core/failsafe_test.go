@@ -1,0 +1,104 @@
+package core
+
+import "testing"
+
+// TestTunerFailSafeSwitchesDirection: the compile-time direction says
+// "increasing" but every higher occupancy is slower; the tuner must fall
+// back to the fail-safe (decreasing) candidates instead of settling for
+// the original.
+func TestTunerFailSafeSwitchesDirection(t *testing.T) {
+	orig := &Version{Natural: occResult(32)}
+	up := []*Candidate{
+		{Version: &Version{}, TargetWarps: 40},
+		{Version: &Version{}, TargetWarps: 48},
+	}
+	down := []*Candidate{
+		{Version: orig, TargetWarps: 24},
+		{Version: orig, TargetWarps: 16},
+	}
+	cr := &CompileResult{Direction: Increasing, Original: orig, Candidates: up, FailSafe: down}
+	tuner := NewTuner(cr)
+	// Ground truth: lower occupancy is better for this (mispredicted)
+	// kernel.
+	times := map[int]float64{16: 95, 24: 80, 32: 100, 40: 130, 48: 150}
+	for i := 0; tuner.Finalized() == nil && i < 12; i++ {
+		c := tuner.Next()
+		if tuner.Finalized() != nil {
+			break
+		}
+		tuner.Feedback(c, times[c.TargetWarps])
+	}
+	got := tuner.Next()
+	if got.TargetWarps != 24 {
+		t.Errorf("converged to %d warps, want 24 via fail-safe", got.TargetWarps)
+	}
+}
+
+// TestTunerFailSafeOnlyOnce: a second failure must not loop forever.
+func TestTunerFailSafeOnlyOnce(t *testing.T) {
+	orig := &Version{Natural: occResult(32)}
+	up := []*Candidate{{Version: &Version{}, TargetWarps: 40}}
+	down := []*Candidate{{Version: orig, TargetWarps: 24}}
+	cr := &CompileResult{Direction: Increasing, Original: orig, Candidates: up, FailSafe: down}
+	tuner := NewTuner(cr)
+	times := map[int]float64{24: 300, 32: 100, 40: 200} // original is best
+	for i := 0; tuner.Finalized() == nil && i < 12; i++ {
+		c := tuner.Next()
+		if tuner.Finalized() != nil {
+			break
+		}
+		tuner.Feedback(c, times[c.TargetWarps])
+	}
+	if tuner.Finalized() == nil {
+		t.Fatal("tuner did not converge")
+	}
+	if tuner.Iterations() > 6 {
+		t.Errorf("took %d iterations", tuner.Iterations())
+	}
+}
+
+// TestFeedbackWorkNormalizes: the bfs scenario — iterations do different
+// amounts of work, so raw runtimes mislead but work-normalized feedback
+// tunes correctly (the paper's suggested multiplicative factor).
+func TestFeedbackWorkNormalizes(t *testing.T) {
+	orig := &Version{Natural: occResult(48)}
+	cands := []*Candidate{
+		{Version: orig, TargetWarps: 40},
+		{Version: orig, TargetWarps: 32},
+		{Version: orig, TargetWarps: 24},
+	}
+	cr := &CompileResult{Direction: Decreasing, Original: orig, Candidates: cands}
+
+	// Per-unit-work cost: flat at 40 and 32, cliff at 24.
+	perUnit := map[int]float64{48: 10, 40: 10.1, 32: 10.15, 24: 14}
+	// Work per iteration varies wildly (bfs frontier growth).
+	work := []float64{100, 5, 900, 50, 200, 10}
+
+	tuner := NewTuner(cr)
+	for i := 0; tuner.Finalized() == nil && i < len(work); i++ {
+		c := tuner.Next()
+		if tuner.Finalized() != nil {
+			break
+		}
+		tuner.FeedbackWork(c, perUnit[c.TargetWarps]*work[i], work[i])
+	}
+	got := tuner.Next()
+	if got.TargetWarps != 32 {
+		t.Errorf("work-normalized tuning converged to %d, want 32", got.TargetWarps)
+	}
+
+	// Control: raw feedback with the same varying work mis-tunes (either
+	// finalizes too early or walks past the cliff), demonstrating why the
+	// normalization matters.
+	raw := NewTuner(&CompileResult{Direction: Decreasing, Original: orig, Candidates: cands})
+	for i := 0; raw.Finalized() == nil && i < len(work); i++ {
+		c := raw.Next()
+		if raw.Finalized() != nil {
+			break
+		}
+		raw.Feedback(c, perUnit[c.TargetWarps]*work[i])
+	}
+	if rawGot := raw.Next(); rawGot.TargetWarps == 32 {
+		t.Log("raw feedback happened to land correctly; normalization still required in general")
+	}
+}

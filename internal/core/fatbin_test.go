@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/kernels"
+)
+
+func TestFatBinaryRoundTrip(t *testing.T) {
+	d := device.GTX680()
+	r := NewRealizer(d, device.SmallCache)
+	for _, name := range []string{"srad", "hotspot"} {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := r.Compile(k.Prog, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data := EncodeFat(cr)
+		got, err := DecodeFat(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.MaxLive != cr.MaxLive || got.Direction != cr.Direction {
+			t.Errorf("%s: metadata mismatch: %d/%v vs %d/%v",
+				name, got.MaxLive, got.Direction, cr.MaxLive, cr.Direction)
+		}
+		if len(got.Candidates) != len(cr.Candidates) || len(got.FailSafe) != len(cr.FailSafe) {
+			t.Fatalf("%s: candidate counts changed", name)
+		}
+		for i, c := range cr.Candidates {
+			g := got.Candidates[i]
+			if g.TargetWarps != c.TargetWarps ||
+				g.Version.RegsPerThread != c.Version.RegsPerThread ||
+				g.Version.Natural != c.Version.Natural {
+				t.Errorf("%s: candidate %d mismatch", name, i)
+			}
+			// Decoded binaries must execute identically.
+			want, err := interp.Run(&interp.Launch{Prog: c.Version.Prog, GridWarps: 8}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := interp.Run(&interp.Launch{Prog: g.Version.Prog, GridWarps: 8}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Checksum != have.Checksum {
+				t.Errorf("%s: candidate %d binary changed semantics", name, i)
+			}
+		}
+		// Version sharing must survive: decreasing candidates alias the
+		// original binary, so the fat binary must not balloon.
+		if cr.Direction == Decreasing && len(got.Candidates) > 0 {
+			if got.Candidates[0].Version != got.Original {
+				t.Errorf("%s: version sharing lost in round trip", name)
+			}
+		}
+	}
+}
+
+func TestFatBinaryDrivesTuner(t *testing.T) {
+	d := device.TeslaC2075()
+	r := NewRealizer(d, device.SmallCache)
+	k, err := kernels.ByName("gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := r.Compile(k.Prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFat(EncodeFat(cr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runtime side works purely from the decoded artifact.
+	tuner := NewTuner(got)
+	const grid = 672
+	for i := 0; i < 8 && tuner.Finalized() == nil; i++ {
+		cand := tuner.Next()
+		if tuner.Finalized() != nil {
+			break
+		}
+		st, err := cand.Version.RunAt(d, device.SmallCache, cand.TargetWarps,
+			&interp.Launch{Prog: cand.Version.Prog, GridWarps: grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuner.Feedback(cand, float64(st.Cycles))
+	}
+	if tuner.Next() == nil {
+		t.Fatal("tuner from decoded fat binary made no selection")
+	}
+}
+
+func TestFatBinaryRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFat([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	d := device.GTX680()
+	r := NewRealizer(d, device.SmallCache)
+	k, _ := kernels.ByName("gaussian")
+	cr, err := r.Compile(k.Prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeFat(cr)
+	for _, n := range []int{3, 10, len(data) / 2, len(data) - 3} {
+		if _, err := DecodeFat(data[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/occupancy"
+)
+
+// Headroom describes the occupancy plateau of a kernel (paper Section
+// 4.2): the range of occupancy levels whose performance is within the
+// tuner's tolerance of the best, and the per-thread resources freed by
+// running at the plateau's lowest level instead of its highest. The paper
+// points out this is exactly the leeway available for optimizations that
+// increase register pressure (e.g. loop unrolling) without losing
+// performance.
+type Headroom struct {
+	// BestWarps is the fastest level; LowWarps/HighWarps bound the plateau.
+	BestWarps int
+	LowWarps  int
+	HighWarps int
+	// ExtraRegsPerThread is the additional register budget available at
+	// LowWarps compared to HighWarps.
+	ExtraRegsPerThread int
+	// ExtraSharedPerBlock is the additional shared-memory budget (bytes).
+	ExtraSharedPerBlock int
+	// RegFileSavedFrac is the register-file allocation saved by running at
+	// LowWarps with the binary's current register usage.
+	RegFileSavedFrac float64
+}
+
+// PlateauHeadroom analyzes a completed occupancy sweep. The tolerance is
+// the tuner's SlowdownTolerance. It returns a zero-value Headroom when the
+// sweep is empty.
+func PlateauHeadroom(d *device.Device, cc device.CacheConfig, blockDim int, sweep []LevelResult) Headroom {
+	if len(sweep) == 0 {
+		return Headroom{}
+	}
+	best := sweep[0]
+	for _, lr := range sweep {
+		if lr.Stats.Cycles < best.Stats.Cycles {
+			best = lr
+		}
+	}
+	limit := float64(best.Stats.Cycles) * (1 + SlowdownTolerance)
+	h := Headroom{BestWarps: best.TargetWarps, LowWarps: best.TargetWarps, HighWarps: best.TargetWarps}
+	for _, lr := range sweep {
+		if float64(lr.Stats.Cycles) > limit {
+			continue
+		}
+		if lr.TargetWarps < h.LowWarps {
+			h.LowWarps = lr.TargetWarps
+		}
+		if lr.TargetWarps > h.HighWarps {
+			h.HighWarps = lr.TargetWarps
+		}
+	}
+	lowRegs := occupancy.MaxRegsForWarps(d, blockDim, h.LowWarps)
+	highRegs := occupancy.MaxRegsForWarps(d, blockDim, h.HighWarps)
+	if lowRegs > highRegs {
+		h.ExtraRegsPerThread = lowRegs - highRegs
+	}
+	lowSh := occupancy.MaxSharedForWarps(d, cc, blockDim, h.LowWarps)
+	highSh := occupancy.MaxSharedForWarps(d, cc, blockDim, h.HighWarps)
+	if lowSh > highSh {
+		h.ExtraSharedPerBlock = lowSh - highSh
+	}
+	if h.HighWarps > 0 {
+		h.RegFileSavedFrac = 1 - float64(h.LowWarps)/float64(h.HighWarps)
+	}
+	return h
+}

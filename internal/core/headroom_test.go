@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func fakeLevel(warps int, cycles uint64) LevelResult {
+	return LevelResult{TargetWarps: warps, Stats: &sim.Stats{Cycles: cycles}}
+}
+
+func TestPlateauHeadroomSynthetic(t *testing.T) {
+	d := device.TeslaC2075()
+	sweep := []LevelResult{
+		fakeLevel(8, 300),
+		fakeLevel(16, 200),
+		fakeLevel(24, 101),
+		fakeLevel(32, 100),
+		fakeLevel(40, 101),
+		fakeLevel(48, 102),
+	}
+	h := PlateauHeadroom(d, device.SmallCache, 256, sweep)
+	if h.BestWarps != 32 {
+		t.Errorf("best = %d, want 32", h.BestWarps)
+	}
+	if h.LowWarps != 24 || h.HighWarps != 48 {
+		t.Errorf("plateau = [%d, %d], want [24, 48]", h.LowWarps, h.HighWarps)
+	}
+	if h.ExtraRegsPerThread <= 0 {
+		t.Errorf("no register headroom reported: %+v", h)
+	}
+	// 24 vs 48 warps on C2075: 3 vs 6 blocks; registers per thread roughly
+	// double.
+	if h.RegFileSavedFrac < 0.4 {
+		t.Errorf("reg-file saving %.2f, want ~0.5", h.RegFileSavedFrac)
+	}
+}
+
+func TestPlateauHeadroomEmpty(t *testing.T) {
+	h := PlateauHeadroom(device.GTX680(), device.SmallCache, 256, nil)
+	if h.BestWarps != 0 || h.ExtraRegsPerThread != 0 {
+		t.Errorf("empty sweep produced %+v", h)
+	}
+}
+
+func TestPlateauHeadroomOnRealSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	// srad on C2075 is the paper's flat-plateau example (Figure 10): the
+	// plateau must span multiple levels and free registers.
+	d := device.TeslaC2075()
+	r := NewRealizer(d, device.SmallCache)
+	k, err := kernels.ByName("srad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := r.Sweep(k.Prog, 2688) // many waves per residency: quantization noise amortized
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := PlateauHeadroom(d, device.SmallCache, k.Prog.BlockDim, sweep)
+	if h.LowWarps >= h.HighWarps {
+		t.Errorf("no plateau found: %+v", h)
+	}
+	if h.ExtraRegsPerThread <= 0 {
+		t.Errorf("plateau frees no registers: %+v", h)
+	}
+}

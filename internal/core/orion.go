@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/occupancy"
+	"repro/internal/sim"
+)
+
+// Launch describes the dynamic side of a kernel: its grid and how many
+// times the application invokes it (the loop around the kernel that the
+// runtime tuner exploits).
+type Launch struct {
+	GridWarps  int
+	Iterations int
+	// IterationGrids, when set, gives each iteration its own grid size —
+	// the paper's bfs case, where "different amounts of work in each
+	// iteration" defeat naive runtime comparison. The tuner then
+	// normalizes feedback by the iteration's work (Section 4.2's
+	// multiplicative factor). Overrides GridWarps/Iterations.
+	IterationGrids []int
+}
+
+// IterationRecord is one tuning iteration's outcome.
+type IterationRecord struct {
+	Candidate *Candidate
+	Stats     *sim.Stats
+	Split     bool // this iteration was a kernel-splitting piece
+}
+
+// TuneReport is the end-to-end result of compiling and dynamically tuning
+// a kernel on the simulated device.
+type TuneReport struct {
+	Compile *CompileResult
+	Chosen  *Candidate
+	// TuneIterations is how many feedback rounds the tuner needed.
+	TuneIterations int
+	// History records every executed iteration (including post-converge
+	// runs of the final kernel).
+	History []IterationRecord
+	// TotalCycles sums all iterations — tuning overhead included.
+	TotalCycles uint64
+	// TotalEnergy sums energy across iterations.
+	TotalEnergy float64
+	// Checksum of the last full iteration (for correctness checks).
+	Checksum uint64
+	// KernelSplit reports whether splitting created the iterations.
+	KernelSplit bool
+}
+
+// Tune runs the full Orion pipeline: compile-time tuning, then runtime
+// adaptation over the launch's iterations. Kernels invoked only once are
+// kernel-split into sub-launches when the grid allows; otherwise the
+// static selection runs.
+func (r *Realizer) Tune(p *isa.Program, lc Launch) (*TuneReport, error) {
+	if len(lc.IterationGrids) > 0 {
+		lc.Iterations = len(lc.IterationGrids)
+		lc.GridWarps = lc.IterationGrids[0]
+	}
+	if lc.Iterations < 1 {
+		lc.Iterations = 1
+	}
+	wpb := p.BlockDim / r.Dev.WarpSize
+	// A split piece should still fill the device a few times over.
+	minSplitWarps := r.Dev.SMs * wpb * 2
+	canTune := lc.Iterations > 1
+	if !canTune {
+		if _, err := PlanSplit(lc.GridWarps, 4, minSplitWarps); err == nil {
+			canTune = true
+		}
+	}
+
+	cr, err := r.Compile(p, canTune)
+	if err != nil {
+		return nil, err
+	}
+	return r.TuneCompiled(cr, lc)
+}
+
+// TuneCompiled runs only the runtime side (Figure 9) against an existing
+// compile result — e.g., one decoded from a multi-version binary, the
+// paper's deployment model: compile once, adapt on every run.
+func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, error) {
+	if len(lc.IterationGrids) > 0 {
+		lc.Iterations = len(lc.IterationGrids)
+		lc.GridWarps = lc.IterationGrids[0]
+	}
+	if lc.Iterations < 1 {
+		lc.Iterations = 1
+	}
+	wpb := cr.Original.Prog.BlockDim / r.Dev.WarpSize
+	minSplitWarps := r.Dev.SMs * wpb * 2
+	var plan *SplitPlan
+	canTune := lc.Iterations > 1
+	if !canTune {
+		var err error
+		plan, err = PlanSplit(lc.GridWarps, 4, minSplitWarps)
+		if err == nil {
+			canTune = true
+		}
+	}
+	if !canTune && cr.StaticChoice == nil {
+		cr.StaticChoice = r.staticSelect(cr.Original.Prog, cr)
+	}
+	rep := &TuneReport{Compile: cr}
+
+	if !canTune {
+		// Static selection: run the compiler-picked kernel once.
+		cand := cr.StaticChoice
+		st, err := cand.Version.RunAt(r.Dev, r.Cache, cand.TargetWarps,
+			&interp.Launch{Prog: cand.Version.Prog, GridWarps: lc.GridWarps})
+		if err != nil {
+			return nil, err
+		}
+		rep.Chosen = cand
+		rep.History = append(rep.History, IterationRecord{Candidate: cand, Stats: st})
+		rep.TotalCycles = st.Cycles
+		rep.TotalEnergy = st.Energy
+		rep.Checksum = st.Checksum
+		return rep, nil
+	}
+
+	tuner := NewTuner(cr)
+	run := func(cand *Candidate, first, warps int, split bool) (*sim.Stats, error) {
+		st, err := cand.Version.RunAt(r.Dev, r.Cache, cand.TargetWarps,
+			&interp.Launch{Prog: cand.Version.Prog, GridWarps: warps, FirstWarp: first})
+		if err != nil {
+			return nil, err
+		}
+		rep.History = append(rep.History, IterationRecord{Candidate: cand, Stats: st, Split: split})
+		rep.TotalCycles += st.Cycles
+		rep.TotalEnergy += st.Energy
+		return st, nil
+	}
+
+	if lc.Iterations > 1 {
+		var checksum uint64
+		for it := 0; it < lc.Iterations; it++ {
+			grid := lc.GridWarps
+			if len(lc.IterationGrids) > 0 {
+				grid = lc.IterationGrids[it]
+			}
+			cand := tuner.Next()
+			st, err := run(cand, 0, grid, false)
+			if err != nil {
+				return nil, err
+			}
+			checksum = st.Checksum
+			if tuner.Finalized() == nil {
+				// With varying per-iteration work, normalize the feedback
+				// by the grid size (Section 4.2's multiplicative factor).
+				tuner.FeedbackWork(cand, float64(st.Cycles), float64(grid))
+				if tuner.Finalized() != nil {
+					rep.TuneIterations = tuner.Iterations()
+				}
+			}
+		}
+		rep.Checksum = checksum
+		rep.Chosen = tuner.Next() // finalized (or best-so-far) kernel
+		if rep.TuneIterations == 0 {
+			rep.TuneIterations = tuner.Iterations()
+		}
+		return rep, nil
+	}
+
+	// Kernel splitting: each piece is one tuning iteration; the combined
+	// pieces cover the grid exactly once.
+	rep.KernelSplit = true
+	var checksum uint64
+	for _, piece := range plan.Pieces {
+		cand := tuner.Next()
+		st, err := run(cand, piece.FirstWarp, piece.Warps, true)
+		if err != nil {
+			return nil, err
+		}
+		checksum ^= st.Checksum
+		if tuner.Finalized() == nil {
+			// Pieces can differ in size; normalize feedback per warp.
+			tuner.Feedback(cand, float64(st.Cycles)/float64(piece.Warps))
+			if tuner.Finalized() != nil {
+				rep.TuneIterations = tuner.Iterations()
+			}
+		}
+	}
+	rep.Checksum = checksum
+	rep.Chosen = tuner.Next()
+	if rep.TuneIterations == 0 {
+		rep.TuneIterations = tuner.Iterations()
+	}
+	return rep, nil
+}
+
+// LevelResult is one point of an exhaustive occupancy sweep.
+type LevelResult struct {
+	TargetWarps int
+	Version     *Version
+	Stats       *sim.Stats
+}
+
+// Occupancy returns the level's occupancy fraction.
+func (l *LevelResult) Occupancy(maxWarps int) float64 {
+	return float64(l.TargetWarps) / float64(maxWarps)
+}
+
+// Sweep compiles and runs the kernel at every achievable occupancy level
+// (the paper's exhaustive-search comparison: Orion-Min is the slowest
+// level, Orion-Max the fastest). Each level gets its own binary, compiled
+// for that occupancy. Levels are independent, so they compile and
+// simulate concurrently; each level's simulation is deterministic, so the
+// results do not depend on scheduling.
+func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
+	levels := occupancy.Levels(r.Dev, p.BlockDim)
+	type slot struct {
+		res LevelResult
+		err error
+		ok  bool
+	}
+	slots := make([]slot, len(levels))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(levels) {
+		workers = len(levels)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lvl := levels[i]
+				v, err := r.Realize(p, lvl)
+				if err != nil {
+					var inf *ErrInfeasible
+					if !errors.As(err, &inf) {
+						slots[i].err = err
+					}
+					continue
+				}
+				st, err := v.RunAt(r.Dev, r.Cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+				if err != nil {
+					slots[i].err = err
+					continue
+				}
+				slots[i] = slot{res: LevelResult{TargetWarps: lvl, Version: v, Stats: st}, ok: true}
+			}
+		}()
+	}
+	for i := range levels {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var out []LevelResult
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		if slots[i].ok {
+			out = append(out, slots[i].res)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no occupancy level of %s is realizable", p.Name)
+	}
+	return out, nil
+}
+
+// Baseline compiles the nvcc-like reference: a competent allocation that
+// minimizes spills (largest hardware register budget) and runs at whatever
+// occupancy that register usage naturally allows — no occupancy search,
+// no runtime adaptation.
+func (r *Realizer) Baseline(p *isa.Program, gridWarps int) (*Version, *sim.Stats, error) {
+	levels := occupancy.Levels(r.Dev, p.BlockDim)
+	v, err := r.Realize(p, levels[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := v.RunAt(r.Dev, r.Cache, v.Natural.ActiveWarps,
+		&interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, st, nil
+}

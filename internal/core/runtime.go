@@ -1,0 +1,188 @@
+package core
+
+import "fmt"
+
+// SlowdownTolerance is the runtime tuner's acceptance threshold when
+// decreasing occupancy: up to 2% slowdown is accepted in exchange for
+// resource savings (paper Figure 9).
+const SlowdownTolerance = 0.02
+
+// Tuner is the Orion runtime's dynamic occupancy selection state machine
+// (paper Figure 9). Each kernel iteration, the host asks Next() which
+// candidate to run, executes it, and reports the runtime via Feedback().
+//
+// Two extensions the paper sketches are implemented: direction
+// misprediction recovery (Section 3.3's fail-safe versions are tried when
+// the walk immediately falls back to the original kernel), and
+// work-normalized feedback for kernels like bfs whose iterations perform
+// varying amounts of work (Section 4.2; use FeedbackWork).
+type Tuner struct {
+	direction  Direction
+	original   *Candidate
+	candidates []*Candidate
+	failSafe   []*Candidate
+
+	iter       int
+	idx        int // next candidate index to try
+	finalized  *Candidate
+	prevTime   float64
+	prevCand   *Candidate
+	bestTime   float64
+	failedOver bool // already switched to the fail-safe direction
+}
+
+// NewTuner builds the runtime tuner from compile-time output.
+func NewTuner(cr *CompileResult) *Tuner {
+	return &Tuner{
+		direction:  cr.Direction,
+		original:   &Candidate{Version: cr.Original, TargetWarps: cr.Original.Natural.ActiveWarps},
+		candidates: cr.Candidates,
+		failSafe:   cr.FailSafe,
+	}
+}
+
+// Next returns the candidate to run this iteration.
+func (t *Tuner) Next() *Candidate {
+	if t.finalized != nil {
+		return t.finalized
+	}
+	if t.iter == 0 {
+		return t.original // first iteration: run the original kernel
+	}
+	if t.idx < len(t.candidates) {
+		return t.candidates[t.idx]
+	}
+	// Tried every occupancy in the tuning direction.
+	t.finalized = t.best()
+	return t.finalized
+}
+
+// Feedback reports the measured runtime of the candidate returned by the
+// preceding Next call.
+func (t *Tuner) Feedback(cand *Candidate, runtime float64) {
+	t.FeedbackWork(cand, runtime, 1)
+}
+
+// FeedbackWork reports a measured runtime together with the amount of
+// work the iteration performed (any consistent unit). Runtimes are
+// compared per unit of work, which lets kernels whose iterations vary —
+// the paper's bfs case — tune correctly by "applying a multiplicative
+// factor to the runtime" (Section 4.2).
+func (t *Tuner) FeedbackWork(cand *Candidate, runtime, work float64) {
+	if work > 0 {
+		runtime /= work
+	}
+	t.iter++
+	if t.finalized != nil {
+		return
+	}
+	defer func() {
+		t.prevTime = runtime
+		t.prevCand = cand
+		if t.bestTime == 0 || runtime < t.bestTime {
+			t.bestTime = runtime
+		}
+	}()
+	if cand == t.original {
+		return // baseline measurement; start walking candidates
+	}
+	if t.direction == Increasing {
+		// Keep increasing until performance degrades.
+		if t.prevCand != nil && runtime > t.prevTime {
+			t.finalize(t.prevCand)
+			return
+		}
+	} else {
+		// Keep decreasing while the slowdown stays within tolerance.
+		if t.prevCand != nil && runtime > t.prevTime*(1+SlowdownTolerance) {
+			t.finalize(t.prevCand)
+			return
+		}
+	}
+	t.idx++
+}
+
+// finalize locks the selection, except when the walk's very first step was
+// already worse than the original kernel — evidence the compile-time
+// direction was mispredicted — in which case the fail-safe candidates for
+// the opposite direction are walked once (paper Section 3.3).
+func (t *Tuner) finalize(c *Candidate) {
+	if c == t.original && !t.failedOver && len(t.failSafe) > 0 {
+		t.failedOver = true
+		t.direction = opposite(t.direction)
+		t.candidates = t.failSafe
+		t.idx = 0
+		t.prevCand = t.original
+		return
+	}
+	t.finalized = c
+}
+
+func opposite(d Direction) Direction {
+	if d == Increasing {
+		return Decreasing
+	}
+	return Increasing
+}
+
+// Finalized returns the selected candidate once tuning has converged, or
+// nil while still exploring.
+func (t *Tuner) Finalized() *Candidate { return t.finalized }
+
+// Iterations returns how many feedback rounds have occurred.
+func (t *Tuner) Iterations() int { return t.iter }
+
+func (t *Tuner) best() *Candidate {
+	// When the walk exhausts the ladder, the last tried candidate is the
+	// running best (each step was accepted); fall back to the original.
+	if t.prevCand != nil && t.prevCand != t.original {
+		return t.prevCand
+	}
+	if len(t.candidates) > 0 {
+		return t.candidates[len(t.candidates)-1]
+	}
+	return t.original
+}
+
+// SplitPlan describes how a single kernel invocation is divided into
+// multiple smaller launches to create tuning iterations (paper Section
+// 3.4, kernel splitting [30]).
+type SplitPlan struct {
+	Pieces []SplitPiece
+}
+
+// SplitPiece is one sub-launch.
+type SplitPiece struct {
+	FirstWarp int
+	Warps     int
+}
+
+// PlanSplit divides gridWarps into enough pieces for the tuner to converge
+// (at least minPieces), each piece no smaller than minWarps (launching
+// tiny grids underutilizes the device and distorts feedback). It returns
+// an error when the grid is too small to split usefully.
+func PlanSplit(gridWarps, minPieces, minWarps int) (*SplitPlan, error) {
+	if minPieces < 1 {
+		minPieces = 1
+	}
+	if minWarps < 1 {
+		minWarps = 1
+	}
+	if gridWarps < minPieces*minWarps {
+		return nil, fmt.Errorf("core: grid of %d warps cannot split into %d pieces of >= %d warps",
+			gridWarps, minPieces, minWarps)
+	}
+	pieces := minPieces
+	per := gridWarps / pieces
+	plan := &SplitPlan{}
+	first := 0
+	for i := 0; i < pieces; i++ {
+		n := per
+		if i == pieces-1 {
+			n = gridWarps - first
+		}
+		plan.Pieces = append(plan.Pieces, SplitPiece{FirstWarp: first, Warps: n})
+		first += n
+	}
+	return plan, nil
+}

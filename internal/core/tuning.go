@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/device"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/occupancy"
+)
+
+// Direction is the occupancy tuning direction chosen at compile time.
+type Direction uint8
+
+// Tuning directions.
+const (
+	Increasing Direction = iota + 1
+	Decreasing
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Decreasing {
+		return "decreasing"
+	}
+	return "increasing"
+}
+
+// MaxLive computes the paper's max-live metric for a whole program: the
+// worst-case register demand over any call chain, using per-function
+// max-live from the pruned-SSA liveness (Section 3.3).
+func MaxLive(p *isa.Program) (int, error) {
+	per := make([]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		v, err := ir.SplitWebs(f)
+		if err != nil {
+			return 0, fmt.Errorf("maxlive %s: %w", f.Name, err)
+		}
+		live := ir.ComputeLiveness(v)
+		per[fi] = live.MaxLive(v)
+	}
+	// Worst chain sum over the acyclic call graph.
+	memo := make([]int, len(p.Funcs))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var chain func(fi int) int
+	chain = func(fi int) int {
+		if memo[fi] >= 0 {
+			return memo[fi]
+		}
+		best := 0
+		f := p.Funcs[fi]
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				if c := chain(int(f.Instrs[i].Tgt)); c > best {
+					best = c
+				}
+			}
+		}
+		memo[fi] = per[fi] + best
+		return memo[fi]
+	}
+	return chain(0), nil
+}
+
+// DirectionThreshold returns the max-live threshold that decides the
+// tuning direction on a device: the register count per thread at which the
+// hardware can no longer sustain maximum occupancy (32 for the paper's
+// Kepler platform, Section 3.3).
+func DirectionThreshold(d *device.Device) int {
+	return d.RegsPerSM / d.MaxThreadsPerSM
+}
+
+// CompileResult is the output of compile-time tuning: the original
+// version, the candidate list for runtime adaptation (in tuning
+// direction), and the fail-safe versions for the opposite direction.
+type CompileResult struct {
+	MaxLive   int
+	Direction Direction
+	// Original is the initial version: all live values in the minimal
+	// number of registers (or the hardware per-thread maximum).
+	Original *Version
+	// Candidates are the versions the runtime walks, ordered in the tuning
+	// direction. For the decreasing direction these are occupancy levels of
+	// the original binary (lowering needs no recompilation — shared-memory
+	// padding does it), so Candidates may alias Original with descending
+	// TargetWarps.
+	Candidates []*Candidate
+	// FailSafe holds versions for the opposite direction (paper §3.3).
+	FailSafe []*Candidate
+	// StaticChoice is set when the kernel cannot be tuned dynamically
+	// (canTune=false): the statically selected candidate.
+	StaticChoice *Candidate
+}
+
+// Candidate pairs a compiled version with the occupancy level to run it
+// at (levels below the binary's natural residency use shared padding).
+type Candidate struct {
+	Version     *Version
+	TargetWarps int
+}
+
+// Occupancy returns the candidate's occupancy fraction on device d.
+func (c *Candidate) Occupancy(d *device.Device) float64 {
+	return float64(c.TargetWarps) / float64(d.MaxWarpsPerSM)
+}
+
+// maxCandidates caps the candidate set (paper: at most five versions).
+const maxCandidates = 5
+
+// Compile runs the paper's Figure 8 occupancy update algorithm.
+//
+// canTune reports whether the benchmark offers tuning iterations (a loop
+// around the kernel, or enough threads for kernel splitting). When false,
+// static selection (the [11]-style latency-hiding estimate) picks a single
+// kernel.
+func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error) {
+	if err := isa.Validate(p); err != nil {
+		return nil, err
+	}
+	ml, err := MaxLive(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{MaxLive: ml}
+	if ml >= DirectionThreshold(r.Dev) {
+		res.Direction = Increasing
+	} else {
+		res.Direction = Decreasing
+	}
+
+	levels := occupancy.Levels(r.Dev, p.BlockDim)
+	minLevel := levels[0]
+
+	// Original version: everything lives in the minimal number of
+	// registers (target the lowest occupancy level, i.e., the largest
+	// register budget the hardware offers).
+	orig, err := r.Realize(p, minLevel)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: original version: %w", p.Name, err)
+	}
+	res.Original = orig
+
+	if res.Direction == Increasing {
+		// Conservative version: the highest occupancy at which all values
+		// still fit on-chip (registers + shared spill slots, no local
+		// spills).
+		var ladder []*Candidate
+		conservativeWarps := 0
+		for _, lvl := range levels {
+			if lvl <= orig.Natural.ActiveWarps {
+				continue
+			}
+			v, err := r.Realize(p, lvl)
+			if err != nil {
+				continue // level not realizable
+			}
+			if v.LocalSlots == 0 {
+				conservativeWarps = lvl
+			}
+			ladder = append(ladder, &Candidate{Version: v, TargetWarps: lvl})
+		}
+		// Keep the candidates from the conservative level up to max,
+		// thinning to the cap.
+		var kept []*Candidate
+		for _, c := range ladder {
+			if c.TargetWarps >= conservativeWarps {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			kept = ladder
+		}
+		kept = thin(kept, maxCandidates-1)
+		res.Candidates = kept
+		// Fail-safe: enable decreasing from the original binary.
+		if down := lowerLevels(levels, orig.Natural.ActiveWarps, orig); len(down) > 0 {
+			res.FailSafe = down[:1]
+		}
+	} else {
+		// Decreasing: candidates are lower occupancy levels of the original
+		// binary (shared-memory padding realizes them; Figure 8 lines
+		// 16-19 note no extra code versions are needed).
+		res.Candidates = lowerLevels(levels, orig.Natural.ActiveWarps, orig)
+		if len(res.Candidates) > maxCandidates {
+			res.Candidates = res.Candidates[:maxCandidates]
+		}
+		// Fail-safe: the conservative higher-occupancy version plus the
+		// next occupancy up, if any exists.
+		for _, lvl := range levels {
+			if lvl <= orig.Natural.ActiveWarps {
+				continue
+			}
+			v, err := r.Realize(p, lvl)
+			if err == nil {
+				res.FailSafe = append(res.FailSafe, &Candidate{Version: v, TargetWarps: lvl})
+				break
+			}
+		}
+	}
+
+	if !canTune {
+		res.StaticChoice = r.staticSelect(p, res)
+	}
+	return res, nil
+}
+
+// lowerLevels enumerates occupancy levels strictly below natural residency
+// in descending order, all running the given version with padding.
+func lowerLevels(levels []int, natural int, v *Version) []*Candidate {
+	var out []*Candidate
+	for i := len(levels) - 1; i >= 0; i-- {
+		if levels[i] < natural {
+			out = append(out, &Candidate{Version: v, TargetWarps: levels[i]})
+		}
+	}
+	return out
+}
+
+// thin reduces a ladder to at most n entries, always keeping the first
+// (conservative) and last (maximum) levels.
+func thin(c []*Candidate, n int) []*Candidate {
+	if len(c) <= n || n <= 1 {
+		if len(c) > n && n >= 1 {
+			return c[:n]
+		}
+		return c
+	}
+	out := make([]*Candidate, 0, n)
+	out = append(out, c[0])
+	for i := 1; i < n-1; i++ {
+		out = append(out, c[i*(len(c)-1)/(n-1)])
+	}
+	out = append(out, c[len(c)-1])
+	return out
+}
+
+// staticSelect implements the no-tuning path of Figure 8 (lines 15-19,
+// the static selection of [11]): walk occupancy levels from the original
+// downward... upward for increasing kernels, and keep the lowest level
+// whose warp count covers the latency-hiding requirement
+// warps >= WS * CDI / DL, where CDI approximates cycles between dependent
+// memory operations and DL the memory latency.
+func (r *Realizer) staticSelect(p *isa.Program, res *CompileResult) *Candidate {
+	// A kernel that cannot be tuned and already runs at its hardware
+	// maximum (decreasing direction) simply defaults to the original
+	// version — the paper's backprop case: "it makes more sense to simply
+	// default to the original version of the kernel".
+	if res.Direction == Decreasing {
+		return &Candidate{Version: res.Original, TargetWarps: res.Original.Natural.ActiveWarps}
+	}
+	// Increasing direction: score the original and every candidate with
+	// the MWP-CWP analytical model, profiled on each candidate's own
+	// binary (so spill code is accounted for), and pick the best
+	// prediction — a static selection in the spirit of [11]: off-line
+	// profiling, no runtime feedback.
+	all := make([]*Candidate, 0, len(res.Candidates)+1)
+	all = append(all, &Candidate{Version: res.Original, TargetWarps: res.Original.Natural.ActiveWarps})
+	all = append(all, res.Candidates...)
+	var best *Candidate
+	bestCycles := 0.0
+	grid := r.Dev.SMs * r.Dev.MaxWarpsPerSM * 4 // representative grid
+	for i, c := range all {
+		pr, err := analytic.PredictProgram(r.Dev, c.Version.Prog, c.TargetWarps, grid)
+		if err != nil {
+			continue
+		}
+		cycles := pr.Cycles
+		if i > 0 {
+			// The model cannot see cache behaviour or residency tails, so
+			// leaving the safe original version requires a clear predicted
+			// win ("the original version ... is a safe version", §3.3).
+			cycles *= 1.10
+		}
+		if best == nil || cycles < bestCycles {
+			best, bestCycles = c, cycles
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Fallback when the model cannot score anything: the lowest occupancy
+	// meeting a crude latency-hiding estimate, else the highest available.
+	need := r.latencyHidingWarps(p)
+	for _, c := range all {
+		if c.TargetWarps >= need {
+			if best == nil || c.TargetWarps < best.TargetWarps {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		best = all[0]
+		for _, c := range all {
+			if c.TargetWarps > best.TargetWarps {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// latencyHidingWarps estimates the warps per SM needed to hide memory
+// latency from the static instruction mix: the denser the memory
+// instructions, the more concurrency is needed.
+func (r *Realizer) latencyHidingWarps(p *isa.Program) int {
+	mem, total := 0, 0
+	for _, f := range p.Funcs {
+		for i := range f.Instrs {
+			total++
+			if f.Instrs[i].Op == isa.OpLdG {
+				mem++
+			}
+		}
+	}
+	if total == 0 || mem == 0 {
+		return 1
+	}
+	// Each global load keeps a warp stalled for ~DRAMLatency cycles; in
+	// that window a warp issues about total/mem other instructions.
+	gap := total / mem
+	if gap == 0 {
+		gap = 1
+	}
+	need := r.Dev.DRAMLatency / (gap * r.Dev.ALULatency)
+	if need < 1 {
+		need = 1
+	}
+	if need > r.Dev.MaxWarpsPerSM {
+		need = r.Dev.MaxWarpsPerSM
+	}
+	return need
+}

@@ -1,0 +1,461 @@
+// Package core implements the paper's contribution: the Orion occupancy
+// tuning framework. It contains occupancy realization (turning a target
+// occupancy level into a fully allocated binary via the Chaitin-Briggs
+// allocator and the compressible stack), the compile-time tuning loop of
+// Figure 8 (max-live direction choice, candidate generation, static
+// selection), and the runtime adaptation algorithm of Figure 9 (feedback
+// hill climbing with kernel splitting).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/interproc"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/occupancy"
+	"repro/internal/regalloc"
+	"repro/internal/sim"
+)
+
+// minFuncBudget is the smallest register budget a function can be
+// allocated with (operands of the widest instruction plus scratch).
+const minFuncBudget = 8
+
+// Version is one occupancy-realized kernel binary.
+type Version struct {
+	Prog *isa.Program
+	// TargetWarps is the occupancy level (warps per SM) this version was
+	// compiled for.
+	TargetWarps int
+	// RegsPerThread is the realized per-thread register requirement (the
+	// register high-water across call chains).
+	RegsPerThread int
+	// SharedPerBlock is user shared memory plus shared spill slots.
+	SharedPerBlock int
+	// LocalSlots is the per-thread local-memory spill requirement.
+	LocalSlots int
+	// Moves is total compressible-stack movement count (static).
+	Moves int
+	// Natural is the residency the binary achieves with no padding.
+	Natural occupancy.Result
+}
+
+// Occupancy returns the realized occupancy fraction.
+func (v *Version) Occupancy(d *device.Device) float64 {
+	return float64(v.Natural.ActiveWarps) / float64(d.MaxWarpsPerSM)
+}
+
+// Realizer compiles versions of one kernel for a device/cache pairing.
+type Realizer struct {
+	Dev   *device.Device
+	Cache device.CacheConfig
+	// Interproc selects the compressible-stack options (ablations for the
+	// paper's Figure 5 flip these off).
+	Interproc interproc.Options
+}
+
+// NewRealizer returns a Realizer with the full optimization set.
+func NewRealizer(d *device.Device, cc device.CacheConfig) *Realizer {
+	return &Realizer{Dev: d, Cache: cc, Interproc: interproc.DefaultOptions()}
+}
+
+// ErrInfeasible reports that a target occupancy cannot be realized.
+type ErrInfeasible struct {
+	TargetWarps int
+	Reason      string
+}
+
+// Error describes why the occupancy level cannot be realized.
+func (e *ErrInfeasible) Error() string {
+	return fmt.Sprintf("core: occupancy level %d warps/SM infeasible: %s", e.TargetWarps, e.Reason)
+}
+
+// Realize compiles the program so that at least targetWarps warps are
+// resident per SM (paper Section 3.2, "realizing occupancy"): the register
+// budget follows from the occupancy formula; values that do not fit go to
+// shared-memory spill slots while shared capacity lasts, then to local
+// memory. Functions are allocated caller-first so callee budgets account
+// for the compressed stack heights at their call sites.
+func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
+	d := r.Dev
+	regBudget := occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps)
+	if regBudget < minFuncBudget {
+		return nil, &ErrInfeasible{targetWarps, "register budget too small"}
+	}
+	sharedCap := occupancy.MaxSharedForWarps(d, r.Cache, p.BlockDim, targetWarps)
+	spillBytes := sharedCap - p.SharedBytes
+	sharedSlotBudget := 0
+	if spillBytes > 0 {
+		sharedSlotBudget = spillBytes / (4 * p.BlockDim)
+	}
+	if p.SharedBytes > sharedCap {
+		return nil, &ErrInfeasible{targetWarps, "user shared memory exceeds capacity"}
+	}
+
+	for attempt := 0; attempt < 4; attempt++ {
+		v, err := r.realizeWithBudget(p, regBudget, sharedSlotBudget)
+		if err != nil {
+			return nil, err
+		}
+		if v.RegsPerThread <= occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps) ||
+			v.Natural.ActiveWarps >= targetWarps {
+			v.TargetWarps = targetWarps
+			if v.Natural.ActiveBlocks == 0 {
+				return nil, &ErrInfeasible{targetWarps, "allocation admits no residency"}
+			}
+			if v.Natural.ActiveWarps < targetWarps {
+				return nil, &ErrInfeasible{targetWarps,
+					fmt.Sprintf("achieved only %d warps", v.Natural.ActiveWarps)}
+			}
+			return v, nil
+		}
+		// Call chains overflowed the per-thread budget; tighten and retry.
+		over := v.RegsPerThread - regBudget
+		regBudget -= over
+		if regBudget < minFuncBudget {
+			return nil, &ErrInfeasible{targetWarps, "call chains exceed register budget"}
+		}
+	}
+	return nil, &ErrInfeasible{targetWarps, "budget iteration did not converge"}
+}
+
+// realizeWithBudget allocates every function, walking the call graph
+// caller-first so that callee budgets subtract the caller's compressed
+// height (Bk) and spill-slot usage along the worst chain.
+func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget int) (*Version, error) {
+	np := p.Clone()
+	n := len(np.Funcs)
+	needs, perMaxLive, err := chainNeeds(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// cumReg[f]/cumShared[f]: worst-case frame base / shared-slot base of f
+	// over all call chains, filled as callers are allocated.
+	cumReg := make([]int, n)
+	cumShared := make([]int, n)
+	allocated := make([]bool, n)
+	for i := range cumReg {
+		cumReg[i], cumShared[i] = -1, -1
+	}
+	cumReg[0], cumShared[0] = 0, 0
+
+	order, err := topoOrder(p)
+	if err != nil {
+		return nil, err
+	}
+
+	totalMoves := 0
+	for _, fi := range order {
+		if cumReg[fi] < 0 {
+			// Unreachable from entry; allocate standalone with full budget.
+			cumReg[fi], cumShared[fi] = 0, 0
+		}
+		c := regBudget - cumReg[fi]
+		if c < minFuncBudget {
+			c = minFuncBudget
+		}
+		if c > regBudget {
+			c = regBudget
+		}
+		shBudget := sharedSlotBudget - cumShared[fi]
+		if shBudget < 0 {
+			shBudget = 0
+		}
+		opt := r.Interproc
+		// Lazy compression and the compress-vs-spill choice below apply
+		// only to the fully optimized configuration; the Figure 5 ablations
+		// (SpaceMin or MoveMin off) reproduce the paper's naive variants
+		// (maximal compression, identity layout).
+		smart := opt.SpaceMin && opt.MoveMin && opt.Budget == 0
+		if smart {
+			// Compress only as far as each call's callee chain needs within
+			// this function's budget (paper Section 3.2).
+			opt.Budget = c
+			opt.CalleeNeed = func(callee int) int { return needs[callee] }
+		}
+		allocOnce := func(budget int) (*isa.Function, *interproc.Stats, error) {
+			a, err := regalloc.Run(np.Funcs[fi], budget, shBudget)
+			if err != nil {
+				return nil, nil, err
+			}
+			return interproc.Optimize(a, opt)
+		}
+		// variantCost scores an allocation: its own spill/move overhead
+		// (loop-weighted) plus the registers it squeezes out of callee
+		// chains (which turn into callee spills at every call).
+		variantCost := func(nf *isa.Function) int {
+			cost := addedCost(nf)
+			k := 0
+			for i := range nf.Instrs {
+				if nf.Instrs[i].Op != isa.OpCall {
+					continue
+				}
+				bk := nf.FrameSlots
+				if nf.CallBounds != nil {
+					bk = nf.CallBounds[k]
+				}
+				if squeeze := needs[int(nf.Instrs[i].Tgt)] - (c - bk); squeeze > 0 {
+					cost += 2 * loopWeight * squeeze
+				}
+				k++
+			}
+			return cost
+		}
+		nf, st, err := allocOnce(c)
+		if err != nil {
+			return nil, err
+		}
+		// Compress-vs-spill choice: compression movements are paid at every
+		// dynamic call, whereas allocating this function below the budget
+		// (reserving room for the callee chain) converts them into spills
+		// of the cheapest values. Pick whichever costs less.
+		if smart && st.Movements > 0 {
+			best := variantCost(nf)
+			worstNeed := 0
+			for i := range np.Funcs[fi].Instrs {
+				if np.Funcs[fi].Instrs[i].Op == isa.OpCall {
+					if nd := needs[np.Funcs[fi].Instrs[i].Tgt]; nd > worstNeed {
+						worstNeed = nd
+					}
+				}
+			}
+			for _, c2 := range []int{c - worstNeed, perMaxLive[fi]} {
+				if c2 < minFuncBudget {
+					c2 = minFuncBudget
+				}
+				if c2 >= c {
+					continue
+				}
+				nf2, st2, err2 := allocOnce(c2)
+				if err2 != nil {
+					continue
+				}
+				if cost2 := variantCost(nf2); cost2 < best {
+					best = cost2
+					nf, st = nf2, st2
+				}
+			}
+		}
+		nf.Name = np.Funcs[fi].Name
+		regalloc.ElideCoalescedMoves(nf) // coalesced copies are no-ops
+		np.Funcs[fi] = nf
+		allocated[fi] = true
+		totalMoves += st.Movements
+
+		// Propagate bases to callees.
+		k := 0
+		for i := range nf.Instrs {
+			if nf.Instrs[i].Op != isa.OpCall {
+				continue
+			}
+			callee := int(nf.Instrs[i].Tgt)
+			bk := nf.FrameSlots
+			if nf.CallBounds != nil {
+				bk = nf.CallBounds[k]
+			}
+			if v := cumReg[fi] + bk; v > cumReg[callee] {
+				cumReg[callee] = v
+			}
+			if v := cumShared[fi] + nf.SpillShared; v > cumShared[callee] {
+				cumShared[callee] = v
+			}
+			k++
+		}
+	}
+
+	layout, err := interp.NewLayout(np)
+	if err != nil {
+		return nil, err
+	}
+	regs := layout.RegHighWater
+	if regs == 0 {
+		regs = 1
+	}
+	sharedPerBlock := p.SharedBytes + layout.SharedSpillSlots*4*p.BlockDim
+	var occ occupancy.Result
+	if regs <= r.Dev.MaxRegsPerThread {
+		// Chains that overflow the hardware register budget leave Natural
+		// zero; Realize reacts by tightening the per-function budget.
+		occ, err = occupancy.Calc(r.Dev, r.Cache, occupancy.Config{
+			RegsPerThread:  regs,
+			SharedPerBlock: sharedPerBlock,
+			BlockDim:       p.BlockDim,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Version{
+		Prog:           np,
+		RegsPerThread:  regs,
+		SharedPerBlock: sharedPerBlock,
+		LocalSlots:     layout.LocalSpillSlots,
+		Moves:          totalMoves,
+		Natural:        occ,
+	}, nil
+}
+
+// addedCost scores an allocation's overhead instructions — spill accesses
+// and register moves (compressible-stack compress/restore traffic; the
+// function's own moves appear identically in every variant and cancel).
+// Instructions inside loops are weighted up, since they execute once per
+// iteration while cold spills execute once.
+const loopWeight = 8
+
+func addedCost(f *isa.Function) int {
+	cfg := ir.BuildCFG(f)
+	inCycle := make([]bool, len(cfg.Blocks))
+	for b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		// b is in a cycle iff b is reachable from one of its successors.
+		seen := make([]bool, len(cfg.Blocks))
+		stack := append([]int(nil), cfg.Blocks[b].Succs...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == b {
+				inCycle[b] = true
+				break
+			}
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			stack = append(stack, cfg.Blocks[x].Succs...)
+		}
+	}
+	cost := 0
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if !in.IsSpill() && in.Op != isa.OpMov {
+			continue
+		}
+		w := 1
+		if bi := cfg.BlockOf[i]; bi >= 0 && inCycle[bi] {
+			w = loopWeight
+		}
+		cost += w
+	}
+	return cost
+}
+
+// chainNeeds estimates each function's register demand including its
+// worst callee chain (per-function max-live summed along the chain); used
+// by lazy compression to decide how far a caller's stack must compress.
+// The second result is each function's own max-live.
+func chainNeeds(p *isa.Program) ([]int, []int, error) {
+	per := make([]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		v, err := ir.SplitWebs(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		live := ir.ComputeLiveness(v)
+		per[fi] = live.MaxLive(v)
+		if per[fi] < 1 {
+			per[fi] = 1
+		}
+	}
+	memo := make([]int, len(p.Funcs))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var chain func(fi int) int
+	chain = func(fi int) int {
+		if memo[fi] >= 0 {
+			return memo[fi]
+		}
+		best := 0
+		f := p.Funcs[fi]
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				if c := chain(int(f.Instrs[i].Tgt)); c > best {
+					best = c
+				}
+			}
+		}
+		memo[fi] = per[fi] + best
+		return memo[fi]
+	}
+	for fi := range p.Funcs {
+		chain(fi)
+	}
+	return memo, per, nil
+}
+
+// topoOrder returns function indices with callers before callees.
+func topoOrder(p *isa.Program) ([]int, error) {
+	n := len(p.Funcs)
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for fi, f := range p.Funcs {
+		seen := map[int]bool{}
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				c := int(f.Instrs[i].Tgt)
+				if !seen[c] {
+					seen[c] = true
+					succs[fi] = append(succs[fi], c)
+					indeg[c]++
+				}
+			}
+		}
+	}
+	var order []int
+	var queue []int
+	for fi := 0; fi < n; fi++ {
+		if indeg[fi] == 0 {
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		order = append(order, fi)
+		for _, c := range succs[fi] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, isa.ErrRecursion
+	}
+	return order, nil
+}
+
+// RunAt simulates the version at a (possibly reduced) occupancy level.
+// Levels below the binary's natural residency are realized the way the
+// paper's runtime does it: by padding shared memory per block, which needs
+// no recompilation. Levels above the natural residency are not possible.
+func (v *Version) RunAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch) (*sim.Stats, error) {
+	return v.ProfileAt(d, cc, targetWarps, lc, 0)
+}
+
+// ProfileAt is RunAt with issue tracing for the first traceWarps warps
+// (timeline profiling; see sim.Trace).
+func (v *Version) ProfileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int) (*sim.Stats, error) {
+	wpb := lc.Prog.BlockDim / d.WarpSize
+	blocks := v.Natural.ActiveBlocks
+	if tb := targetWarps / wpb; tb < blocks {
+		blocks = tb
+	}
+	if blocks <= 0 {
+		return nil, &ErrInfeasible{targetWarps, "below one block per SM"}
+	}
+	return sim.Simulate(sim.Config{
+		Device:         d,
+		Cache:          cc,
+		BlocksPerSM:    blocks,
+		RegsPerThread:  v.RegsPerThread,
+		SharedPerBlock: v.SharedPerBlock,
+		TraceWarps:     traceWarps,
+	}, &interp.Launch{Prog: v.Prog, GridWarps: lc.GridWarps, FirstWarp: lc.FirstWarp})
+}

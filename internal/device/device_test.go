@@ -1,0 +1,67 @@
+package device
+
+import "testing"
+
+func TestPaperPlatformLimits(t *testing.T) {
+	g := GTX680()
+	// Paper Section 4 "Platform": 8 SMs, 65536 registers/SM, 64 KB
+	// shared+L1, 64 warps and 2048 threads max per SM.
+	if g.SMs != 8 || g.RegsPerSM != 65536 || g.SharedL1Bytes != 64<<10 ||
+		g.MaxWarpsPerSM != 64 || g.MaxThreadsPerSM != 2048 {
+		t.Errorf("GTX680 limits diverge from the paper: %+v", g)
+	}
+	c := TeslaC2075()
+	// 14 SMs, 32768 registers/SM, 48 warps and 1536 threads max per SM.
+	if c.SMs != 14 || c.RegsPerSM != 32768 || c.SharedL1Bytes != 64<<10 ||
+		c.MaxWarpsPerSM != 48 || c.MaxThreadsPerSM != 1536 {
+		t.Errorf("C2075 limits diverge from the paper: %+v", c)
+	}
+	if !c.L1GlobalCaching || g.L1GlobalCaching {
+		t.Error("L1 policy: C2075 caches globals, GTX680 does not (paper Section 4.2)")
+	}
+}
+
+func TestCacheConfigSplit(t *testing.T) {
+	d := GTX680()
+	if d.L1Bytes(SmallCache) != 16<<10 || d.SharedBytes(SmallCache) != 48<<10 {
+		t.Error("small cache split wrong")
+	}
+	if d.L1Bytes(LargeCache) != 48<<10 || d.SharedBytes(LargeCache) != 16<<10 {
+		t.Error("large cache split wrong")
+	}
+	if SmallCache.String() != "SC" || LargeCache.String() != "LC" {
+		t.Error("cache config abbreviations wrong")
+	}
+}
+
+func TestDeviceConstructorsAreFresh(t *testing.T) {
+	a := GTX680()
+	a.SMs = 99
+	if GTX680().SMs == 99 {
+		t.Error("device constructors share state")
+	}
+}
+
+func TestExtensibilityPlatforms(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("All() = %d devices", len(All()))
+	}
+	k20 := TeslaK20()
+	if k20.MaxRegsPerThread != 255 {
+		t.Errorf("K20 register ceiling = %d, want 255", k20.MaxRegsPerThread)
+	}
+	if GTX580().SMs != 16 {
+		t.Errorf("GTX580 SMs = %d, want 16", GTX580().SMs)
+	}
+	// Derived devices must not alias their base configurations.
+	if TeslaC2075().SMs == 16 || GTX680().MaxRegsPerThread == 255 {
+		t.Error("derived devices mutated their base configurations")
+	}
+	names := map[string]bool{}
+	for _, d := range All() {
+		if names[d.Name] {
+			t.Errorf("duplicate device name %s", d.Name)
+		}
+		names[d.Name] = true
+	}
+}

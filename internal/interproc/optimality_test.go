@@ -1,0 +1,159 @@
+package interproc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/regalloc"
+)
+
+// TestLayoutMovementOptimality cross-checks the Kuhn-Munkres layout
+// against brute-force enumeration of every movable-slot permutation: no
+// layout may achieve fewer total movements (Theorem 1's Wij model).
+func TestLayoutMovementOptimality(t *testing.T) {
+	srcs := []string{callHeavySrc, `
+.kernel tiny
+.blockdim 32
+.func main
+  MOVI v1, 1
+  MOVI v2, 2
+  MOVI v3, 3
+  MOVI v4, 4
+  CALL v5, foo, v1
+  IADD v6, v5, v2
+  IADD v6, v6, v1
+  CALL v7, foo, v6
+  IADD v8, v7, v3
+  IADD v8, v8, v4
+  IADD v8, v8, v1
+  STG [v8], v8
+  EXIT
+.func foo args 1 ret
+  MOVI v1, 2
+  IMUL v2, v0, v1
+  RET v2
+`}
+	for _, src := range srcs {
+		p := isa.MustParse(src)
+		for _, budget := range []int{16, 12, 10} {
+			a, err := regalloc.Run(p.Entry(), budget, 8)
+			if err != nil {
+				t.Fatalf("regalloc: %v", err)
+			}
+			v, res, live := a.Vars, a.Res, a.Live
+			m := res.FrameSlots
+			callLive := live.CallSiteLiveness(v)
+			if len(callLive) == 0 {
+				continue
+			}
+
+			// Reconstruct the model's inputs exactly as Optimize does.
+			pinned := make([]bool, v.NumVars())
+			pinnedCov := make([]bool, m)
+			for id, d := range v.Defs {
+				if d.Width > 1 || d.IsArg {
+					pinned[id] = true
+					for k := 0; k < d.Width; k++ {
+						pinnedCov[res.Color[id]+k] = true
+					}
+				}
+			}
+			for id := range v.Defs {
+				if !pinned[id] && pinnedCov[res.Color[id]] {
+					pinned[id] = true
+				}
+			}
+			slotVars := map[int][]int{}
+			for id := range v.Defs {
+				if !pinned[id] {
+					slotVars[res.Color[id]] = append(slotVars[res.Color[id]], id)
+				}
+			}
+			var slots, freePos []int
+			for pos := 0; pos < m; pos++ {
+				if len(slotVars[pos]) > 0 {
+					slots = append(slots, pos)
+				}
+				if !pinnedCov[pos] {
+					freePos = append(freePos, pos)
+				}
+			}
+			if len(slots) > 8 {
+				continue // brute force too large
+			}
+			liveAt := make([]map[int]bool, len(callLive))
+			bounds := make([]int, len(callLive))
+			for k, vars := range callLive {
+				liveAt[k] = map[int]bool{}
+				w := 0
+				pinnedEnd := 0
+				for _, id := range vars {
+					liveAt[k][id] = true
+					w += v.Defs[id].Width
+					if pinned[id] {
+						if e := res.Color[id] + v.Defs[id].Width; e > pinnedEnd {
+							pinnedEnd = e
+						}
+					}
+				}
+				bounds[k] = w
+				if pinnedEnd > bounds[k] {
+					bounds[k] = pinnedEnd
+				}
+			}
+			movesFor := func(assign map[int]int) int {
+				total := 0
+				for k := range callLive {
+					for _, pos := range slots {
+						anyLive := false
+						for _, id := range slotVars[pos] {
+							if liveAt[k][id] {
+								anyLive = true
+								break
+							}
+						}
+						if anyLive && assign[pos] >= bounds[k] {
+							total++
+						}
+					}
+				}
+				return total
+			}
+
+			// Brute force over all injective assignments slots -> freePos.
+			best := 1 << 30
+			used := make([]bool, len(freePos))
+			assign := map[int]int{}
+			var rec func(i int)
+			rec = func(i int) {
+				if i == len(slots) {
+					if mv := movesFor(assign); mv < best {
+						best = mv
+					}
+					return
+				}
+				for j, fp := range freePos {
+					if used[j] {
+						continue
+					}
+					used[j] = true
+					assign[slots[i]] = fp
+					rec(i + 1)
+					used[j] = false
+				}
+			}
+			rec(0)
+
+			// Run the real optimizer and compare its movement count under
+			// the same model.
+			_, st, err := Optimize(a, DefaultOptions())
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			if st.Movements > best {
+				t.Errorf("%s budget %d: matcher produced %d moves, brute force found %d",
+					p.Name, budget, st.Movements, best)
+			}
+		}
+	}
+}

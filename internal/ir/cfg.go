@@ -1,0 +1,261 @@
+// Package ir provides the Orion compiler's middle-end analyses: control
+// flow graphs, dominators, SSA-based live-range (web) splitting — the
+// paper's "pruned SSA" step — dataflow liveness, interference information,
+// and the max-live metric that drives compile-time occupancy tuning.
+package ir
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End) of the function.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// CFG is the control flow graph of one function.
+type CFG struct {
+	F      *isa.Function
+	Blocks []Block
+	// BlockOf maps an instruction index to its block ID, or -1 if the
+	// instruction is unreachable.
+	BlockOf []int
+	// RPO is a reverse postorder over reachable blocks.
+	RPO []int
+}
+
+// BuildCFG partitions the function into basic blocks and links edges.
+// Blocks unreachable from the entry keep their slot in Blocks but have no
+// edges, are excluded from RPO, and their instructions map to -1 in
+// BlockOf.
+func BuildCFG(f *isa.Function) *CFG {
+	n := len(f.Instrs)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.IsBranch() {
+			leader[in.Tgt] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Terminates() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	cfg := &CFG{F: f, BlockOf: make([]int, n)}
+	for i := range cfg.BlockOf {
+		cfg.BlockOf[i] = -1
+	}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := Block{ID: len(cfg.Blocks), Start: start, End: i}
+			cfg.Blocks = append(cfg.Blocks, b)
+			start = i
+		}
+	}
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		for i := b.Start; i < b.End; i++ {
+			cfg.BlockOf[i] = bi
+		}
+	}
+	blockAt := func(instr int) int { return cfg.BlockOf[instr] }
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		last := &f.Instrs[b.End-1]
+		switch {
+		case last.Op == isa.OpBra:
+			b.Succs = append(b.Succs, blockAt(int(last.Tgt)))
+		case last.Op == isa.OpCbr:
+			t := blockAt(int(last.Tgt))
+			b.Succs = append(b.Succs, t)
+			if b.End < n {
+				ft := blockAt(b.End)
+				if ft != t {
+					b.Succs = append(b.Succs, ft)
+				}
+			}
+		case last.Terminates():
+			// no successors
+		default:
+			if b.End < n {
+				b.Succs = append(b.Succs, blockAt(b.End))
+			}
+		}
+	}
+	// Reachability from entry.
+	reach := make([]bool, len(cfg.Blocks))
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range cfg.Blocks[bi].Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	// Preds over reachable blocks only.
+	for bi := range cfg.Blocks {
+		if !reach[bi] {
+			cfg.Blocks[bi].Succs = nil
+			for i := cfg.Blocks[bi].Start; i < cfg.Blocks[bi].End; i++ {
+				cfg.BlockOf[i] = -1
+			}
+			continue
+		}
+		for _, s := range cfg.Blocks[bi].Succs {
+			cfg.Blocks[s].Preds = append(cfg.Blocks[s].Preds, bi)
+		}
+	}
+	// Reverse postorder.
+	visited := make([]bool, len(cfg.Blocks))
+	var post []int
+	var dfs func(bi int)
+	dfs = func(bi int) {
+		visited[bi] = true
+		for _, s := range cfg.Blocks[bi].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, bi)
+	}
+	dfs(0)
+	cfg.RPO = make([]int, len(post))
+	for i, b := range post {
+		cfg.RPO[len(post)-1-i] = b
+	}
+	return cfg
+}
+
+// Reachable reports whether block bi is reachable from the entry.
+func (c *CFG) Reachable(bi int) bool {
+	return bi == 0 || len(c.Blocks[bi].Preds) > 0
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper-Harvey-Kennedy iterative algorithm. idom[0] == 0;
+// unreachable blocks get -1.
+func Dominators(cfg *CFG) []int {
+	idom := make([]int, len(cfg.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	rpoPos := make([]int, len(cfg.Blocks))
+	for i := range rpoPos {
+		rpoPos[i] = -1
+	}
+	for i, b := range cfg.RPO {
+		rpoPos[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoPos[a] > rpoPos[b] {
+				a = idom[a]
+			}
+			for rpoPos[b] > rpoPos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range cfg.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// DomFrontiers computes the dominance frontier of every reachable block.
+func DomFrontiers(cfg *CFG, idom []int) [][]int {
+	df := make([]map[int]bool, len(cfg.Blocks))
+	for bi := range cfg.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		b := &cfg.Blocks[bi]
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != idom[bi] && runner != -1 {
+				if df[runner] == nil {
+					df[runner] = map[int]bool{}
+				}
+				df[runner][bi] = true
+				runner = idom[runner]
+			}
+		}
+	}
+	out := make([][]int, len(cfg.Blocks))
+	for bi, m := range df {
+		for k := range m {
+			out[bi] = append(out[bi], k)
+		}
+		sort.Ints(out[bi])
+	}
+	return out
+}
+
+// DomChildren inverts the idom array into dominator-tree children lists.
+func DomChildren(cfg *CFG, idom []int) [][]int {
+	kids := make([][]int, len(cfg.Blocks))
+	for bi := range cfg.Blocks {
+		if bi == 0 || idom[bi] == -1 {
+			continue
+		}
+		kids[idom[bi]] = append(kids[idom[bi]], bi)
+	}
+	for _, k := range kids {
+		sort.Ints(k)
+	}
+	return kids
+}
+
+// CallGraph returns, per function index, the list of callee function
+// indices (with duplicates, in instruction order).
+func CallGraph(p *isa.Program) [][]int {
+	out := make([][]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				out[fi] = append(out[fi], int(f.Instrs[i].Tgt))
+			}
+		}
+	}
+	return out
+}

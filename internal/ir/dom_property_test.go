@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// runBounded executes the program with a small step budget, returning its
+// checksum or an error for non-terminating programs.
+func runBounded(p *isa.Program) (uint64, error) {
+	res, err := interp.Run(&interp.Launch{Prog: p, GridWarps: 2}, 5000)
+	if err != nil {
+		return 0, err
+	}
+	return res.Checksum, nil
+}
+
+// randomCFGProgram emits a function with random forward/backward branches
+// so the dominator property test sees diverse shapes.
+func randomCFGProgram(r *rand.Rand) *isa.Function {
+	n := 6 + r.Intn(20)
+	var b strings.Builder
+	b.WriteString(".kernel rnd\n.blockdim 32\n.func main\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "L%d:\n", i)
+		fmt.Fprintf(&b, "  MOVI v0, %d\n", i)
+		switch r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "  BRA L%d\n", r.Intn(n))
+		case 1:
+			fmt.Fprintf(&b, "  ISET.LT v1, v0, v0\n  CBR v1, L%d\n", r.Intn(n))
+		}
+	}
+	b.WriteString("  EXIT\n")
+	p, err := isa.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return p.Entry()
+}
+
+// dominatesRef is the definitional check: a dominates b iff removing a
+// makes b unreachable from the entry.
+func dominatesRef(cfg *CFG, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(cfg.Blocks))
+	seen[a] = true // block a is "removed"
+	stack := []int{0}
+	if a == 0 {
+		return true // entry dominates everything reachable
+	}
+	seen[0] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return false
+		}
+		for _, s := range cfg.Blocks[x].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+func TestDominatorsMatchDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 120; iter++ {
+		f := randomCFGProgram(r)
+		cfg := BuildCFG(f)
+		idom := Dominators(cfg)
+		for b := range cfg.Blocks {
+			if b == 0 || !cfg.Reachable(b) {
+				continue
+			}
+			a := idom[b]
+			if a < 0 {
+				t.Fatalf("iter %d: reachable block %d has no idom", iter, b)
+			}
+			if !dominatesRef(cfg, a, b) {
+				t.Fatalf("iter %d: idom[%d]=%d does not dominate", iter, b, a)
+			}
+			// Immediacy: no other strict dominator of b is dominated by a
+			// without being a itself... verify that every strict dominator
+			// of b dominates a or is a.
+			for c := range cfg.Blocks {
+				if c == b || c == a || !cfg.Reachable(c) {
+					continue
+				}
+				if dominatesRef(cfg, c, b) && !dominatesRef(cfg, c, a) {
+					t.Fatalf("iter %d: %d strictly dominates %d but not its idom %d", iter, c, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitWebsSemanticsPropertyRandomCFG(t *testing.T) {
+	// Random-branch programs must keep their (terminating) semantics
+	// through web splitting. Programs with infinite loops are skipped.
+	r := rand.New(rand.NewSource(7331))
+	tested := 0
+	for iter := 0; iter < 200 && tested < 80; iter++ {
+		f := randomCFGProgram(r)
+		p := &isa.Program{Name: "rnd", BlockDim: 32, Funcs: []*isa.Function{f}}
+		if isa.Validate(p) != nil {
+			continue
+		}
+		before, err := runBounded(p)
+		if err != nil {
+			continue // non-terminating or invalid
+		}
+		v, err := SplitWebs(f)
+		if err != nil {
+			t.Fatalf("iter %d: SplitWebs: %v", iter, err)
+		}
+		np := p.Clone()
+		np.Funcs[0] = v.F
+		after, err := runBounded(np)
+		if err != nil {
+			t.Fatalf("iter %d: rewritten program failed: %v", iter, err)
+		}
+		if before != after {
+			t.Fatalf("iter %d: checksum %x -> %x", iter, before, after)
+		}
+		tested++
+	}
+	if tested < 40 {
+		t.Fatalf("only %d terminating programs generated", tested)
+	}
+}

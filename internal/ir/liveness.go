@@ -1,0 +1,171 @@
+package ir
+
+import "repro/internal/isa"
+
+// Live holds per-block liveness facts. The bit domain is either raw
+// register units (from livenessUnits) or variable ids (from
+// ComputeLiveness).
+type Live struct {
+	CFG *CFG
+	In  []BitSet
+	Out []BitSet
+}
+
+// ComputeLiveness solves backward liveness over the variables of a
+// web-split function. Argument variables are live-in at entry by
+// construction (they are used or dead; no special casing needed).
+func ComputeLiveness(v *Vars) *Live {
+	cfg := BuildCFG(v.F)
+	n := v.NumVars()
+	if n == 0 {
+		n = 1
+	}
+	nb := len(cfg.Blocks)
+	l := &Live{CFG: cfg}
+	l.In = make([]BitSet, nb)
+	l.Out = make([]BitSet, nb)
+	gen := make([]BitSet, nb)
+	kill := make([]BitSet, nb)
+	for bi := 0; bi < nb; bi++ {
+		l.In[bi] = NewBitSet(n)
+		l.Out[bi] = NewBitSet(n)
+		gen[bi] = NewBitSet(n)
+		kill[bi] = NewBitSet(n)
+	}
+	for bi := range cfg.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		b := &cfg.Blocks[bi]
+		for i := b.Start; i < b.End; i++ {
+			in := &v.F.Instrs[i]
+			for s := 0; s < in.NumSrcs(); s++ {
+				u := v.VarAt(in.Src[s])
+				if !kill[bi].Has(u) {
+					gen[bi].Set(u)
+				}
+			}
+			if d, full := v.DefOf(in); d >= 0 {
+				if full {
+					kill[bi].Set(d)
+				} else if !kill[bi].Has(d) {
+					gen[bi].Set(d) // partial def keeps the group alive upward
+				}
+			}
+		}
+	}
+	solveLiveness(cfg, l, gen, kill)
+	return l
+}
+
+// DefOf returns the variable defined by the instruction and whether the
+// definition covers the variable completely (a full def kills it; a
+// partial write to a wide group does not). Returns (-1, false) when the
+// instruction defines nothing.
+func (v *Vars) DefOf(in *isa.Instr) (int, bool) {
+	if !in.HasDst() {
+		return -1, false
+	}
+	d := v.VarAt(in.Dst)
+	full := int(in.Dst) == int(v.Defs[d].Base) && in.W() == v.Defs[d].Width
+	return d, full
+}
+
+// ScanBlock walks block bi backward, invoking fn at every instruction with
+// the set of variables live immediately after it. The set is reused
+// between calls; fn must not retain it.
+func (l *Live) ScanBlock(v *Vars, bi int, fn func(instr int, liveAfter BitSet)) {
+	b := &l.CFG.Blocks[bi]
+	live := l.Out[bi].Clone()
+	for i := b.End - 1; i >= b.Start; i-- {
+		in := &v.F.Instrs[i]
+		fn(i, live)
+		if d, full := v.DefOf(in); d >= 0 {
+			if full {
+				live.Clear(d)
+			} else {
+				live.Set(d)
+			}
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			live.Set(v.VarAt(in.Src[s]))
+		}
+	}
+}
+
+// MaxLive returns the paper's max-live metric: the maximum, over all
+// program points, of the number of register units needed to hold the
+// simultaneously live variables (widths included).
+func (l *Live) MaxLive(v *Vars) int {
+	widthOf := func(set BitSet) int {
+		w := 0
+		set.ForEach(func(id int) { w += v.Defs[id].Width })
+		return w
+	}
+	maxLive := 0
+	for bi := range l.CFG.Blocks {
+		if !l.CFG.Reachable(bi) {
+			continue
+		}
+		// The live set just before each instruction is a candidate point;
+		// also count def points (dst and srcs briefly coexist for wide
+		// non-kill defs, which ScanBlock's ordering already reflects).
+		l.ScanBlock(v, bi, func(i int, liveAfter BitSet) {
+			in := &v.F.Instrs[i]
+			w := widthOf(liveAfter)
+			if d, _ := v.DefOf(in); d >= 0 && !liveAfter.Has(d) {
+				w += v.Defs[d].Width
+			}
+			if w > maxLive {
+				maxLive = w
+			}
+		})
+	}
+	return maxLive
+}
+
+// CallSiteLiveness returns, for each static call instruction in
+// instruction order, the variable ids live across the call (live after it,
+// excluding its own result). These are the slots the compressible stack
+// must preserve during the callee (the paper's SSi liveness at call k).
+func (l *Live) CallSiteLiveness(v *Vars) [][]int {
+	type callInfo struct {
+		instr int
+		vars  []int
+	}
+	var calls []callInfo
+	for bi := range l.CFG.Blocks {
+		if !l.CFG.Reachable(bi) {
+			continue
+		}
+		l.ScanBlock(v, bi, func(i int, liveAfter BitSet) {
+			in := &v.F.Instrs[i]
+			if in.Op != isa.OpCall {
+				return
+			}
+			var ids []int
+			d := -1
+			if in.Dst != isa.RegNone {
+				d = v.VarAt(in.Dst)
+			}
+			liveAfter.ForEach(func(id int) {
+				if id != d {
+					ids = append(ids, id)
+				}
+			})
+			calls = append(calls, callInfo{i, ids})
+		})
+	}
+	// ScanBlock visits blocks in order but instructions backward; sort by
+	// instruction index to get static call order.
+	for i := 1; i < len(calls); i++ {
+		for j := i; j > 0 && calls[j-1].instr > calls[j].instr; j-- {
+			calls[j-1], calls[j] = calls[j], calls[j-1]
+		}
+	}
+	out := make([][]int, len(calls))
+	for i, c := range calls {
+		out[i] = c.vars
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Loop unrolling — the optimization the paper's Section 4.2 names as the
+// consumer of occupancy-plateau headroom ("loop unrolling is a common
+// technique which reduces branch penalties, but may increase register
+// pressure and therefore lower occupancy"). UnrollCountedLoop doubles the
+// body of the canonical counted loop
+//
+//	        MOVI i, 0
+//	head:   ...body... (one IADD i, i, one)
+//	        MOVI t, N
+//	        ISET.LT p, i, t
+//	        CBR p, head
+//
+// keeping both increments (the body may read i) and dropping the first
+// copy's trip test, which is safe exactly when N is statically even. The
+// transformation refuses anything that does not match.
+
+// ErrNoCountedLoop reports that no unrollable loop was found.
+var ErrNoCountedLoop = fmt.Errorf("ir: no unrollable counted loop")
+
+// UnrollCountedLoop unrolls the function's single canonical counted loop
+// by a factor of two, in place on a clone. It returns the transformed
+// function or ErrNoCountedLoop (wrapped with a reason) when the shape does
+// not match.
+func UnrollCountedLoop(f *isa.Function) (*isa.Function, error) {
+	// 1. Locate the unique back edge.
+	backIdx := -1
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.IsBranch() && int(in.Tgt) <= i {
+			if backIdx != -1 {
+				return nil, fmt.Errorf("%w: multiple back edges", ErrNoCountedLoop)
+			}
+			backIdx = i
+		}
+	}
+	if backIdx < 0 {
+		return nil, fmt.Errorf("%w: no back edge", ErrNoCountedLoop)
+	}
+	e := backIdx
+	cbr := &f.Instrs[e]
+	if cbr.Op != isa.OpCbr {
+		return nil, fmt.Errorf("%w: back edge is unconditional", ErrNoCountedLoop)
+	}
+	h := int(cbr.Tgt)
+
+	// 2. Match the trip-test tail: IADD i,i,step / MOVI t,N / ISET.LT p,i,t
+	// / CBR p,head.
+	if e-3 < h {
+		return nil, fmt.Errorf("%w: loop too short", ErrNoCountedLoop)
+	}
+	inc := &f.Instrs[e-3]
+	movN := &f.Instrs[e-2]
+	test := &f.Instrs[e-1]
+	if inc.Op != isa.OpIAdd || movN.Op != isa.OpMovI ||
+		test.Op != isa.OpISet || test.Cmp != isa.CmpLT {
+		return nil, fmt.Errorf("%w: tail pattern mismatch", ErrNoCountedLoop)
+	}
+	iReg := inc.Dst
+	if inc.Src[0] != iReg || test.Src[0] != iReg || test.Src[1] != movN.Dst ||
+		cbr.Src[0] != test.Dst {
+		return nil, fmt.Errorf("%w: tail registers mismatch", ErrNoCountedLoop)
+	}
+	n := movN.Imm
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: trip count %d not statically even", ErrNoCountedLoop, n)
+	}
+	// Step must be a register holding constant 1: defined once, by MOVI 1,
+	// before the loop, and never redefined.
+	stepReg := inc.Src[1]
+	stepOK := false
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.HasDst() && in.Dst == stepReg {
+			if in.Op == isa.OpMovI && in.Imm == 1 && i < h && !stepOK {
+				stepOK = true
+				continue
+			}
+			return nil, fmt.Errorf("%w: step register redefined", ErrNoCountedLoop)
+		}
+	}
+	if !stepOK {
+		return nil, fmt.Errorf("%w: step is not a constant 1", ErrNoCountedLoop)
+	}
+	// i must start at 0 before the loop and be defined inside only by inc.
+	initOK := false
+	for i := 0; i < h; i++ {
+		in := &f.Instrs[i]
+		if in.HasDst() && in.Dst == iReg {
+			initOK = in.Op == isa.OpMovI && in.Imm == 0
+		}
+	}
+	if !initOK {
+		return nil, fmt.Errorf("%w: counter does not start at 0", ErrNoCountedLoop)
+	}
+	for i := h; i <= e; i++ {
+		in := &f.Instrs[i]
+		if i != e-3 && in.HasDst() && in.Dst == iReg {
+			return nil, fmt.Errorf("%w: counter redefined in body", ErrNoCountedLoop)
+		}
+		if in.Op == isa.OpExit || in.Op == isa.OpRet {
+			return nil, fmt.Errorf("%w: loop exits mid-body", ErrNoCountedLoop)
+		}
+	}
+	// No branch from outside may enter the loop anywhere but the head.
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if !in.IsBranch() || (i >= h && i <= e) {
+			continue
+		}
+		if t := int(in.Tgt); t > h && t <= e {
+			return nil, fmt.Errorf("%w: branch into loop body", ErrNoCountedLoop)
+		}
+	}
+	// Internal branches must stay internal (targets in [h, e]).
+	for i := h; i < e; i++ {
+		in := &f.Instrs[i]
+		if in.IsBranch() {
+			if t := int(in.Tgt); t < h || t > e {
+				return nil, fmt.Errorf("%w: branch out of loop body", ErrNoCountedLoop)
+			}
+		}
+	}
+
+	// 3. Rebuild: prefix | copy1 (body+inc, no test) | copy2 (full) | suffix.
+	l1 := e - 3 - h + 1 // body + increment
+	l2 := e - h + 1     // body + increment + test
+	nf := f.Clone()
+	out := make([]isa.Instr, 0, len(f.Instrs)+l1)
+	out = append(out, f.Instrs[:h]...)
+	c1 := len(out)
+	out = append(out, f.Instrs[h:e-2]...)
+	c2 := len(out)
+	out = append(out, f.Instrs[h:e+1]...)
+	out = append(out, f.Instrs[e+1:]...)
+
+	remapCopy := func(start, bodyLen int, isSecond bool) {
+		for i := start; i < start+bodyLen; i++ {
+			in := &out[i]
+			if !in.IsBranch() {
+				continue
+			}
+			t := int(in.Tgt)
+			switch {
+			case isSecond && i == start+l2-1:
+				in.Tgt = int32(c1) // the trip test loops back to copy 1
+			case t >= h && t <= e-3:
+				in.Tgt = int32(start + (t - h))
+			case t > e-3 && t <= e:
+				if isSecond {
+					in.Tgt = int32(start + (t - h))
+				} else {
+					in.Tgt = int32(c2) // branches to the dropped test fall into copy 2
+				}
+			}
+		}
+	}
+	remapCopy(c1, l1, false)
+	remapCopy(c2, l2, true)
+	// Prefix and suffix branches: targets after the loop shift by l1; the
+	// head target stays (copy 1 starts exactly at h).
+	fix := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			in := &out[i]
+			if !in.IsBranch() {
+				continue
+			}
+			if t := int(in.Tgt); t > e {
+				in.Tgt = int32(t + l1)
+			}
+		}
+	}
+	fix(0, h)
+	fix(c2+l2, len(out))
+
+	nf.Instrs = out
+	return nf, nil
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+func countedLoopSrc(n int, withCold bool) string {
+	var b strings.Builder
+	b.WriteString(`
+.kernel cl
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 1
+  MOVI v2, 0     ; i
+  MOVI v3, 0     ; acc
+  MOVI v9, 77    ; cold acc
+loop:
+  MOVI v4, 12
+  SHL v5, v2, v4
+  IADD v6, v5, v0
+  LDG v7, [v6]
+  XOR v3, v3, v7
+`)
+	if withCold {
+		b.WriteString(`  MOVI v10, 3
+  AND v10, v2, v10
+  MOVI v11, 0
+  ISET.NE v11, v10, v11
+  CBR v11, skipcold
+  IADD v9, v9, v3
+skipcold:
+`)
+	}
+	fmt.Fprintf(&b, `  IADD v2, v2, v1
+  MOVI v8, %d
+  ISET.LT v12, v2, v8
+  CBR v12, loop
+  XOR v3, v3, v9
+  MOVI v13, 10
+  SHL v14, v0, v13
+  STG [v14], v3
+  STG [v14+4], v2
+  EXIT
+`, n)
+	return b.String()
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	for _, cold := range []bool{false, true} {
+		for _, n := range []int{2, 8, 24} {
+			src := countedLoopSrc(n, cold)
+			p := isa.MustParse(src)
+			want, err := interp.Run(&interp.Launch{Prog: p, GridWarps: 4}, 100000)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			nf, err := UnrollCountedLoop(p.Entry())
+			if err != nil {
+				t.Fatalf("n=%d cold=%v: %v", n, cold, err)
+			}
+			np := p.Clone()
+			np.Funcs[0] = nf
+			if err := isa.Validate(np); err != nil {
+				t.Fatalf("n=%d cold=%v: unrolled invalid: %v\n%s", n, cold, err, isa.Format(np))
+			}
+			got, err := interp.Run(&interp.Launch{Prog: np, GridWarps: 4}, 100000)
+			if err != nil {
+				t.Fatalf("n=%d cold=%v: unrolled run: %v\n%s", n, cold, err, isa.Format(np))
+			}
+			if got.Checksum != want.Checksum {
+				t.Errorf("n=%d cold=%v: checksum %x, want %x", n, cold, got.Checksum, want.Checksum)
+			}
+			// The point of unrolling: fewer dynamic instructions (half the
+			// trip tests).
+			if got.Steps >= want.Steps {
+				t.Errorf("n=%d cold=%v: unrolled executes %d steps, original %d",
+					n, cold, got.Steps, want.Steps)
+			}
+		}
+	}
+}
+
+func TestUnrollRefusals(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"odd trip count", countedLoopSrc(7, false)},
+		{"no loop", `
+.kernel nl
+.blockdim 32
+.func main
+  MOVI v0, 1
+  STG [v0], v0
+  EXIT
+`},
+		{"counter redefined", `
+.kernel cr
+.blockdim 32
+.func main
+  MOVI v0, 1
+  MOVI v1, 0
+loop:
+  MOVI v1, 0
+  IADD v1, v1, v0
+  MOVI v2, 4
+  ISET.LT v3, v1, v2
+  CBR v3, loop
+  STG [v1], v1
+  EXIT
+`},
+		{"non-constant step", `
+.kernel ns
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 0
+loop:
+  IADD v1, v1, v0
+  MOVI v2, 4
+  ISET.LT v3, v1, v2
+  CBR v3, loop
+  STG [v1], v1
+  EXIT
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := isa.MustParse(tc.src)
+			if _, err := UnrollCountedLoop(p.Entry()); !errors.Is(err, ErrNoCountedLoop) {
+				t.Errorf("expected refusal, got %v", err)
+			}
+		})
+	}
+}
+
+func TestUnrollRaisesMaxLive(t *testing.T) {
+	// The paper's caveat: unrolling may increase register pressure. It
+	// must never *reduce* it, and semantics survive the whole allocation
+	// pipeline afterwards (exercised in core tests).
+	p := isa.MustParse(countedLoopSrc(16, true))
+	v, err := SplitWebs(p.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ComputeLiveness(v).MaxLive(v)
+	nf, err := UnrollCountedLoop(p.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := SplitWebs(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ComputeLiveness(v2).MaxLive(v2)
+	if after < before {
+		t.Errorf("max-live dropped from %d to %d after unrolling", before, after)
+	}
+}

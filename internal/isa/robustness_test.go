@@ -1,0 +1,120 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics mutates valid source randomly; the parser must
+// return errors, never panic, and accepted outputs must re-format.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	base := sampleSrc
+	chars := []byte("vb0123456789[]+,._ \nLDGSTEXIT")
+	for iter := 0; iter < 2000; iter++ {
+		b := []byte(base)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			switch r.Intn(3) {
+			case 0: // mutate a byte
+				b[r.Intn(len(b))] = chars[r.Intn(len(chars))]
+			case 1: // delete a span
+				i := r.Intn(len(b))
+				j := i + r.Intn(10)
+				if j > len(b) {
+					j = len(b)
+				}
+				b = append(b[:i], b[j:]...)
+			case 2: // duplicate a span
+				i := r.Intn(len(b))
+				j := i + r.Intn(20)
+				if j > len(b) {
+					j = len(b)
+				}
+				b = append(b[:j], append(append([]byte{}, b[i:j]...), b[j:]...)...)
+			}
+			if len(b) == 0 {
+				b = []byte(".")
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n%s", rec, b)
+				}
+			}()
+			p, err := Parse(string(b))
+			if err == nil {
+				// Whatever parses must also format and re-parse.
+				if _, err2 := Parse(Format(p)); err2 != nil {
+					t.Fatalf("accepted program fails reparse: %v", err2)
+				}
+			}
+		}()
+	}
+}
+
+// TestDecodeNeverPanics feeds mutated binaries to the decoder.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	valid := Encode(MustParse(sampleSrc))
+	for iter := 0; iter < 2000; iter++ {
+		b := append([]byte(nil), valid...)
+		for k := 0; k < 1+r.Intn(8); k++ {
+			b[r.Intn(len(b))] = byte(r.Intn(256))
+		}
+		if r.Intn(4) == 0 {
+			b = b[:r.Intn(len(b))]
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("decoder panicked: %v", rec)
+				}
+			}()
+			p, err := Decode(b)
+			if err == nil && p != nil {
+				// A structurally valid decode may still fail validation;
+				// that must also not panic.
+				_ = Validate(p)
+			}
+		}()
+	}
+}
+
+// TestFormatLongPrograms exercises the formatter on a generated program
+// with many labels and functions.
+func TestFormatLongPrograms(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(".kernel big\n.blockdim 64\n.func main\n")
+	for i := 0; i < 200; i++ {
+		if i%10 == 0 {
+			b.WriteString("lbl")
+			b.WriteString(strings.Repeat("x", 1+i%3))
+			b.WriteString(itostr(i))
+			b.WriteString(":\n")
+		}
+		b.WriteString("  IADD v1, v2, v3\n")
+	}
+	b.WriteString("  EXIT\n")
+	p, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text := Format(p)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func itostr(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

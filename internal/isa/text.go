@@ -1,0 +1,710 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax or semantic error in OASM text with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the parse error with its line number.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("oasm: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse assembles OASM text into a Program. The format is line-oriented:
+//
+//	.kernel NAME            program header (required, first)
+//	.shared BYTES           user shared memory per block
+//	.blockdim THREADS       threads per block
+//	.func NAME [args N] [ret]
+//	LABEL:
+//	  OP[.W] operands       e.g. IADD v1, v2, v3 / LDG.64 v4, [v2+16]
+//	  ; comment or # comment
+//
+// Registers are v0..vN (virtual). Branch targets are labels. Calls name
+// their callee: CALL v1, fname, v2, v3. Void calls: CALL _, fname, v2.
+func Parse(src string) (*Program, error) {
+	p := &Program{BlockDim: 256}
+	var cur *Function
+	type fixup struct {
+		fn    *Function
+		instr int
+		line  int
+	}
+	var callFixups []fixup
+	labels := map[string]int{}
+	var pending []string // labels awaiting the next instruction
+
+	finishFunc := func(line int) error {
+		if cur == nil {
+			return nil
+		}
+		if len(pending) > 0 {
+			return &ParseError{line, "label at end of function with no instruction"}
+		}
+		for i := range cur.Instrs {
+			in := &cur.Instrs[i]
+			if in.IsBranch() {
+				tgt, ok := labels[in.Label]
+				if !ok {
+					return &ParseError{line, fmt.Sprintf("undefined label %q", in.Label)}
+				}
+				in.Tgt = int32(tgt)
+			}
+		}
+		labels = map[string]int{}
+		return nil
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := lineNo + 1
+		text := raw
+		if i := strings.IndexAny(text, ";#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+
+		if strings.HasPrefix(text, ".") {
+			fields := strings.Fields(text)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, &ParseError{line, ".kernel requires a name"}
+				}
+				p.Name = fields[1]
+			case ".shared":
+				if len(fields) != 2 {
+					return nil, &ParseError{line, ".shared requires a size"}
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, &ParseError{line, "bad .shared size"}
+				}
+				p.SharedBytes = n
+			case ".blockdim":
+				if len(fields) != 2 {
+					return nil, &ParseError{line, ".blockdim requires a thread count"}
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n <= 0 {
+					return nil, &ParseError{line, "bad .blockdim"}
+				}
+				p.BlockDim = n
+			case ".func":
+				if err := finishFunc(line); err != nil {
+					return nil, err
+				}
+				if len(fields) < 2 {
+					return nil, &ParseError{line, ".func requires a name"}
+				}
+				cur = &Function{Name: fields[1]}
+				for i := 2; i < len(fields); i++ {
+					switch fields[i] {
+					case "args":
+						if i+1 >= len(fields) {
+							return nil, &ParseError{line, "args requires a count"}
+						}
+						n, err := strconv.Atoi(fields[i+1])
+						if err != nil || n < 0 || n > 3 {
+							return nil, &ParseError{line, "bad args count (0..3)"}
+						}
+						cur.NumArgs = n
+						i++
+					case "ret":
+						cur.HasRet = true
+					default:
+						return nil, &ParseError{line, fmt.Sprintf("unknown .func attribute %q", fields[i])}
+					}
+				}
+				p.Funcs = append(p.Funcs, cur)
+			default:
+				return nil, &ParseError{line, fmt.Sprintf("unknown directive %q", fields[0])}
+			}
+			continue
+		}
+
+		if cur == nil {
+			return nil, &ParseError{line, "instruction outside .func"}
+		}
+
+		if strings.HasSuffix(text, ":") && !strings.ContainsAny(text, " \t,") {
+			name := strings.TrimSuffix(text, ":")
+			if name == "" {
+				return nil, &ParseError{line, "empty label"}
+			}
+			if _, dup := labels[name]; dup {
+				return nil, &ParseError{line, fmt.Sprintf("duplicate label %q", name)}
+			}
+			pending = append(pending, name)
+			continue
+		}
+
+		in, isCall, err := parseInstr(text, line)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range pending {
+			labels[l] = len(cur.Instrs)
+		}
+		pending = pending[:0]
+		if isCall {
+			callFixups = append(callFixups, fixup{cur, len(cur.Instrs), line})
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	if err := finishFunc(len(strings.Split(src, "\n"))); err != nil {
+		return nil, err
+	}
+	if p.Name == "" {
+		return nil, &ParseError{1, "missing .kernel directive"}
+	}
+	if len(p.Funcs) == 0 {
+		return nil, &ParseError{1, "no functions defined"}
+	}
+
+	for _, fx := range callFixups {
+		in := &fx.fn.Instrs[fx.instr]
+		idx := p.FuncIndex(in.Label)
+		if idx < 0 {
+			return nil, &ParseError{fx.line, fmt.Sprintf("call to undefined function %q", in.Label)}
+		}
+		in.Tgt = int32(idx)
+	}
+
+	for _, f := range p.Funcs {
+		f.NumVRegs = countVRegs(f)
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static kernels.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func countVRegs(f *Function) int {
+	maxr := -1
+	upd := func(r Reg, w int) {
+		if r == RegNone {
+			return
+		}
+		if end := int(r) + w - 1; end > maxr {
+			maxr = end
+		}
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.HasDst() {
+			upd(in.Dst, in.W())
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			upd(in.Src[s], in.SrcWidth(s))
+		}
+	}
+	if a := f.NumArgs - 1; a > maxr {
+		maxr = a
+	}
+	return maxr + 1
+}
+
+func parseInstr(text string, line int) (Instr, bool, error) {
+	in := Instr{Src: [3]Reg{RegNone, RegNone, RegNone}}
+	sp := strings.IndexAny(text, " \t")
+	mnem := text
+	rest := ""
+	if sp >= 0 {
+		mnem = text[:sp]
+		rest = strings.TrimSpace(text[sp+1:])
+	}
+
+	base := mnem
+	if dot := strings.Index(mnem, "."); dot >= 0 {
+		// SPST.S / SPLD.S / SPST.L / SPLD.L carry the space in the mnemonic;
+		// otherwise the suffix is a width.
+		switch mnem {
+		case "SPST.S", "SPLD.S", "SPST.L", "SPLD.L":
+		default:
+			base = mnem[:dot]
+			if base == "ISET" || base == "FSET" {
+				break // suffix is a comparison, handled below
+			}
+			switch mnem[dot+1:] {
+			case "32":
+				in.Width = 1
+			case "64":
+				in.Width = 2
+			case "96":
+				in.Width = 3
+			case "128":
+				in.Width = 4
+			default:
+				return in, false, &ParseError{line, fmt.Sprintf("bad width suffix in %q", mnem)}
+			}
+		}
+	}
+
+	op, ok := opByName(base, mnem)
+	if !ok {
+		return in, false, &ParseError{line, fmt.Sprintf("unknown opcode %q", mnem)}
+	}
+	in.Op = op
+
+	args := splitOperands(rest)
+	reg := func(s string) (Reg, error) {
+		s = strings.TrimSpace(s)
+		if s == "_" {
+			return RegNone, nil
+		}
+		if len(s) < 2 || (s[0] != 'v' && s[0] != 'r') {
+			return 0, &ParseError{line, fmt.Sprintf("bad register %q", s)}
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= int(RegNone) {
+			return 0, &ParseError{line, fmt.Sprintf("bad register %q", s)}
+		}
+		return Reg(n), nil
+	}
+	imm := func(s string) (int32, error) {
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		if err != nil || n < -(1<<31) || n >= 1<<32 {
+			return 0, &ParseError{line, fmt.Sprintf("bad immediate %q", s)}
+		}
+		return int32(uint32(n)), nil // values in [2^31, 2^32) wrap to the same bits
+	}
+	// addr parses "[vN]" or "[vN+imm]" into src register and Imm.
+	addr := func(s string) (Reg, int32, error) {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+			return 0, 0, &ParseError{line, fmt.Sprintf("bad address %q", s)}
+		}
+		inner := s[1 : len(s)-1]
+		off := int32(0)
+		if plus := strings.IndexByte(inner, '+'); plus >= 0 {
+			o, err := imm(inner[plus+1:])
+			if err != nil {
+				return 0, 0, err
+			}
+			off = o
+			inner = inner[:plus]
+		}
+		r, err := reg(inner)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r, off, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return &ParseError{line, fmt.Sprintf("%s expects %d operands, got %d", mnem, n, len(args))}
+		}
+		return nil
+	}
+
+	var err error
+	switch op {
+	case OpIAdd, OpISub, OpIMul, OpIMin, OpIMax, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpFAdd, OpFSub, OpFMul, OpFMin, OpFMax:
+		if err = need(3); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			if in.Src[0], err = reg(args[1]); err == nil {
+				in.Src[1], err = reg(args[2])
+			}
+		}
+	case OpIMad, OpFFma:
+		if err = need(4); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			if in.Src[0], err = reg(args[1]); err == nil {
+				if in.Src[1], err = reg(args[2]); err == nil {
+					in.Src[2], err = reg(args[3])
+				}
+			}
+		}
+	case OpISet, OpFSet:
+		// ISET.LT v1, v2, v3
+		if err = need(3); err != nil {
+			return in, false, err
+		}
+		var c Cmp
+		if dot := strings.LastIndex(mnem, "."); dot >= 0 {
+			c = cmpByName(mnem[dot+1:])
+		}
+		if c == CmpNone {
+			return in, false, &ParseError{line, fmt.Sprintf("%s requires a .CMP suffix (LT/LE/EQ/NE/GE/GT)", base)}
+		}
+		in.Cmp = c
+		in.Width = 0
+		if in.Dst, err = reg(args[0]); err == nil {
+			if in.Src[0], err = reg(args[1]); err == nil {
+				in.Src[1], err = reg(args[2])
+			}
+		}
+	case OpMov, OpF2I, OpI2F:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			in.Src[0], err = reg(args[1])
+		}
+	case OpMovI:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			in.Imm, err = imm(args[1])
+		}
+	case OpRdSp:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			in.Sp = spByName(strings.TrimSpace(args[1]))
+			if in.Sp == SpNone {
+				err = &ParseError{line, fmt.Sprintf("unknown special register %q", args[1])}
+			}
+		}
+	case OpLdG, OpLdS:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			in.Src[0], in.Imm, err = addr(args[1])
+		}
+	case OpStG, OpStS:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Src[0], in.Imm, err = addr(args[0]); err == nil {
+			in.Src[1], err = reg(args[1])
+		}
+	case OpSpillSS, OpSpillLS:
+		// SPST.S slot, vN
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Imm, err = imm(args[0]); err == nil {
+			in.Src[0], err = reg(args[1])
+		}
+	case OpSpillSL, OpSpillLL:
+		// SPLD.S vN, slot
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Dst, err = reg(args[0]); err == nil {
+			in.Imm, err = imm(args[1])
+		}
+	case OpBra:
+		if err = need(1); err != nil {
+			return in, false, err
+		}
+		in.Label = strings.TrimSpace(args[0])
+	case OpCbr:
+		if err = need(2); err != nil {
+			return in, false, err
+		}
+		if in.Src[0], err = reg(args[0]); err == nil {
+			in.Label = strings.TrimSpace(args[1])
+		}
+	case OpCall:
+		if len(args) < 2 || len(args) > 5 {
+			return in, false, &ParseError{line, "CALL expects dst, fname[, args...]"}
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, false, err
+		}
+		in.Label = strings.TrimSpace(args[1])
+		in.Src = [3]Reg{RegNone, RegNone, RegNone}
+		for i := 2; i < len(args); i++ {
+			if in.Src[i-2], err = reg(args[i]); err != nil {
+				return in, false, err
+			}
+		}
+		return in, true, nil
+	case OpRet:
+		in.Src = [3]Reg{RegNone, RegNone, RegNone}
+		if len(args) == 1 {
+			in.Src[0], err = reg(args[0])
+		} else if len(args) != 0 {
+			err = &ParseError{line, "RET expects at most one operand"}
+		}
+	case OpBar, OpExit:
+		err = need(0)
+	default:
+		err = &ParseError{line, fmt.Sprintf("unhandled opcode %q", mnem)}
+	}
+	if err != nil {
+		return in, false, err
+	}
+	if in.Width == 1 {
+		in.Width = 0 // canonical word width
+	}
+	return in, false, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	// Re-join pieces split inside brackets: "[v1+4]" has no comma, but be safe.
+	out := make([]string, 0, len(parts))
+	depth := 0
+	curStart := -1
+	for i, p := range parts {
+		if curStart < 0 {
+			curStart = i
+		}
+		depth += strings.Count(p, "[") - strings.Count(p, "]")
+		if depth == 0 {
+			out = append(out, strings.TrimSpace(strings.Join(parts[curStart:i+1], ",")))
+			curStart = -1
+		}
+	}
+	if curStart >= 0 {
+		out = append(out, strings.TrimSpace(strings.Join(parts[curStart:], ",")))
+	}
+	return out
+}
+
+func opByName(base, full string) (Op, bool) {
+	switch full {
+	case "SPST.S":
+		return OpSpillSS, true
+	case "SPLD.S":
+		return OpSpillSL, true
+	case "SPST.L":
+		return OpSpillLS, true
+	case "SPLD.L":
+		return OpSpillLL, true
+	}
+	switch base {
+	case "IADD":
+		return OpIAdd, true
+	case "ISUB":
+		return OpISub, true
+	case "IMUL":
+		return OpIMul, true
+	case "IMAD":
+		return OpIMad, true
+	case "IMIN":
+		return OpIMin, true
+	case "IMAX":
+		return OpIMax, true
+	case "AND":
+		return OpAnd, true
+	case "OR":
+		return OpOr, true
+	case "XOR":
+		return OpXor, true
+	case "SHL":
+		return OpShl, true
+	case "SHR":
+		return OpShr, true
+	case "ISET":
+		return OpISet, true
+	case "FADD":
+		return OpFAdd, true
+	case "FSUB":
+		return OpFSub, true
+	case "FMUL":
+		return OpFMul, true
+	case "FFMA":
+		return OpFFma, true
+	case "FMIN":
+		return OpFMin, true
+	case "FMAX":
+		return OpFMax, true
+	case "FSET":
+		return OpFSet, true
+	case "F2I":
+		return OpF2I, true
+	case "I2F":
+		return OpI2F, true
+	case "MOV":
+		return OpMov, true
+	case "MOVI":
+		return OpMovI, true
+	case "RDSP":
+		return OpRdSp, true
+	case "LDG":
+		return OpLdG, true
+	case "STG":
+		return OpStG, true
+	case "LDS":
+		return OpLdS, true
+	case "STS":
+		return OpStS, true
+	case "BRA":
+		return OpBra, true
+	case "CBR":
+		return OpCbr, true
+	case "CALL":
+		return OpCall, true
+	case "RET":
+		return OpRet, true
+	case "BAR":
+		return OpBar, true
+	case "EXIT":
+		return OpExit, true
+	}
+	return OpInvalid, false
+}
+
+func cmpByName(s string) Cmp {
+	switch s {
+	case "LT":
+		return CmpLT
+	case "LE":
+		return CmpLE
+	case "EQ":
+		return CmpEQ
+	case "NE":
+		return CmpNE
+	case "GE":
+		return CmpGE
+	case "GT":
+		return CmpGT
+	}
+	return CmpNone
+}
+
+func spByName(s string) Sp {
+	switch s {
+	case "WARPID":
+		return SpWarpID
+	case "BLOCKID":
+		return SpBlockID
+	case "WARPINBLK":
+		return SpWarpInBlk
+	case "NUMWARPS":
+		return SpNumWarps
+	case "WARPSPERBLK":
+		return SpWarpsPerBlk
+	case "SMID":
+		return SpSMID
+	case "LANEID":
+		return SpLaneID
+	}
+	return SpNone
+}
+
+// Format disassembles a Program back to OASM text. Branch targets are
+// rendered as generated labels (L<idx>), so Parse(Format(p)) yields an
+// equivalent program.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n", p.Name)
+	if p.SharedBytes > 0 {
+		fmt.Fprintf(&b, ".shared %d\n", p.SharedBytes)
+	}
+	fmt.Fprintf(&b, ".blockdim %d\n", p.BlockDim)
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, ".func %s", f.Name)
+		if f.NumArgs > 0 {
+			fmt.Fprintf(&b, " args %d", f.NumArgs)
+		}
+		if f.HasRet {
+			b.WriteString(" ret")
+		}
+		b.WriteByte('\n')
+		targets := map[int]bool{}
+		for i := range f.Instrs {
+			if f.Instrs[i].IsBranch() {
+				targets[int(f.Instrs[i].Tgt)] = true
+			}
+		}
+		for i := range f.Instrs {
+			if targets[i] {
+				fmt.Fprintf(&b, "L%d:\n", i)
+			}
+			b.WriteString("  ")
+			b.WriteString(FormatInstr(p, &f.Instrs[i]))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatInstr renders a single instruction as OASM text.
+func FormatInstr(p *Program, in *Instr) string {
+	r := func(x Reg) string {
+		if x == RegNone {
+			return "_"
+		}
+		return "v" + strconv.Itoa(int(x))
+	}
+	mnem := in.Op.String()
+	if in.Width > 1 {
+		mnem += "." + strconv.Itoa(in.W()*32)
+	}
+	switch in.Op {
+	case OpISet, OpFSet:
+		mnem = in.Op.String() + "." + in.Cmp.String()
+	}
+	adr := func(base Reg) string {
+		if in.Imm != 0 {
+			return fmt.Sprintf("[%s+%d]", r(base), in.Imm)
+		}
+		return fmt.Sprintf("[%s]", r(base))
+	}
+	switch in.Op {
+	case OpIMad, OpFFma:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mnem, r(in.Dst), r(in.Src[0]), r(in.Src[1]), r(in.Src[2]))
+	case OpMov, OpF2I, OpI2F:
+		return fmt.Sprintf("%s %s, %s", mnem, r(in.Dst), r(in.Src[0]))
+	case OpMovI:
+		return fmt.Sprintf("%s %s, %d", mnem, r(in.Dst), in.Imm)
+	case OpRdSp:
+		return fmt.Sprintf("%s %s, %s", mnem, r(in.Dst), in.Sp)
+	case OpLdG, OpLdS:
+		return fmt.Sprintf("%s %s, %s", mnem, r(in.Dst), adr(in.Src[0]))
+	case OpStG, OpStS:
+		return fmt.Sprintf("%s %s, %s", mnem, adr(in.Src[0]), r(in.Src[1]))
+	case OpSpillSS, OpSpillLS:
+		return fmt.Sprintf("%s %d, %s", mnem, in.Imm, r(in.Src[0]))
+	case OpSpillSL, OpSpillLL:
+		return fmt.Sprintf("%s %s, %d", mnem, r(in.Dst), in.Imm)
+	case OpBra:
+		return fmt.Sprintf("%s L%d", mnem, in.Tgt)
+	case OpCbr:
+		return fmt.Sprintf("%s %s, L%d", mnem, r(in.Src[0]), in.Tgt)
+	case OpCall:
+		callee := "?"
+		if p != nil && int(in.Tgt) < len(p.Funcs) {
+			callee = p.Funcs[in.Tgt].Name
+		} else if in.Label != "" {
+			callee = in.Label
+		}
+		s := fmt.Sprintf("%s %s, %s", mnem, r(in.Dst), callee)
+		for i := 0; i < in.NumSrcs(); i++ {
+			s += ", " + r(in.Src[i])
+		}
+		return s
+	case OpRet:
+		if in.Src[0] != RegNone {
+			return fmt.Sprintf("%s %s", mnem, r(in.Src[0]))
+		}
+		return mnem
+	case OpBar, OpExit:
+		return mnem
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", mnem, r(in.Dst), r(in.Src[0]), r(in.Src[1]))
+	}
+}

@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRecursion is returned when the call graph contains a cycle; OASM,
+// like the paper's GPU target, forbids recursion so that frame bases can
+// be assigned statically.
+var ErrRecursion = errors.New("isa: recursive call graph")
+
+// Validate checks structural invariants of a program: opcode validity,
+// branch targets in range, call targets defined and non-recursive, widths
+// legal, the entry function taking no args, and every path ending in a
+// terminator. It does not check register bounds (virtual registers are
+// unbounded before allocation).
+func Validate(p *Program) error {
+	if len(p.Funcs) == 0 {
+		return errors.New("isa: program has no functions")
+	}
+	if p.BlockDim <= 0 || p.BlockDim%32 != 0 {
+		return fmt.Errorf("isa: block dim %d must be a positive multiple of 32", p.BlockDim)
+	}
+	names := make(map[string]bool, len(p.Funcs))
+	for _, f := range p.Funcs {
+		if f.Name == "" {
+			return errors.New("isa: function with empty name")
+		}
+		if names[f.Name] {
+			return fmt.Errorf("isa: duplicate function %q", f.Name)
+		}
+		names[f.Name] = true
+	}
+	if p.Entry().NumArgs != 0 {
+		return fmt.Errorf("isa: entry %q must take no arguments", p.Entry().Name)
+	}
+	for fi, f := range p.Funcs {
+		if err := validateFunc(p, fi, f); err != nil {
+			return err
+		}
+	}
+	return checkAcyclic(p)
+}
+
+func validateFunc(p *Program, fi int, f *Function) error {
+	if len(f.Instrs) == 0 {
+		return fmt.Errorf("isa: function %q is empty", f.Name)
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Op == OpInvalid || in.Op >= opMax {
+			return fmt.Errorf("isa: %s[%d]: invalid opcode", f.Name, i)
+		}
+		if in.Width > 4 {
+			return fmt.Errorf("isa: %s[%d]: bad width %d", f.Name, i, in.Width)
+		}
+		switch in.Op {
+		case OpBra, OpCbr:
+			if in.Tgt < 0 || int(in.Tgt) >= len(f.Instrs) {
+				return fmt.Errorf("isa: %s[%d]: branch target %d out of range", f.Name, i, in.Tgt)
+			}
+		case OpCall:
+			if in.Tgt < 0 || int(in.Tgt) >= len(p.Funcs) {
+				return fmt.Errorf("isa: %s[%d]: call target %d out of range", f.Name, i, in.Tgt)
+			}
+			callee := p.Funcs[in.Tgt]
+			if in.NumSrcs() != callee.NumArgs {
+				return fmt.Errorf("isa: %s[%d]: call to %q passes %d args, wants %d",
+					f.Name, i, callee.Name, in.NumSrcs(), callee.NumArgs)
+			}
+			if (in.Dst != RegNone) && !callee.HasRet {
+				return fmt.Errorf("isa: %s[%d]: call captures result of void %q", f.Name, i, callee.Name)
+			}
+		case OpRet:
+			if fi == 0 {
+				return fmt.Errorf("isa: %s[%d]: RET in entry function (use EXIT)", f.Name, i)
+			}
+			if f.HasRet && in.Src[0] == RegNone {
+				return fmt.Errorf("isa: %s[%d]: RET without value in value-returning function", f.Name, i)
+			}
+		case OpExit:
+			if fi != 0 {
+				return fmt.Errorf("isa: %s[%d]: EXIT outside entry function", f.Name, i)
+			}
+		case OpISet, OpFSet:
+			if in.Cmp == CmpNone {
+				return fmt.Errorf("isa: %s[%d]: set without comparison", f.Name, i)
+			}
+		case OpRdSp:
+			if in.Sp == SpNone {
+				return fmt.Errorf("isa: %s[%d]: RDSP without special register", f.Name, i)
+			}
+		}
+	}
+	last := &f.Instrs[len(f.Instrs)-1]
+	if !last.Terminates() {
+		return fmt.Errorf("isa: %s: control falls off the end", f.Name)
+	}
+	return nil
+}
+
+func checkAcyclic(p *Program) error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, len(p.Funcs))
+	var visit func(fi int) error
+	visit = func(fi int) error {
+		switch state[fi] {
+		case inStack:
+			return ErrRecursion
+		case done:
+			return nil
+		}
+		state[fi] = inStack
+		f := p.Funcs[fi]
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == OpCall {
+				if err := visit(int(f.Instrs[i].Tgt)); err != nil {
+					return err
+				}
+			}
+		}
+		state[fi] = done
+		return nil
+	}
+	for fi := range p.Funcs {
+		if err := visit(fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+// Package kernels provides OASM implementations of the paper's benchmark
+// set: the twelve Rodinia/CUDA-SDK programs of Table 2 plus matrixMul
+// (Figure 2). Real benchmark sources cannot run on the simulated device,
+// so each kernel is generated to match the characteristics Orion actually
+// observes in a binary — register pressure (the Reg column), static call
+// counts (Func), user shared-memory usage (Smem), instruction mix, loop
+// structure, and memory footprint/locality — per the substitution rules in
+// DESIGN.md.
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Kernel is one benchmark program with its evaluation configuration.
+type Kernel struct {
+	Name   string
+	Domain string
+	Source string
+	Prog   *isa.Program
+
+	// GridWarps and Iterations define the evaluation workload (the
+	// application loop around the kernel; 1 means kernel splitting or
+	// static selection applies).
+	GridWarps  int
+	Iterations int
+
+	// Paper Table 2 reference values.
+	PaperReg  int
+	PaperFunc int
+	PaperSmem bool
+}
+
+type callSpec struct {
+	callee string // helper name: fmix, imix, fdiv
+	sites  int    // static call sites in the loop body
+}
+
+type cfg struct {
+	name        string
+	domain      string
+	blockDim    int
+	sharedBytes int // user shared tile bytes per block (0 = none)
+
+	accs int // long-lived accumulators: the register-pressure knob
+	hot  int // accumulators touched in the main body (0 = all);
+	// the rest are touched only in a cold section executed every
+	// fourth iteration, giving the skewed reuse frequency real kernels
+	// have (and cheap spill candidates, as in the originals)
+	// locals is a burst of simultaneously-live temporaries computed and
+	// consumed at the top of every iteration, before any call site. They
+	// raise max-live but are dead at calls — the dead stack space the
+	// paper's compressible stack overlaps callee frames onto.
+	locals    int
+	iters     int  // loop trip count
+	body      int  // ALU ops per iteration
+	memEvery  int  // one global load per this many body ops (0 = none)
+	regionLog int  // log2 bytes of each warp's streaming window
+	stores    int  // stores inside the loop per iteration (0 = epilogue only)
+	fpu       bool // float instruction mix
+	wide      bool // include 64-bit loads
+	tile      bool // stage loads through the shared tile with barriers
+
+	calls []callSpec
+
+	gridWarps  int
+	iterations int
+	paperReg   int
+	paperFunc  int
+	paperSmem  bool
+}
+
+// build renders the kernel skeleton:
+//
+//	main: per-warp base address; accumulator init; counted loop whose body
+//	mixes ALU work on rotating accumulators, strided global loads within a
+//	per-warp window, optional shared-tile staging, and helper calls; an
+//	epilogue folding the accumulators into stores.
+func build(c cfg) *Kernel {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	w(".kernel %s", c.name)
+	if c.sharedBytes > 0 {
+		w(".shared %d", c.sharedBytes)
+	}
+	w(".blockdim %d", c.blockDim)
+	w(".func main")
+
+	// Fixed low registers.
+	const (
+		rWid  = 0 // warp id
+		rBase = 1 // global base address of this warp's window
+		rI    = 2 // loop counter
+		rPos  = 3 // streaming offset within the window
+		rMask = 4 // window mask
+		rOne  = 5
+		rTile = 6 // shared tile base for this warp
+		rTmp0 = 7
+		rTmp1 = 8
+		rAcc0 = 10
+	)
+	hot := c.hot
+	if hot <= 0 || hot > c.accs {
+		hot = c.accs
+	}
+	acc := func(k int) int { return rAcc0 + k%hot }
+	coldAcc := func(k int) int { return rAcc0 + hot + k%(c.accs-hot) }
+	w("  RDSP v%d, WARPID", rWid)
+	w("  MOVI v%d, %d", rTmp0, c.regionLog)
+	w("  SHL v%d, v%d, v%d", rBase, rWid, rTmp0)
+	w("  MOVI v%d, %d", rMask, (1<<c.regionLog)-1)
+	w("  MOVI v%d, 1", rOne)
+	w("  MOVI v%d, 0", rI)
+	w("  MOVI v%d, 0", rPos)
+	if c.tile {
+		wpb := c.blockDim / 32
+		perWarp := c.sharedBytes / wpb
+		w("  RDSP v%d, WARPINBLK", rTmp0)
+		w("  MOVI v%d, %d", rTmp1, perWarp)
+		w("  IMUL v%d, v%d, v%d", rTile, rTmp0, rTmp1)
+	}
+	// Accumulator initialization: derived from the warp id so that every
+	// accumulator is live from here to the epilogue.
+	for k := 0; k < c.accs; k++ {
+		w("  MOVI v%d, %d", rTmp0, uint32(k)*2654435761)
+		w("  XOR v%d, v%d, v%d", rAcc0+k, rWid, rTmp0)
+	}
+
+	callsEmitted := 0
+	totalCallSites := 0
+	for _, cs := range c.calls {
+		totalCallSites += cs.sites
+	}
+	callGap := 0
+	if totalCallSites > 0 {
+		callGap = c.body / totalCallSites
+		if callGap == 0 {
+			callGap = 1
+		}
+	}
+	nextCallAt := callGap
+	callPlan := make([]string, 0, totalCallSites)
+	for _, cs := range c.calls {
+		for s := 0; s < cs.sites; s++ {
+			callPlan = append(callPlan, cs.callee)
+		}
+	}
+
+	// Phase registers for call results (see the call case below). They are
+	// placed above the accumulators and the wide-temp range, and
+	// initialized before the loop so the later phases' live ranges span
+	// the back edge.
+	phases := 0
+	phaseBase := rAcc0 + c.accs + 6
+	if totalCallSites > 0 {
+		phases = 4
+		if totalCallSites < phases {
+			phases = totalCallSites
+		}
+	}
+	phaseReg := func(i int) int {
+		if phases == 0 {
+			return rTmp1
+		}
+		return phaseBase + i%phases
+	}
+	for k := 0; k < phases; k++ {
+		w("  MOVI v%d, %d", phaseReg(k), 37+k)
+	}
+
+	w("loop:")
+	// Local burst: all locals live simultaneously here, dead before the
+	// first call site below.
+	if c.locals > 0 {
+		locBase := phaseBase + phases + 2
+		for l := 0; l < c.locals; l++ {
+			w("  IMAD v%d, v%d, v%d, v%d", locBase+l, acc(l), rOne, acc(l+1))
+		}
+		for l := 0; l < c.locals; l++ {
+			w("  XOR v%d, v%d, v%d", acc(l), acc(l), locBase+l)
+		}
+	}
+	tmp := rTmp0
+	altTmp := rTmp1
+	for j := 0; j < c.body; j++ {
+		switch {
+		case c.memEvery > 0 && j%c.memEvery == 0:
+			// Streaming load within the window: pos advances one line.
+			w("  IADD v%d, v%d, v%d", tmp, rBase, rPos)
+			if c.wide && j%(2*c.memEvery) == 0 {
+				// Wide load: aligned temp pair at a dedicated high range.
+				wt := rAcc0 + c.accs + 2
+				if wt%2 != 0 {
+					wt++
+				}
+				w("  LDG.64 v%d, [v%d]", wt, tmp)
+				w("  XOR v%d, v%d, v%d", acc(j), acc(j), wt)
+				w("  XOR v%d, v%d, v%d", acc(j+1), acc(j+1), wt+1)
+			} else if c.tile {
+				w("  LDG v%d, [v%d]", altTmp, tmp)
+				w("  STS [v%d+%d], v%d", rTile, (j%8)*4, altTmp)
+				w("  LDS v%d, [v%d+%d]", altTmp, rTile, (j%8)*4)
+				w("  XOR v%d, v%d, v%d", acc(j), acc(j), altTmp)
+			} else {
+				w("  LDG v%d, [v%d]", altTmp, tmp)
+				w("  XOR v%d, v%d, v%d", acc(j), acc(j), altTmp)
+			}
+			w("  MOVI v%d, 128", tmp)
+			w("  IADD v%d, v%d, v%d", rPos, rPos, tmp)
+			w("  AND v%d, v%d, v%d", rPos, rPos, rMask)
+		case callsEmitted < len(callPlan) && j >= nextCallAt:
+			// Call results flow through a rotating set of phase registers
+			// whose live ranges each span a few call sites (the staggered
+			// inter-call lifetimes of Figure 6, which make the compressible
+			// stack's slot layout matter).
+			callee := callPlan[callsEmitted]
+			def := phaseReg(callsEmitted)
+			use := phaseReg(callsEmitted + phases/2)
+			w("  CALL v%d, %s, v%d", def, callee, acc(j))
+			w("  XOR v%d, v%d, v%d", acc(j), acc(j), use)
+			callsEmitted++
+			nextCallAt += callGap
+		case c.fpu:
+			w("  FMUL v%d, v%d, v%d", tmp, acc(j), acc(j+1))
+			w("  FADD v%d, v%d, v%d", acc(j), acc(j), tmp)
+		default:
+			w("  IMAD v%d, v%d, v%d, v%d", tmp, acc(j), rOne, acc(j+1))
+			w("  XOR v%d, v%d, v%d", acc(j), acc(j), tmp)
+		}
+	}
+	// Any call sites the body budget didn't reach are emitted at loop end.
+	for ; callsEmitted < len(callPlan); callsEmitted++ {
+		def := phaseReg(callsEmitted)
+		use := phaseReg(callsEmitted + phases/2)
+		w("  CALL v%d, %s, v%d", def, callPlan[callsEmitted], acc(callsEmitted))
+		w("  XOR v%d, v%d, v%d", acc(callsEmitted), acc(callsEmitted), use)
+	}
+	if c.stores > 0 {
+		for s := 0; s < c.stores; s++ {
+			w("  IADD v%d, v%d, v%d", tmp, rBase, rPos)
+			w("  STG [v%d+%d], v%d", tmp, 64+4*s, acc(s))
+		}
+	}
+	// Cold section: the accumulators outside the hot set are refreshed
+	// only every fourth iteration (skewed reuse frequency).
+	if hot < c.accs {
+		w("  MOVI v%d, 3", tmp)
+		w("  AND v%d, v%d, v%d", tmp, rI, tmp)
+		w("  MOVI v%d, 0", altTmp)
+		w("  ISET.NE v%d, v%d, v%d", altTmp, tmp, altTmp)
+		w("  CBR v%d, skipcold", altTmp)
+		for k := 0; k < c.accs-hot; k++ {
+			w("  IADD v%d, v%d, v%d", coldAcc(k), coldAcc(k), acc(k))
+		}
+		w("skipcold:")
+	}
+	if c.tile {
+		w("  BAR")
+	}
+	w("  IADD v%d, v%d, v%d", rI, rI, rOne)
+	w("  MOVI v%d, %d", tmp, c.iters)
+	w("  ISET.LT v%d, v%d, v%d", altTmp, rI, tmp)
+	w("  CBR v%d, loop", altTmp)
+
+	// Epilogue: fold accumulators and store per-warp results.
+	w("  MOV v%d, v%d", rTmp0, rAcc0)
+	for k := 1; k < c.accs; k++ {
+		w("  XOR v%d, v%d, v%d", rTmp0, rTmp0, rAcc0+k)
+	}
+	w("  STG [v%d], v%d", rBase, rTmp0)
+	w("  STG [v%d+4], v%d", rBase, rI)
+	w("  EXIT")
+
+	emitHelpers(&b, c.calls)
+
+	src := b.String()
+	return &Kernel{
+		Name:       c.name,
+		Domain:     c.domain,
+		Source:     src,
+		Prog:       isa.MustParse(src),
+		GridWarps:  c.gridWarps,
+		Iterations: c.iterations,
+		PaperReg:   c.paperReg,
+		PaperFunc:  c.paperFunc,
+		PaperSmem:  c.paperSmem,
+	}
+}
+
+// emitHelpers appends the device functions used as call targets. They
+// stand in for the non-inlined routines of the originals (including the
+// intrinsic float division the paper highlights).
+func emitHelpers(b *strings.Builder, calls []callSpec) {
+	need := map[string]bool{}
+	for _, cs := range calls {
+		need[cs.callee] = true
+	}
+	if need["inest"] {
+		need["imix"] = true // inest calls imix
+	}
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	if need["fdiv"] {
+		// Newton-Raphson-flavored reciprocal-multiply stand-in for the
+		// intrinsic division function call.
+		w(".func fdiv args 1 ret")
+		w("  MOVI v1, 1069547520") // ~1.5f
+		w("  FMUL v2, v0, v1")
+		w("  FSUB v3, v1, v2")
+		w("  FMUL v2, v2, v3")
+		w("  FFMA v2, v2, v3, v1")
+		w("  FADD v3, v2, v0")
+		w("  RET v3")
+	}
+	if need["fmix"] {
+		w(".func fmix args 1 ret")
+		w("  MOVI v1, 1065353216") // 1.0f
+		w("  FADD v2, v0, v1")
+		w("  FMUL v3, v2, v0")
+		w("  FFMA v2, v3, v1, v2")
+		w("  RET v2")
+	}
+	if need["imix"] {
+		w(".func imix args 1 ret")
+		w("  MOVI v1, 2654435761")
+		w("  IMUL v2, v0, v1")
+		w("  MOVI v1, 15")
+		w("  SHR v3, v2, v1")
+		w("  XOR v2, v2, v3")
+		w("  RET v2")
+	}
+	if need["inest"] {
+		// A helper that itself calls imix: exercises nested frames.
+		w(".func inest args 1 ret")
+		w("  MOVI v1, 97")
+		w("  IADD v2, v0, v1")
+		w("  CALL v3, imix, v2")
+		w("  XOR v2, v2, v3")
+		w("  RET v2")
+	}
+}

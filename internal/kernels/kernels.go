@@ -1,0 +1,230 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The benchmark configurations mirror paper Table 2: register pressure
+// (accs drives max-live toward the Reg column), static call-site counts
+// (Func), user shared memory (Smem), plus instruction mix and memory
+// behaviour characteristic of each application domain. All use 256-thread
+// blocks (8 warps), which yields the paper's occupancy tick marks: eight
+// levels (0.125..1.0) on GTX680 and six (0.167..1.0) on Tesla C2075.
+var configs = []cfg{
+	{
+		// Computational fluid dynamics: huge live state (flux vectors),
+		// many residual non-inlined calls including float division.
+		name: "cfd", domain: "Fluid dynam.", blockDim: 256,
+		accs: 42, hot: 14, locals: 10, iters: 6, body: 72, memEvery: 8, regionLog: 15,
+		fpu:       true,
+		calls:     []callSpec{{"fdiv", 16}, {"imix", 12}, {"inest", 7}},
+		gridWarps: 4288, iterations: 8,
+		paperReg: 63, paperFunc: 36, paperSmem: false,
+	},
+	{
+		// DXT compression: block-based image compression staging texels
+		// through a shared tile; moderate pressure; helper calls.
+		name: "dxtc", domain: "Image proc.", blockDim: 256,
+		sharedBytes: 2048, tile: true,
+		accs: 30, hot: 12, locals: 8, iters: 6, body: 56, memEvery: 7, regionLog: 14,
+		calls:     []callSpec{{"imix", 6}, {"fmix", 5}},
+		gridWarps: 4288, iterations: 8,
+		paperReg: 49, paperFunc: 11, paperSmem: true,
+	},
+	{
+		// 3-D finite difference: wide stencil state, shared-memory tile,
+		// streaming through a large grid, no calls.
+		name: "FDTD3d", domain: "Numer. analysis", blockDim: 256,
+		sharedBytes: 3072, tile: true,
+		accs: 37, hot: 12, iters: 7, body: 48, memEvery: 4, regionLog: 16,
+		fpu:       true,
+		gridWarps: 4288, iterations: 8,
+		paperReg: 48, paperFunc: 0, paperSmem: true,
+	},
+	{
+		// Thermal simulation: stencil with shared tile and a few calls.
+		name: "hotspot", domain: "Temp. modeling", blockDim: 256,
+		sharedBytes: 2048, tile: true,
+		accs: 20, hot: 12, locals: 6, iters: 7, body: 48, memEvery: 6, regionLog: 14,
+		fpu:       true,
+		calls:     []callSpec{{"fmix", 6}},
+		gridWarps: 4288, iterations: 8,
+		paperReg: 37, paperFunc: 6, paperSmem: true,
+	},
+	{
+		// Image denoising (paper Figure 1): very high register pressure,
+		// wide pixel loads, shared tile, two division calls; memory-bound
+		// enough that mid occupancy wins.
+		name: "imageDenoising", domain: "Image proc.", blockDim: 256,
+		sharedBytes: 2048, tile: true, wide: true,
+		accs: 42, hot: 14, locals: 10, iters: 6, body: 64, memEvery: 5, regionLog: 15,
+		fpu:       true,
+		calls:     []callSpec{{"fdiv", 2}},
+		gridWarps: 4288, iterations: 8,
+		paperReg: 63, paperFunc: 2, paperSmem: true,
+	},
+	{
+		// Particle simulation: high pressure, no calls, and — the paper's
+		// special case — a single invocation over a small grid, so dynamic
+		// tuning is impossible and static selection must kick in.
+		name: "particles", domain: "Simulation", blockDim: 256,
+		accs: 45, hot: 12, iters: 8, body: 56, memEvery: 3, regionLog: 16,
+		fpu:       true,
+		gridWarps: 448, iterations: 1,
+		paperReg: 52, paperFunc: 0, paperSmem: false,
+	},
+	{
+		// Recursive Gaussian filter: long dependence chains and many
+		// helper calls (21 static sites), moderate pressure.
+		name: "recursiveGaussian", domain: "Numer. analysis", blockDim: 256,
+		accs: 23, hot: 12, locals: 8, iters: 6, body: 60, memEvery: 10, regionLog: 14,
+		fpu:       true,
+		calls:     []callSpec{{"imix", 13}, {"inest", 7}},
+		gridWarps: 4288, iterations: 8,
+		paperReg: 42, paperFunc: 21, paperSmem: false,
+	},
+	{
+		// Back-propagation: a tiny kernel (single pass, < 100
+		// instructions) with low pressure; the paper cannot tune it.
+		name: "backprop", domain: "Machine learning", blockDim: 256,
+		accs: 13, iters: 1, body: 36, memEvery: 4, regionLog: 13,
+		fpu:       true,
+		gridWarps: 4288, iterations: 1,
+		paperReg: 21, paperFunc: 0, paperSmem: false,
+	},
+	{
+		// Breadth-first search: very low pressure, memory-dominated with
+		// little reuse; best at maximum occupancy.
+		name: "bfs", domain: "Graph traversal", blockDim: 256,
+		accs: 8, iters: 8, body: 36, memEvery: 2, regionLog: 17,
+		gridWarps: 4288, iterations: 8,
+		paperReg: 16, paperFunc: 0, paperSmem: false,
+	},
+	{
+		// Gaussian elimination: tiny working set, compute-dominated,
+		// division calls; insensitive to occupancy.
+		name: "gaussian", domain: "Numer. analysis", blockDim: 256,
+		accs: 2, iters: 8, body: 48, memEvery: 16, regionLog: 12,
+		fpu:       true,
+		calls:     []callSpec{{"fdiv", 2}},
+		gridWarps: 4288, iterations: 10,
+		paperReg: 11, paperFunc: 2, paperSmem: false,
+	},
+	{
+		// Speckle-reducing anisotropic diffusion: low pressure, shared
+		// tile, division helpers; performance flat from mid occupancy up
+		// (paper Figure 10).
+		name: "srad", domain: "Imaging app", blockDim: 256,
+		sharedBytes: 1024, tile: true,
+		accs: 7, iters: 8, body: 40, memEvery: 5, regionLog: 13,
+		fpu:       true,
+		calls:     []callSpec{{"fdiv", 4}, {"fmix", 3}},
+		gridWarps: 4288, iterations: 10,
+		paperReg: 20, paperFunc: 7, paperSmem: true,
+	},
+	{
+		// Stream clustering: low pressure, memory-heavy with moderate
+		// reuse; skewed bell with the best point around 75% occupancy.
+		name: "streamcluster", domain: "Data mining", blockDim: 256,
+		accs: 10, iters: 8, body: 42, memEvery: 3, regionLog: 16,
+		gridWarps: 4288, iterations: 10,
+		paperReg: 18, paperFunc: 0, paperSmem: false,
+	},
+	{
+		// Heart-wall tracking (Rodinia): part of the paper's Figure 5
+		// ablation set though not of Table 2. Call-heavy imaging code
+		// with moderate register pressure.
+		name: "heartwall", domain: "Imaging app", blockDim: 256,
+		accs: 21, hot: 12, locals: 7, iters: 6, body: 56, memEvery: 7, regionLog: 14,
+		fpu:       true,
+		calls:     []callSpec{{"fmix", 6}, {"imix", 5}},
+		gridWarps: 4288, iterations: 8,
+	},
+	{
+		// Matrix multiplication (paper Figure 2): shared-tile GEMM whose
+		// performance plateaus above half occupancy.
+		name: "matrixMul", domain: "Linear algebra", blockDim: 256,
+		sharedBytes: 4096, tile: true,
+		accs: 13, iters: 7, body: 48, memEvery: 4, regionLog: 13,
+		fpu:       true,
+		gridWarps: 4288, iterations: 8,
+	},
+}
+
+var (
+	buildOnce sync.Once
+	all       []*Kernel
+	byName    map[string]*Kernel
+)
+
+func ensure() {
+	buildOnce.Do(func() {
+		byName = make(map[string]*Kernel, len(configs))
+		for _, c := range configs {
+			k := build(c)
+			all = append(all, k)
+			byName[k.Name] = k
+		}
+	})
+}
+
+// All returns every benchmark kernel in Table 2 order (matrixMul last).
+func All() []*Kernel {
+	ensure()
+	return all
+}
+
+// Table2 returns the twelve Table 2 benchmarks (those with paper reference
+// data; heartwall and matrixMul are evaluated elsewhere in the paper).
+func Table2() []*Kernel {
+	ensure()
+	out := make([]*Kernel, 0, len(all))
+	for _, k := range all {
+		if k.PaperReg > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Fig5 returns the paper's Figure 5 benchmark set (inter-procedural
+// allocation ablations).
+func Fig5() []*Kernel {
+	return pick("cfd", "dxtc", "heartwall", "hotspot", "imageDenoising", "particles", "recursiveGaussian")
+}
+
+// Upward returns the seven benchmarks the paper tunes toward higher
+// occupancy (Figure 11).
+func Upward() []*Kernel {
+	return pick("cfd", "dxtc", "FDTD3d", "hotspot", "imageDenoising", "particles", "recursiveGaussian")
+}
+
+// Downward returns the five benchmarks the paper tunes toward lower
+// occupancy (Figure 12).
+func Downward() []*Kernel {
+	return pick("backprop", "bfs", "gaussian", "srad", "streamcluster")
+}
+
+func pick(names ...string) []*Kernel {
+	ensure()
+	out := make([]*Kernel, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// ByName returns the named kernel or an error listing what exists.
+func ByName(name string) (*Kernel, error) {
+	ensure()
+	k, ok := byName[name]
+	if !ok {
+		names := make([]string, 0, len(all))
+		for _, kk := range all {
+			names = append(names, kk.Name)
+		}
+		return nil, fmt.Errorf("kernels: unknown kernel %q (have %v)", name, names)
+	}
+	return k, nil
+}

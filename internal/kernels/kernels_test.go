@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+func TestAllKernelsValidate(t *testing.T) {
+	for _, k := range All() {
+		if err := isa.Validate(k.Prog); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestTable2Characteristics(t *testing.T) {
+	for _, k := range Table2() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if got := k.Prog.StaticCalls(); got != k.PaperFunc {
+				t.Errorf("static calls = %d, want %d (paper Func)", got, k.PaperFunc)
+			}
+			if got := k.Prog.UsesUserShared(); got != k.PaperSmem {
+				t.Errorf("user shared = %v, want %v (paper Smem)", got, k.PaperSmem)
+			}
+			ml, err := core.MaxLive(k.Prog)
+			if err != nil {
+				t.Fatalf("MaxLive: %v", err)
+			}
+			// The Reg column is matched approximately: within ±30% or ±8
+			// registers, and capped at the hardware maximum of 63.
+			want := k.PaperReg
+			lo := want - want*30/100 - 2
+			hi := want + want*30/100 + 8
+			if want >= 60 {
+				hi = 200 // pressure beyond the cap realizes as 63 + spills
+			}
+			if ml < lo || ml > hi {
+				t.Errorf("max-live = %d, paper Reg = %d (accepted %d..%d)", ml, want, lo, hi)
+			}
+		})
+	}
+}
+
+func TestKernelsExecute(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := interp.Run(&interp.Launch{Prog: k.Prog, GridWarps: 8}, 2_000_000)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Stores == 0 {
+				t.Error("kernel performed no stores")
+			}
+			res2, err := interp.Run(&interp.Launch{Prog: k.Prog, GridWarps: 8}, 2_000_000)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Checksum != res2.Checksum {
+				t.Error("kernel is nondeterministic")
+			}
+		})
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if len(All()) != 14 {
+		t.Errorf("All() = %d kernels, want 14", len(All()))
+	}
+	if len(Table2()) != 12 {
+		t.Errorf("Table2() = %d, want 12", len(Table2()))
+	}
+	if len(Upward()) != 7 || len(Downward()) != 5 {
+		t.Errorf("Upward/Downward = %d/%d, want 7/5", len(Upward()), len(Downward()))
+	}
+	if _, err := ByName("cfd"); err != nil {
+		t.Errorf("ByName(cfd): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}

@@ -1,0 +1,159 @@
+// Package occupancy replicates the NVIDIA occupancy calculator the paper
+// relies on (Equation 1 plus block-size rounding and register-bank
+// granularity): given per-thread register usage, per-block shared memory,
+// and block size, it determines how many blocks and warps can be resident
+// on one SM, which limit binds, and the occupancy ratio. It also answers
+// the inverse questions the Orion compiler asks while realizing an
+// occupancy level: the largest register/shared budget that still admits a
+// target warp count.
+package occupancy
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Config is one kernel resource configuration.
+type Config struct {
+	RegsPerThread  int
+	SharedPerBlock int // bytes, user shared memory + shared spill slots
+	BlockDim       int // threads per block
+}
+
+// Limiter identifies which resource bounds residency.
+type Limiter uint8
+
+// Limiters.
+const (
+	LimitWarps Limiter = iota + 1
+	LimitBlocks
+	LimitRegisters
+	LimitShared
+)
+
+// String names the limiter.
+func (l Limiter) String() string {
+	switch l {
+	case LimitWarps:
+		return "warps"
+	case LimitBlocks:
+		return "blocks"
+	case LimitRegisters:
+		return "registers"
+	case LimitShared:
+		return "shared"
+	}
+	return fmt.Sprintf("limiter(%d)", uint8(l))
+}
+
+// Result is one occupancy computation.
+type Result struct {
+	ActiveBlocks int
+	ActiveWarps  int
+	Occupancy    float64
+	Limiter      Limiter
+}
+
+func roundUp(x, g int) int {
+	if g <= 1 {
+		return x
+	}
+	return (x + g - 1) / g * g
+}
+
+// Calc computes SM residency for the configuration under the cache config
+// (which sets the shared-memory capacity).
+func Calc(d *device.Device, cc device.CacheConfig, cfg Config) (Result, error) {
+	if cfg.BlockDim <= 0 || cfg.BlockDim%d.WarpSize != 0 {
+		return Result{}, fmt.Errorf("occupancy: block dim %d not a positive multiple of %d", cfg.BlockDim, d.WarpSize)
+	}
+	if cfg.RegsPerThread > d.MaxRegsPerThread {
+		return Result{}, fmt.Errorf("occupancy: %d registers/thread exceeds hardware max %d", cfg.RegsPerThread, d.MaxRegsPerThread)
+	}
+	wpb := cfg.BlockDim / d.WarpSize
+
+	blocks := d.MaxBlocksPerSM
+	lim := LimitBlocks
+	if byWarps := d.MaxWarpsPerSM / wpb; byWarps < blocks {
+		blocks, lim = byWarps, LimitWarps
+	}
+	if cfg.RegsPerThread > 0 {
+		regsPerWarp := roundUp(cfg.RegsPerThread*d.WarpSize, d.RegGranularity)
+		regsPerBlock := regsPerWarp * wpb
+		if byRegs := d.RegsPerSM / regsPerBlock; byRegs < blocks {
+			blocks, lim = byRegs, LimitRegisters
+		}
+	}
+	if cfg.SharedPerBlock > 0 {
+		smem := roundUp(cfg.SharedPerBlock, d.SmemGranularity)
+		cap := d.SharedBytes(cc)
+		if smem > cap {
+			return Result{ActiveBlocks: 0, Limiter: LimitShared}, nil
+		}
+		if bySmem := cap / smem; bySmem < blocks {
+			blocks, lim = bySmem, LimitShared
+		}
+	}
+	warps := blocks * wpb
+	return Result{
+		ActiveBlocks: blocks,
+		ActiveWarps:  warps,
+		Occupancy:    float64(warps) / float64(d.MaxWarpsPerSM),
+		Limiter:      lim,
+	}, nil
+}
+
+// MaxRegsForWarps returns the largest per-thread register count that still
+// allows at least targetWarps resident warps per SM, or 0 if even one
+// register per thread is too many (the target is infeasible by registers
+// alone). Other limits (shared memory, block count) are not considered.
+func MaxRegsForWarps(d *device.Device, blockDim, targetWarps int) int {
+	wpb := blockDim / d.WarpSize
+	targetBlocks := (targetWarps + wpb - 1) / wpb
+	lo, hi := 0, d.MaxRegsPerThread
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		regsPerBlock := roundUp(mid*d.WarpSize, d.RegGranularity) * wpb
+		if d.RegsPerSM/regsPerBlock >= targetBlocks {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// MaxSharedForWarps returns the largest per-block shared-memory allocation
+// (bytes) that still allows targetWarps resident warps per SM under the
+// cache configuration, or 0 if infeasible.
+func MaxSharedForWarps(d *device.Device, cc device.CacheConfig, blockDim, targetWarps int) int {
+	wpb := blockDim / d.WarpSize
+	targetBlocks := (targetWarps + wpb - 1) / wpb
+	if targetBlocks <= 0 {
+		targetBlocks = 1
+	}
+	per := d.SharedBytes(cc) / targetBlocks
+	per = per / d.SmemGranularity * d.SmemGranularity
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// Levels enumerates the achievable active-warp counts per SM for a block
+// size, from one block per SM up to the hardware ceiling. These are the
+// candidate occupancy levels the Orion compiler walks (occupancy moves in
+// whole blocks).
+func Levels(d *device.Device, blockDim int) []int {
+	wpb := blockDim / d.WarpSize
+	maxBlocks := d.MaxBlocksPerSM
+	if byWarps := d.MaxWarpsPerSM / wpb; byWarps < maxBlocks {
+		maxBlocks = byWarps
+	}
+	levels := make([]int, 0, maxBlocks)
+	for b := 1; b <= maxBlocks; b++ {
+		levels = append(levels, b*wpb)
+	}
+	return levels
+}

@@ -1,0 +1,259 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Result is the outcome of one coloring attempt.
+type Result struct {
+	// Color holds each variable's physical base register, or -1 if the
+	// variable was spilled.
+	Color []int
+	// Spilled lists spilled variable ids in the order chosen.
+	Spilled []int
+	// FrameSlots is the frame size implied by the coloring (the highest
+	// colored register + width).
+	FrameSlots int
+}
+
+// Allocate colors the variables of a web-split function with at most C
+// physical registers, following the paper's Figure 4: a priority stack is
+// built favoring trivially-colorable, narrow variables; coloring walks the
+// stack, assigning each variable the lowest aligned run of free registers;
+// a variable that cannot be colored is spilled and coloring restarts
+// without it. Argument variables are precolored to their ABI positions.
+func Allocate(v *ir.Vars, g *Graph, c int) (*Result, error) {
+	n := v.NumVars()
+	res := &Result{Color: make([]int, n)}
+	for i := range res.Color {
+		res.Color[i] = -1
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	precolored := make([]bool, n)
+	for id, d := range v.Defs {
+		if d.IsArg {
+			if int(d.Base) >= c {
+				return nil, fmt.Errorf("regalloc: budget %d cannot hold argument %d", c, d.Base)
+			}
+			res.Color[id] = int(d.Base)
+			precolored[id] = true
+		}
+	}
+
+	// Stack-order phase (Figure 4b). Weighted degrees are maintained
+	// incrementally so each selection costs O(n) instead of O(n·deg).
+	inG := make([]bool, n)
+	remaining := 0
+	width := func(id int) int { return v.Defs[id].Width }
+	deg := make([]int, n) // total width of neighbors still in G or precolored
+	for i := 0; i < n; i++ {
+		if !precolored[i] {
+			inG[i] = true
+			remaining++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !inG[i] {
+			continue
+		}
+		d := 0
+		g.Neighbors(i, func(u int) {
+			if inG[u] || precolored[u] {
+				d += width(u)
+			}
+		})
+		deg[i] = d
+	}
+	var stack []int
+	for remaining > 0 {
+		next := -1
+		for id := 0; id < n; id++ {
+			if !inG[id] {
+				continue
+			}
+			if width(id)+deg[id] <= c {
+				if next == -1 || width(next) > width(id) {
+					next = id
+				}
+			}
+		}
+		if next == -1 {
+			for id := 0; id < n; id++ {
+				if !inG[id] {
+					continue
+				}
+				if next == -1 || width(next) > width(id) ||
+					(width(next) == width(id) && deg[next] > deg[id]) {
+					next = id
+				}
+			}
+		}
+		stack = append(stack, next)
+		inG[next] = false
+		remaining--
+		wNext := width(next)
+		g.Neighbors(next, func(u int) {
+			if inG[u] {
+				deg[u] -= wNext
+			}
+		})
+	}
+
+	// Spill costs (Briggs [3], which the paper's allocator builds on):
+	// occurrence counts weighted against degree, so rarely-touched long
+	// live ranges are evicted before hot values.
+	occurrences := make([]int, n)
+	for i := range v.F.Instrs {
+		in := &v.F.Instrs[i]
+		if d, _ := v.DefOf(in); d >= 0 {
+			occurrences[d]++
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			occurrences[v.VarAt(in.Src[s])]++
+		}
+	}
+	spillScore := func(id int) float64 {
+		deg := g.Degree(id)
+		if deg == 0 {
+			deg = 1
+		}
+		return float64(occurrences[id]) / float64(deg)
+	}
+
+	// Move-related pairs for coalescing-biased color choice ([9]).
+	pairs := movePairs(v)
+
+	// Coloring phase (Figure 4c): pop from the top; on failure remove the
+	// cheapest conflicting live range from the stack, spill it, and
+	// restart.
+	removed := make([]bool, n)
+	for {
+		ok := true
+		// Reset non-precolored colors for this attempt.
+		for id := 0; id < n; id++ {
+			if !precolored[id] {
+				res.Color[id] = -1
+			}
+		}
+		for si := len(stack) - 1; si >= 0; si-- {
+			id := stack[si]
+			if removed[id] {
+				continue
+			}
+			var used [isa.MaxRegs]bool
+			g.Neighbors(id, func(u int) {
+				if res.Color[u] < 0 {
+					return
+				}
+				for k := 0; k < width(u); k++ {
+					used[res.Color[u]+k] = true
+				}
+			})
+			w := width(id)
+			align := isa.AlignFor(w)
+			color := -1
+			fits := func(base int) bool {
+				if base%align != 0 || base+w > c {
+					return false
+				}
+				for k := 0; k < w; k++ {
+					if used[base+k] {
+						return false
+					}
+				}
+				return true
+			}
+			// Coalescing bias: prefer a move partner's color so the move
+			// becomes a no-op and is elided.
+			for _, pc := range preferredColors(id, pairs, res.Color) {
+				if fits(pc) {
+					color = pc
+					break
+				}
+			}
+			if color < 0 {
+				for base := 0; base+w <= c; base += align {
+					if fits(base) {
+						color = base
+						break
+					}
+				}
+			}
+			if color < 0 {
+				// Choose the eviction victim by spill cost among the failing
+				// variable and its conflicting neighbors. Spill temporaries
+				// are never re-spilled (that adds spill code forever).
+				victim := -1
+				bestScore := 0.0
+				consider := func(u int) {
+					if removed[u] || precolored[u] || v.Defs[u].NoSpill {
+						return
+					}
+					if s := spillScore(u); victim < 0 || s < bestScore {
+						bestScore = s
+						victim = u
+					}
+				}
+				consider(id)
+				g.Neighbors(id, func(u int) { consider(u) })
+				if victim < 0 {
+					return nil, fmt.Errorf("regalloc: %s: no spillable variable with %d registers", v.F.Name, c)
+				}
+				removed[victim] = true
+				res.Spilled = append(res.Spilled, victim)
+				ok = false
+				break
+			}
+			res.Color[id] = color
+		}
+		if ok {
+			break
+		}
+	}
+
+	for id := 0; id < n; id++ {
+		if res.Color[id] >= 0 {
+			if end := res.Color[id] + width(id); end > res.FrameSlots {
+				res.FrameSlots = end
+			}
+		}
+	}
+	return res, nil
+}
+
+// Rewrite applies a complete coloring (no spilled variables) to the
+// function, producing the allocated form: every operand register becomes
+// its variable's physical base plus the unit offset.
+func Rewrite(v *ir.Vars, res *Result) (*isa.Function, error) {
+	for id, c := range res.Color {
+		if c < 0 {
+			return nil, fmt.Errorf("regalloc: variable %d is spilled; insert spill code first", id)
+		}
+	}
+	nf := v.F.Clone()
+	mapReg := func(r isa.Reg) isa.Reg {
+		id := v.VarAt(r)
+		off := int(r) - int(v.Defs[id].Base)
+		return isa.Reg(res.Color[id] + off)
+	}
+	for i := range nf.Instrs {
+		in := &nf.Instrs[i]
+		src := *in // read operand info from the original encoding
+		if src.HasDst() {
+			in.Dst = mapReg(src.Dst)
+		}
+		for s := 0; s < src.NumSrcs(); s++ {
+			in.Src[s] = mapReg(src.Src[s])
+		}
+	}
+	nf.Allocated = true
+	nf.FrameSlots = res.FrameSlots
+	nf.NumVRegs = res.FrameSlots
+	return nf, nil
+}

@@ -1,0 +1,124 @@
+package regalloc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// hotColdKernel has `cold` accumulators touched only outside the loop and
+// `hot` accumulators touched every iteration — the allocator should spill
+// the cold ones first.
+func hotColdKernel(hot, cold int) string {
+	var b strings.Builder
+	b.WriteString(".kernel hc\n.blockdim 32\n.func main\n  RDSP v0, WARPID\n  MOVI v1, 0\n")
+	reg := func(i int) int { return 10 + i }
+	for i := 0; i < hot+cold; i++ {
+		fmt.Fprintf(&b, "  MOVI v%d, %d\n", reg(i), i+1)
+	}
+	b.WriteString("loop:\n")
+	for j := 0; j < 3; j++ {
+		for i := 0; i < hot; i++ {
+			fmt.Fprintf(&b, "  IADD v%d, v%d, v%d\n", reg(i), reg(i), reg((i+1)%hot))
+		}
+	}
+	b.WriteString(`  MOVI v2, 1
+  IADD v1, v1, v2
+  MOVI v3, 16
+  ISET.LT v4, v1, v3
+  CBR v4, loop
+`)
+	for i := 0; i < hot+cold; i++ {
+		fmt.Fprintf(&b, "  XOR v%d, v%d, v%d\n", reg(0), reg(0), reg(i))
+	}
+	fmt.Fprintf(&b, "  STG [v0], v%d\n  EXIT\n", reg(0))
+	return b.String()
+}
+
+func TestSpillPrefersColdRanges(t *testing.T) {
+	p := isa.MustParse(hotColdKernel(6, 6))
+	v, err := ir.SplitWebs(p.Entry())
+	if err != nil {
+		t.Fatalf("SplitWebs: %v", err)
+	}
+	live := ir.ComputeLiveness(v)
+	g := BuildInterference(v, live)
+	// Budget forces ~4 spills out of 12 accumulators + overhead.
+	res, err := Allocate(v, g, 10)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if len(res.Spilled) == 0 {
+		t.Fatal("expected spills at budget 10")
+	}
+	// Count occurrences of each spilled variable: cold accumulators have
+	// very few (init + epilogue), hot ones are touched 3x per iteration.
+	occ := make([]int, v.NumVars())
+	for i := range v.F.Instrs {
+		in := &v.F.Instrs[i]
+		if d, _ := v.DefOf(in); d >= 0 {
+			occ[d]++
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			occ[v.VarAt(in.Src[s])]++
+		}
+	}
+	for _, id := range res.Spilled {
+		if occ[id] > 6 {
+			t.Errorf("spilled a hot variable (%d occurrences); cold candidates existed", occ[id])
+		}
+	}
+}
+
+func TestNoSpillTemporariesNeverRespilled(t *testing.T) {
+	// Run the full loop at a tight budget; it must converge, and the final
+	// function's spill instructions must all reference colorable temps.
+	p := isa.MustParse(hotColdKernel(8, 10))
+	nf, err := AllocateWithSpills(p.Entry(), 8, 4)
+	if err != nil {
+		t.Fatalf("AllocateWithSpills: %v", err)
+	}
+	if nf.FrameSlots > 8 {
+		t.Errorf("frame %d exceeds budget 8", nf.FrameSlots)
+	}
+	if nf.SpillShared+nf.SpillLocal == 0 {
+		t.Error("expected spill slots")
+	}
+	// Shared slots respect the budget.
+	if nf.SpillShared > 4 {
+		t.Errorf("shared spill slots %d exceed budget 4", nf.SpillShared)
+	}
+}
+
+func TestAllocateFailsGracefullyAtImpossibleBudget(t *testing.T) {
+	// Wide 128-bit value cannot fit in 3 registers: Run must return an
+	// error, not loop forever.
+	src := `
+.kernel impossible
+.blockdim 32
+.func main
+  MOVI v0, 0
+  LDG.128 v4, [v0]
+  IADD v1, v4, v5
+  IADD v1, v1, v6
+  IADD v1, v1, v7
+  STG [v0], v1
+  EXIT
+`
+	p := isa.MustParse(src)
+	if _, err := regallocRunNoPanic(p.Entry(), 3, 0); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func regallocRunNoPanic(f *isa.Function, c, shared int) (a *Alloc, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return Run(f, c, shared)
+}

@@ -1,0 +1,67 @@
+package sim
+
+// cache is a set-associative LRU cache over line addresses.
+type cache struct {
+	setMask uint64
+	assoc   int
+	tags    []uint64 // sets*assoc entries; 0 = empty
+	used    []uint64 // LRU stamps
+	hits    uint64
+	misses  uint64
+}
+
+func newCache(bytes, lineBytes, assoc int) *cache {
+	lines := bytes / lineBytes
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return &cache{
+		setMask: uint64(p - 1),
+		assoc:   assoc,
+		tags:    make([]uint64, p*assoc),
+		used:    make([]uint64, p*assoc),
+	}
+}
+
+// access looks a line up, allocating it on miss (LRU victim), and reports
+// whether it hit. The line address must be nonzero-safe: callers pass
+// line+1 so that 0 marks empty ways.
+func (c *cache) access(line uint64, now uint64) bool {
+	key := line + 1
+	set := (line & c.setMask) * uint64(c.assoc)
+	ways := c.tags[set : set+uint64(c.assoc)]
+	for i, t := range ways {
+		if t == key {
+			c.used[set+uint64(i)] = now
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := 0
+	best := c.used[set]
+	for i := 1; i < c.assoc; i++ {
+		if c.used[set+uint64(i)] < best {
+			best = c.used[set+uint64(i)]
+			victim = i
+		}
+	}
+	c.tags[set+uint64(victim)] = key
+	c.used[set+uint64(victim)] = now
+	return false
+}
+
+// reset clears contents and counters.
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.used[i] = 0
+	}
+	c.hits, c.misses = 0, 0
+}

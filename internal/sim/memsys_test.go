@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// dependentLoads builds a kernel whose loads form a dependence chain
+// (pointer chasing): no load can issue before the previous one returns.
+func dependentLoads(n int) string {
+	var b strings.Builder
+	b.WriteString(".kernel chase\n.blockdim 32\n.func main\n  RDSP v0, WARPID\n  MOVI v1, 20\n  SHL v2, v0, v1\n  MOVI v6, 127\n  MOVI v7, 8192\n")
+	for i := 0; i < n; i++ {
+		// The next address depends on the loaded data (wiggle) and always
+		// advances by 64 lines, so every load is a cold, serialized miss.
+		b.WriteString("  LDG v3, [v2]\n  AND v5, v3, v6\n  IADD v2, v2, v5\n  IADD v2, v2, v7\n")
+	}
+	b.WriteString("  STG [v2], v2\n  EXIT\n")
+	return b.String()
+}
+
+// independentLoads builds a kernel issuing n loads with no dependences.
+func independentLoads(n int) string {
+	var b strings.Builder
+	b.WriteString(".kernel indep\n.blockdim 32\n.func main\n  RDSP v0, WARPID\n  MOVI v1, 16\n  SHL v2, v0, v1\n  MOVI v9, 0\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  LDG v%d, [v2+%d]\n", 3+(i%4), i*128)
+	}
+	b.WriteString("  STG [v2], v9\n  EXIT\n")
+	return b.String()
+}
+
+func simOne(t *testing.T, d *device.Device, src string, warps int) *Stats {
+	t.Helper()
+	p := isa.MustParse(src)
+	st, err := Simulate(Config{Device: d, Cache: device.SmallCache, BlocksPerSM: 2, RegsPerThread: 16},
+		&interp.Launch{Prog: p, GridWarps: warps})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return st
+}
+
+func TestMemoryLevelParallelismMatters(t *testing.T) {
+	// With a single warp, 16 dependent loads must take roughly 16x a
+	// load's latency; 16 independent loads overlap and finish much faster.
+	d := device.GTX680()
+	dep := simOne(t, d, dependentLoads(16), 1)
+	ind := simOne(t, d, independentLoads(16), 1)
+	if dep.Cycles < 3*ind.Cycles {
+		t.Errorf("dependent chain (%d cycles) should be >> independent loads (%d cycles)",
+			dep.Cycles, ind.Cycles)
+	}
+	minLat := uint64(16 * d.DRAMLatency)
+	if dep.Cycles < minLat {
+		t.Errorf("dependent chain %d cycles < %d (16 serialized DRAM latencies)", dep.Cycles, minLat)
+	}
+}
+
+func TestDRAMBandwidthQueueing(t *testing.T) {
+	// Doubling the number of warps roughly doubles the DRAM lines; once
+	// the channel saturates, runtime grows with traffic.
+	d := device.GTX680()
+	few := simOne(t, d, independentLoads(64), 64)
+	many := simOne(t, d, independentLoads(64), 512)
+	if many.DRAMLines <= few.DRAMLines {
+		t.Errorf("DRAM lines %d vs %d: traffic should grow with warps", many.DRAMLines, few.DRAMLines)
+	}
+	// At 512 warps x 64 lines with 1.6 cycles/line the channel is the
+	// bottleneck: runtime must be at least the service time.
+	floor := uint64(float64(many.DRAMLines) * d.DRAMServiceCycles)
+	if many.Cycles < floor/2 {
+		t.Errorf("cycles %d below bandwidth floor %d", many.Cycles, floor)
+	}
+}
+
+func TestMSHRLimitThrottles(t *testing.T) {
+	// A device with very few MSHRs cannot overlap as many misses.
+	few := device.GTX680()
+	few.MSHRs = 2
+	lots := device.GTX680()
+	lots.MSHRs = 64
+	a := simOne(t, few, independentLoads(32), 8)
+	b := simOne(t, lots, independentLoads(32), 8)
+	if a.Cycles <= b.Cycles {
+		t.Errorf("2 MSHRs (%d cycles) should be slower than 64 (%d cycles)", a.Cycles, b.Cycles)
+	}
+}
+
+func TestL1CapacityEffect(t *testing.T) {
+	// A local-spill working set that fits in 48KB L1 but not 16KB: the
+	// large-cache configuration must produce fewer misses. Local spill
+	// slots occupy a full line per warp per slot.
+	var b strings.Builder
+	b.WriteString(".kernel spillws\n.blockdim 256\n.func main\n  RDSP v0, WARPID\n  MOVI v1, 0\n")
+	const slots = 12
+	for i := 0; i < slots; i++ {
+		fmt.Fprintf(&b, "  SPST.L %d, v0\n", i)
+	}
+	b.WriteString("loop:\n")
+	for i := 0; i < slots; i++ {
+		fmt.Fprintf(&b, "  SPLD.L v2, %d\n  IADD v1, v1, v2\n", i)
+	}
+	b.WriteString(`  MOVI v3, 1
+  IADD v4, v4, v3
+  MOVI v5, 4
+  ISET.LT v6, v4, v5
+  CBR v6, loop
+  MOVI v7, 7
+  SHL v8, v0, v7
+  STG [v8], v1
+  EXIT
+`)
+	p := isa.MustParse(b.String())
+	p.Entry().SpillLocal = slots
+	d := device.GTX680()
+	run := func(cc device.CacheConfig) *Stats {
+		st, err := Simulate(Config{Device: d, Cache: cc, BlocksPerSM: 2, RegsPerThread: 16},
+			&interp.Launch{Prog: p, GridWarps: 128})
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		return st
+	}
+	small := run(device.SmallCache)
+	large := run(device.LargeCache)
+	// Working set per SM: 16 warps x 12 slots x 128B = 24KB: fits the
+	// (power-of-two-rounded) 48KB L1, thrashes the 16KB one.
+	if large.L1Misses >= small.L1Misses {
+		t.Errorf("48KB L1 misses (%d) should be below 16KB L1 misses (%d)",
+			large.L1Misses, small.L1Misses)
+	}
+	if large.Cycles >= small.Cycles {
+		t.Errorf("large cache (%d cycles) should beat small cache (%d) for this working set",
+			large.Cycles, small.Cycles)
+	}
+	if small.Checksum != large.Checksum {
+		t.Error("cache configuration changed semantics")
+	}
+}
+
+func TestIssueWidthHelps(t *testing.T) {
+	// An ALU-bound kernel gains from dual issue.
+	var b strings.Builder
+	b.WriteString(".kernel alu\n.blockdim 32\n.func main\n  RDSP v0, WARPID\n  MOVI v1, 1\n  MOVI v2, 2\n  MOVI v3, 3\n  MOVI v4, 4\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "  IADD v%d, v%d, v%d\n", 1+(i%4), 1+(i%4), 1+((i+1)%4))
+	}
+	b.WriteString("  MOVI v5, 8\n  SHL v6, v0, v5\n  STG [v6], v1\n  EXIT\n")
+	single := device.GTX680()
+	single.IssueWidth = 1
+	dual := device.GTX680()
+	dual.IssueWidth = 2
+	a := simOne(t, single, b.String(), 64)
+	c := simOne(t, dual, b.String(), 64)
+	if c.Cycles >= a.Cycles {
+		t.Errorf("dual issue (%d cycles) should beat single issue (%d cycles)", c.Cycles, a.Cycles)
+	}
+}
+
+func TestStatsIPC(t *testing.T) {
+	st := &Stats{Cycles: 100, Instructions: 250}
+	if got := st.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	empty := &Stats{}
+	if empty.IPC() != 0 {
+		t.Error("IPC of empty stats should be 0")
+	}
+}

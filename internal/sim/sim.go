@@ -1,0 +1,609 @@
+// Package sim is the cycle-approximate GPU timing simulator that stands in
+// for the paper's GTX680 and Tesla C2075 hardware. It executes the exact
+// binaries the Orion compiler emits (via package interp's stepping API)
+// on a multi-SM model with scoreboarded in-order warp issue, a
+// greedy-then-oldest scheduler, per-SM L1 caches (with the Fermi/Kepler
+// global-caching policy difference), a shared L2, DRAM with finite
+// bandwidth (queueing), MSHR limits, shared-memory latency, barriers, and
+// an energy model whose register-file component scales with allocated
+// registers.
+//
+// The paper's occupancy phenomena are emergent here: few resident warps
+// expose DRAM latency; many resident warps execute more spill code (real
+// instructions inserted by the allocator), thrash the L1, and queue on
+// DRAM bandwidth.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// Config describes one simulated launch.
+type Config struct {
+	Device *device.Device
+	Cache  device.CacheConfig
+	// BlocksPerSM is the residency (from the occupancy calculator).
+	BlocksPerSM int
+	// RegsPerThread and SharedPerBlock are the resource allocation backing
+	// the residency; used for energy accounting.
+	RegsPerThread  int
+	SharedPerBlock int
+	// TraceWarps, when positive, records issue events for warps with
+	// global id < TraceWarps into Stats.Trace (timeline profiling).
+	TraceWarps int
+	// Scheduler selects the warp scheduling policy (default GTO).
+	Scheduler Scheduler
+}
+
+// Scheduler is a warp scheduling policy.
+type Scheduler uint8
+
+// Scheduling policies: GTO (greedy-then-oldest — keep issuing the same
+// warp until it stalls, then move on) is the hardware default the
+// evaluation uses; LRR (loose round-robin) rotates warps every cycle,
+// trading single-warp locality for fairness.
+const (
+	GTO Scheduler = iota
+	LRR
+)
+
+// Stats is the outcome of a simulated launch.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	SpillInstrs  uint64
+	MoveInstrs   uint64 // register-to-register moves (compressible stack traffic)
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	DRAMLines        uint64
+	SharedAccesses   uint64
+
+	IssueStallCycles uint64 // SM-cycles with nothing issued
+
+	// Stall attribution in warp-cycles: time warps spent unable to issue,
+	// classified by the hazard that blocked them (a warp waiting on a
+	// load's result counts toward StallMem, etc.). Sums can exceed Cycles
+	// because warps stall concurrently.
+	StallMem     uint64
+	StallALU     uint64
+	StallBarrier uint64
+	StallMSHR    uint64
+
+	Energy       float64
+	EnergyStatic float64
+	EnergyRF     float64
+
+	Checksum uint64
+	Warps    int
+
+	// AvgResidentWarps is the time-averaged number of resident (launched,
+	// unfinished) warps per SM — the *achieved* occupancy, which trails the
+	// configured residency during tail waves.
+	AvgResidentWarps float64
+
+	// Trace holds issue records when Config.TraceWarps was set.
+	Trace *Trace
+}
+
+// IPC returns instructions per cycle across the device.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+const (
+	spaceLocalBit  = uint64(1) << 40
+	maxStepsFactor = 50_000_000
+)
+
+type stallKind uint8
+
+const (
+	stallNone stallKind = iota
+	stallMem
+	stallALU
+	stallBarrier
+	stallMSHR
+)
+
+type warpCtx struct {
+	exec  interp.Executor
+	gid   int32 // global warp id
+	trace bool
+	ev    interp.Event
+	hasEv bool
+	ready uint64
+	// wake is the next cycle at which checking this warp can possibly
+	// succeed (scoreboard and structural hazards have exact release
+	// times); the issue scan skips the warp until then.
+	wake    uint64
+	atBar   bool
+	done    bool
+	block   *blockCtx
+	pending [640]uint64 // register -> cycle at which its value is ready
+
+	// Stall attribution.
+	lastIssue   uint64
+	stall       stallKind
+	memPendHigh uint64 // latest cycle a memory result becomes ready
+}
+
+type blockCtx struct {
+	id       int
+	live     int // warps not yet exited
+	barCount int
+	warps    []*warpCtx
+}
+
+type smCtx struct {
+	id       int
+	warps    []*warpCtx
+	blocks   []*blockCtx
+	l1       *cache
+	mshr     []uint64 // completion cycles of outstanding misses
+	lastWarp int
+	// sharedFree is the cycle at which the shared-memory port next frees
+	// (bandwidth queueing, like the DRAM channel).
+	sharedFree float64
+}
+
+// Simulate runs the launch to completion and returns its statistics.
+func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
+	d := cfg.Device
+	if cfg.BlocksPerSM <= 0 {
+		return nil, fmt.Errorf("sim: residency is zero blocks per SM")
+	}
+	if err := isa.Validate(lc.Prog); err != nil {
+		return nil, err
+	}
+	layout, err := interp.NewLayout(lc.Prog)
+	if err != nil {
+		return nil, err
+	}
+	wpb := lc.WarpsPerBlock()
+	if wpb <= 0 {
+		return nil, fmt.Errorf("sim: block dim %d too small", lc.Prog.BlockDim)
+	}
+	numBlocks := (lc.GridWarps + wpb - 1) / wpb
+	sharedWords := (lc.Prog.SharedBytes + 3) / 4
+
+	st := &Stats{Warps: lc.GridWarps}
+	if cfg.TraceWarps > 0 {
+		st.Trace = &Trace{MaxWarps: cfg.TraceWarps}
+	}
+	l2 := newCache(d.L2Bytes, d.LineBytes, 8)
+	sms := make([]*smCtx, d.SMs)
+	for i := range sms {
+		sms[i] = &smCtx{id: i, l1: newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4)}
+	}
+	nextBlock := 0
+	var dramFree float64
+	simt := lc.Prog.UsesLaneID()
+	var launchErr error
+
+	launchBlock := func(sm *smCtx, now uint64) int {
+		if nextBlock >= numBlocks {
+			return 0
+		}
+		bid := nextBlock
+		nextBlock++
+		n := wpb
+		if rem := lc.GridWarps - bid*wpb; rem < n {
+			n = rem
+		}
+		blk := &blockCtx{id: bid, live: n}
+		var shared []uint32
+		if sharedWords > 0 {
+			shared = make([]uint32, sharedWords)
+		}
+		for k := 0; k < n; k++ {
+			var ex interp.Executor
+			if simt {
+				sw, err2 := interp.NewSIMTWarp(lc, layout, bid*wpb+k, shared)
+				if err2 != nil {
+					launchErr = err2
+					return 0
+				}
+				sw.SMID = sm.id
+				ex = sw
+			} else {
+				w := interp.NewWarp(lc, layout, bid*wpb+k, shared)
+				w.SMID = sm.id
+				ex = w
+			}
+			wc := &warpCtx{exec: ex, ready: now, wake: now, block: blk, gid: int32(bid*wpb + k)}
+			wc.trace = st.Trace != nil && bid*wpb+k < cfg.TraceWarps
+			blk.warps = append(blk.warps, wc)
+			sm.warps = append(sm.warps, wc)
+		}
+		sm.blocks = append(sm.blocks, blk)
+		return n
+	}
+
+	now := uint64(0)
+	liveWarps := 0
+	// Initial residency.
+	for b := 0; b < cfg.BlocksPerSM; b++ {
+		for _, sm := range sms {
+			liveWarps += launchBlock(sm, 0)
+		}
+	}
+	if launchErr != nil {
+		return nil, launchErr
+	}
+	stepBudget := uint64(maxStepsFactor)
+
+	// memOne charges one line-sized memory transaction and returns its
+	// latency.
+	memOne := func(sm *smCtx, ev *interp.Event, line uint64, isLoad bool) uint64 {
+		if ev.Space == interp.SpaceLocal {
+			line |= spaceLocalBit
+		}
+		useL1 := ev.Space == interp.SpaceLocal || d.L1GlobalCaching
+		var lat uint64
+		switch {
+		case useL1 && sm.l1.access(line, now):
+			st.L1Hits++
+			lat = uint64(d.L1Latency)
+			st.Energy += d.EnergyMem * 0.2
+		case l2.access(line, now):
+			if useL1 {
+				st.L1Misses++
+			}
+			st.L2Hits++
+			lat = uint64(d.L1Latency + d.L2Latency)
+			st.Energy += d.EnergyMem * 0.5
+		default:
+			if useL1 {
+				st.L1Misses++
+			}
+			st.L2Misses++
+			st.DRAMLines++
+			start := math.Max(dramFree, float64(now))
+			dramFree = start + d.DRAMServiceCycles
+			queue := uint64(start) - now
+			lat = uint64(d.L1Latency+d.L2Latency+d.DRAMLatency) + queue
+			st.Energy += d.EnergyMem
+		}
+		if isLoad && lat > uint64(d.L1Latency) {
+			sm.mshr = append(sm.mshr, now+lat)
+		}
+		return lat
+	}
+
+	// memAccess charges a memory operation: one transaction per distinct
+	// cache line the warp touches (Lines is nil in warp-scalar mode — one
+	// line at Addr; a SIMT warp's uncoalesced access pays per line).
+	memAccess := func(sm *smCtx, ev *interp.Event, isLoad bool) (uint64, bool) {
+		nLines := 1
+		if ev.Lines != nil {
+			nLines = len(ev.Lines)
+			if nLines == 0 {
+				nLines = 1
+			}
+		}
+		// MSHR admission for loads that may miss.
+		if isLoad {
+			live := sm.mshr[:0]
+			for _, c := range sm.mshr {
+				if c > now {
+					live = append(live, c)
+				}
+			}
+			sm.mshr = live
+			if len(sm.mshr)+nLines > d.MSHRs {
+				return 0, false // structural stall
+			}
+		}
+		if ev.Lines == nil {
+			return memOne(sm, ev, uint64(ev.Addr)/uint64(d.LineBytes), isLoad), true
+		}
+		var lat uint64
+		for _, line := range ev.Lines {
+			if l := memOne(sm, ev, line, isLoad); l > lat {
+				lat = l
+			}
+		}
+		return lat, true
+	}
+
+	finishWarp := func(sm *smCtx, wc *warpCtx) {
+		wc.done = true
+		_, cks, _ := wc.exec.Result()
+		st.Checksum ^= cks
+		liveWarps--
+		blk := wc.block
+		blk.live--
+		if blk.live == blk.barCount && blk.barCount > 0 {
+			releaseBarrier(blk, now, uint64(d.SharedLat))
+		}
+		if blk.live == 0 {
+			// Retire the block's warp contexts so issue scans stay short.
+			keep := sm.warps[:0]
+			for _, w := range sm.warps {
+				if w.block != blk {
+					keep = append(keep, w)
+				}
+			}
+			sm.warps = keep
+			sm.lastWarp = 0
+			liveWarps += launchBlock(sm, now+1)
+		}
+	}
+
+	issueOne := func(sm *smCtx, wc *warpCtx) bool {
+		if wc.done || wc.atBar || wc.wake > now {
+			return false
+		}
+		if !wc.hasEv {
+			wc.ev = wc.exec.Peek()
+			wc.hasEv = true
+		}
+		ev := &wc.ev
+		// Scoreboard: sources and destination must be ready. On a hazard
+		// the blocking registers' exact release time becomes the wake time.
+		var hazard uint64
+		for i := 0; i < ev.NSrc; i++ {
+			r := ev.AbsSrc[i]
+			w := ev.Instr.SrcWidth(i)
+			for k := 0; k < w; k++ {
+				if p := wc.pending[r+k]; p > hazard {
+					hazard = p
+				}
+			}
+		}
+		if ev.AbsDst >= 0 {
+			for k := 0; k < ev.Instr.W(); k++ {
+				if p := wc.pending[ev.AbsDst+k]; p > hazard {
+					hazard = p
+				}
+			}
+		}
+		if hazard > now {
+			wc.wake = hazard
+			if hazard <= wc.memPendHigh {
+				wc.stall = stallMem
+			} else {
+				wc.stall = stallALU
+			}
+			return false
+		}
+		isLoad := ev.Kind == interp.KindLoad
+		var lat uint64
+		switch ev.Kind {
+		case interp.KindALU:
+			lat = uint64(d.ALULatency)
+			st.Energy += d.EnergyALU
+		case interp.KindFPU:
+			lat = uint64(d.FPULatency)
+			st.Energy += d.EnergyALU * 1.5
+		case interp.KindBranch:
+			lat = uint64(d.ALULatency)
+			st.Energy += d.EnergyALU
+		case interp.KindCall:
+			lat = uint64(2 * d.ALULatency)
+			st.Energy += 2 * d.EnergyALU
+		case interp.KindBarrier, interp.KindExit:
+			lat = 1
+		case interp.KindLoad, interp.KindStore:
+			if ev.Space == interp.SpaceShared {
+				service := d.SharedServiceCycles
+				if ev.BankConflicts > 1 {
+					// Conflicting lanes serialize: the banked array replays
+					// the access once per conflicting group.
+					service *= float64(ev.BankConflicts)
+				}
+				start := math.Max(sm.sharedFree, float64(now))
+				sm.sharedFree = start + service
+				lat = uint64(d.SharedLat) + uint64(start) - now
+				if ev.BankConflicts > 1 {
+					lat += uint64(float64(ev.BankConflicts-1) * d.SharedServiceCycles)
+				}
+				st.SharedAccesses++
+				st.Energy += d.EnergyShared
+			} else {
+				var ok bool
+				lat, ok = memAccess(sm, ev, isLoad)
+				if !ok {
+					// MSHR full: wake when the earliest miss completes.
+					earliest := uint64(math.MaxUint64)
+					for _, c := range sm.mshr {
+						if c < earliest {
+							earliest = c
+						}
+					}
+					if earliest == math.MaxUint64 || earliest <= now {
+						earliest = now + 1
+					}
+					wc.wake = earliest
+					wc.stall = stallMSHR
+					return false
+				}
+				if !isLoad {
+					lat = 1 // stores retire through the write queue
+				}
+			}
+		}
+
+		// Successful issue: attribute the gap since the warp's last issue
+		// to whatever stalled it.
+		if wc.stall != stallNone && now > wc.lastIssue+1 {
+			g := now - wc.lastIssue - 1
+			switch wc.stall {
+			case stallMem:
+				st.StallMem += g
+			case stallALU:
+				st.StallALU += g
+			case stallBarrier:
+				st.StallBarrier += g
+			case stallMSHR:
+				st.StallMSHR += g
+			}
+		}
+		wc.lastIssue = now
+		wc.stall = stallNone
+		if wc.trace {
+			st.Trace.Records = append(st.Trace.Records, IssueRecord{
+				Cycle: now, SM: int16(sm.id), Warp: wc.gid, Kind: ev.Kind,
+				Mem: (ev.Kind == interp.KindLoad || ev.Kind == interp.KindStore) &&
+					ev.Space != interp.SpaceShared,
+			})
+		}
+
+		instr := ev.Instr
+		if _, err2 := wc.exec.Step(); err2 != nil {
+			err = err2
+			return true
+		}
+		wc.hasEv = false
+		st.Instructions++
+		if instr != nil {
+			if instr.IsSpill() {
+				st.SpillInstrs++
+			}
+			if instr.Op == isa.OpMov {
+				st.MoveInstrs++
+			}
+		}
+		wc.ready = now + 1
+		if ev.AbsDst >= 0 {
+			done := now + lat
+			for k := 0; k < instr.W(); k++ {
+				wc.pending[ev.AbsDst+k] = done
+			}
+			if isLoad && ev.Space != interp.SpaceShared && done > wc.memPendHigh {
+				wc.memPendHigh = done
+			}
+		} else if lat > 1 && ev.Kind != interp.KindLoad && ev.Kind != interp.KindStore {
+			wc.ready = now + lat // control ops serialize the warp briefly
+		}
+		wc.wake = wc.ready
+
+		switch ev.Kind {
+		case interp.KindBarrier:
+			blk := wc.block
+			wc.atBar = true
+			wc.stall = stallBarrier
+			blk.barCount++
+			if blk.barCount >= blk.live {
+				releaseBarrier(blk, now, uint64(d.SharedLat))
+			}
+		case interp.KindExit:
+			if wc.exec.Done() {
+				finishWarp(sm, wc)
+			}
+		}
+		return true
+	}
+
+	var residentIntegral float64
+	lastNow := now
+	for liveWarps > 0 {
+		if now > lastNow {
+			residentIntegral += float64(liveWarps) * float64(now-lastNow)
+			lastNow = now
+		}
+		issued := 0
+		for _, sm := range sms {
+			slots := d.IssueWidth
+			// sm.warps can shrink mid-scan when a block retires inside
+			// issueOne, so bounds are re-read every iteration.
+			for scan := 0; scan < len(sm.warps) && slots > 0; scan++ {
+				idx := (sm.lastWarp + scan) % len(sm.warps)
+				wc := sm.warps[idx]
+				if issueOne(sm, wc) {
+					if err != nil {
+						return nil, err
+					}
+					if cfg.Scheduler == LRR && len(sm.warps) > 0 {
+						sm.lastWarp = (idx + 1) % len(sm.warps) // rotate
+					} else if cfg.Scheduler == GTO {
+						sm.lastWarp = idx // greedy: stay on this warp next cycle
+					}
+					slots--
+					issued++
+					if st.Instructions > stepBudget {
+						return nil, fmt.Errorf("sim: instruction budget exceeded (runaway kernel?)")
+					}
+				}
+			}
+			if slots == d.IssueWidth {
+				st.IssueStallCycles++
+			}
+		}
+		if issued > 0 {
+			now++
+			continue
+		}
+		// Nothing issued anywhere: skip ahead to the earliest wake time.
+		next := uint64(math.MaxUint64)
+		for _, sm := range sms {
+			for _, wc := range sm.warps {
+				if wc.done || wc.atBar {
+					continue
+				}
+				cand := wc.wake
+				if cand <= now {
+					cand = now + 1
+				}
+				if cand < next {
+					next = cand
+				}
+			}
+		}
+		if next == math.MaxUint64 {
+			return nil, fmt.Errorf("sim: deadlock with %d live warps", liveWarps)
+		}
+		now = next
+	}
+
+	st.Cycles = now
+	if now > lastNow {
+		residentIntegral += float64(liveWarps) * float64(now-lastNow)
+	}
+	if now > 0 {
+		st.AvgResidentWarps = residentIntegral / float64(now) / float64(d.SMs)
+	}
+	// Time-dependent energy: static leakage plus register-file leakage
+	// proportional to the allocated fraction.
+	regsPerWarp := cfg.RegsPerThread * d.WarpSize
+	if g := d.RegGranularity; g > 1 {
+		regsPerWarp = (regsPerWarp + g - 1) / g * g
+	}
+	allocRegs := float64(cfg.BlocksPerSM*wpb*regsPerWarp) / float64(d.RegsPerSM)
+	if allocRegs > 1 {
+		allocRegs = 1
+	}
+	st.EnergyStatic = d.StaticPower * float64(st.Cycles) * float64(d.SMs) / 1000
+	st.EnergyRF = d.RegFilePower * allocRegs * float64(st.Cycles) * float64(d.SMs) / 1000
+	st.Energy += st.EnergyStatic + st.EnergyRF
+
+	st.L1Hits = 0
+	st.L1Misses = 0
+	for _, sm := range sms {
+		st.L1Hits += sm.l1.hits
+		st.L1Misses += sm.l1.misses
+	}
+	st.L2Hits = l2.hits
+	st.L2Misses = l2.misses
+	return st, nil
+}
+
+func releaseBarrier(blk *blockCtx, now, lat uint64) {
+	for _, w := range blk.warps {
+		if w.atBar {
+			w.atBar = false
+			w.ready = now + lat
+			w.wake = w.ready
+		}
+	}
+	blk.barCount = 0
+}

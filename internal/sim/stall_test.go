@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+func TestStallAttributionMemoryBound(t *testing.T) {
+	// One warp chasing dependent loads: nearly all its stall time is
+	// memory.
+	d := device.GTX680()
+	st := simOne(t, d, dependentLoads(16), 1)
+	if st.StallMem == 0 {
+		t.Fatal("no memory stalls recorded for a pointer chase")
+	}
+	if st.StallMem < 10*st.StallALU {
+		t.Errorf("memory stalls (%d) should dominate ALU stalls (%d)", st.StallMem, st.StallALU)
+	}
+	if st.StallBarrier != 0 {
+		t.Errorf("barrier stalls %d in a kernel without barriers", st.StallBarrier)
+	}
+}
+
+func TestStallAttributionALUBound(t *testing.T) {
+	// A long dependent integer chain with one warp: ALU stalls dominate.
+	src := `
+.kernel chain
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 1
+  MOVI v2, 3
+`
+	for i := 0; i < 100; i++ {
+		src += "  IMUL v1, v1, v2\n  IADD v1, v1, v2\n"
+	}
+	src += `  MOVI v3, 10
+  SHL v4, v0, v3
+  STG [v4], v1
+  EXIT
+`
+	st := simOne(t, device.GTX680(), src, 1)
+	if st.StallALU == 0 {
+		t.Fatal("no ALU stalls recorded for a dependence chain")
+	}
+	if st.StallALU < 5*st.StallMem {
+		t.Errorf("ALU stalls (%d) should dominate memory stalls (%d)", st.StallALU, st.StallMem)
+	}
+}
+
+func TestStallAttributionBarrier(t *testing.T) {
+	// One warp in a block does extra work; its siblings wait at the
+	// barrier.
+	src := `
+.kernel barwait
+.shared 256
+.blockdim 128
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  MOVI v3, 0
+  CBR v2, slow
+  BRA meet
+slow:
+  MOVI v4, 0
+  MOVI v5, 60
+spin:
+  IADD v3, v3, v4
+  IMUL v3, v3, v3
+  MOVI v6, 1
+  IADD v4, v4, v6
+  ISET.LT v7, v4, v5
+  CBR v7, spin
+meet:
+  BAR
+  MOVI v8, 4
+  SHL v9, v0, v8
+  STG [v9], v3
+  EXIT
+`
+	st := simOne(t, device.GTX680(), src, 4)
+	if st.StallBarrier == 0 {
+		t.Error("no barrier stalls recorded despite imbalanced block")
+	}
+}
+
+func TestStallsReportedInStats(t *testing.T) {
+	p := isa.MustParse(memKernel)
+	st, err := Simulate(Config{Device: device.TeslaC2075(), Cache: device.SmallCache,
+		BlocksPerSM: 1, RegsPerThread: 16},
+		&interp.Launch{Prog: p, GridWarps: 14})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	total := st.StallMem + st.StallALU + st.StallBarrier + st.StallMSHR
+	if total == 0 {
+		t.Error("no stalls at single-block residency on a memory kernel")
+	}
+}

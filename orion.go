@@ -1,0 +1,236 @@
+// Package orion is a from-scratch reproduction of "Orion: A Framework for
+// GPU Occupancy Tuning" (Hayes, Li, Chavarría-Miranda, Song, Zhang,
+// ACM Middleware 2016).
+//
+// Orion tunes the occupancy of GPU kernels — the fraction of the
+// hardware's warp slots actually resident — by combining a binary-level
+// compiler with a runtime feedback tuner. The compiler realizes occupancy
+// levels by register allocation (a Chaitin-Briggs variant with wide
+// variables), spilling into shared memory and L1-backed local memory, and
+// an inter-procedural compressible stack whose slot layout is optimized by
+// Kuhn-Munkres matching; the runtime walks candidate binaries using
+// measured kernel times, splitting kernels when an application offers no
+// iterations.
+//
+// Since the paper's platforms (NVIDIA GTX680 and Tesla C2075) cannot be
+// assumed, this reproduction supplies the full substrate in Go: a
+// SASS-like virtual ISA (OASM), assembler/disassembler and binary
+// encoder/decoder, SSA-based middle end, the allocators, an NVIDIA-style
+// occupancy calculator, and a cycle-approximate multi-SM timing simulator
+// with caches, DRAM bandwidth queueing, and an energy model. See DESIGN.md
+// for the substitution rationale and EXPERIMENTS.md for paper-vs-measured
+// results.
+//
+// Quick start:
+//
+//	prog, err := orion.ParseKernel(src)      // OASM text -> program
+//	r := orion.NewRealizer(orion.GTX680(), orion.SmallCache)
+//	report, err := r.Tune(prog, orion.Launch{GridWarps: 4096, Iterations: 8})
+//	fmt.Println(report.Chosen.TargetWarps)   // the selected occupancy
+package orion
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+	"repro/internal/sim"
+)
+
+// Re-exported core types. The paper's contribution lives in these:
+// Realizer compiles occupancy-adaptive binaries (Section 3.2-3.3), Tuner
+// adapts at runtime (Section 3.4).
+type (
+	// Realizer compiles a kernel for a device and cache configuration and
+	// provides Compile (Figure 8), Tune (end-to-end), Sweep (exhaustive
+	// search), Realize (one occupancy level), and Baseline (nvcc-like).
+	Realizer = core.Realizer
+	// Version is one occupancy-realized binary.
+	Version = core.Version
+	// Candidate pairs a version with a target occupancy level.
+	Candidate = core.Candidate
+	// CompileResult is the compile-time tuning output.
+	CompileResult = core.CompileResult
+	// TuneReport is the end-to-end tuning outcome.
+	TuneReport = core.TuneReport
+	// Tuner is the runtime selection state machine (Figure 9).
+	Tuner = core.Tuner
+	// Launch describes a kernel's grid and application iterations.
+	Launch = core.Launch
+	// LevelResult is one point of an occupancy sweep.
+	LevelResult = core.LevelResult
+	// Headroom describes an occupancy plateau and the resources running at
+	// its low end frees (paper Section 4.2).
+	Headroom = core.Headroom
+
+	// Program is a kernel: entry function plus device functions.
+	Program = isa.Program
+	// Device describes a simulated GPU platform.
+	Device = device.Device
+	// CacheConfig selects the shared/L1 split of on-chip memory.
+	CacheConfig = device.CacheConfig
+	// OccupancyResult reports SM residency for a resource configuration.
+	OccupancyResult = occupancy.Result
+	// SimStats is a simulated launch's outcome.
+	SimStats = sim.Stats
+	// Kernel is one evaluation benchmark.
+	Kernel = kernels.Kernel
+	// Suite regenerates the paper's tables and figures.
+	Suite = bench.Suite
+	// ResultTable is a rendered experiment result.
+	ResultTable = bench.Table
+)
+
+// Cache configurations (paper Table 3).
+const (
+	SmallCache = device.SmallCache // 16 KB L1 + 48 KB shared
+	LargeCache = device.LargeCache // 48 KB L1 + 16 KB shared
+)
+
+// Tuning directions (paper Section 3.3).
+const (
+	Increasing = core.Increasing
+	Decreasing = core.Decreasing
+)
+
+// GTX680 returns the simulated Kepler platform.
+func GTX680() *Device { return device.GTX680() }
+
+// TeslaC2075 returns the simulated Fermi platform.
+func TeslaC2075() *Device { return device.TeslaC2075() }
+
+// Devices returns both evaluation platforms in paper order.
+func Devices() []*Device { return device.Both() }
+
+// NewRealizer returns an Orion compiler for the device and cache
+// configuration, with the full optimization set enabled.
+func NewRealizer(d *Device, cc CacheConfig) *Realizer { return core.NewRealizer(d, cc) }
+
+// ParseKernel assembles OASM text into a program.
+func ParseKernel(src string) (*Program, error) { return isa.Parse(src) }
+
+// FormatKernel disassembles a program to OASM text.
+func FormatKernel(p *Program) string { return isa.Format(p) }
+
+// EncodeKernel serializes a program to the ORN1 binary format (the form
+// the Orion compiler consumes and produces, like SASS in the paper).
+func EncodeKernel(p *Program) []byte { return isa.Encode(p) }
+
+// DecodeKernel parses an ORN1 binary.
+func DecodeKernel(data []byte) (*Program, error) { return isa.Decode(data) }
+
+// ValidateKernel checks structural invariants of a program.
+func ValidateKernel(p *Program) error { return isa.Validate(p) }
+
+// MaxLive computes the compile-time register-demand metric that picks the
+// tuning direction (paper Section 3.3).
+func MaxLive(p *Program) (int, error) { return core.MaxLive(p) }
+
+// UnrollLoop doubles the entry function's canonical counted loop — the
+// optimization Section 4.2 pairs with plateau headroom (it trades
+// register pressure for fewer dynamic instructions). It returns a new
+// program, or an error when the loop shape does not admit unrolling.
+func UnrollLoop(p *Program) (*Program, error) {
+	nf, err := ir.UnrollCountedLoop(p.Entry())
+	if err != nil {
+		return nil, err
+	}
+	np := p.Clone()
+	np.Funcs[0] = nf
+	return np, nil
+}
+
+// EncodeFat serializes a compile result into the paper's multi-version
+// binary (Figure 3): every candidate version plus the tuning metadata the
+// runtime needs.
+func EncodeFat(cr *CompileResult) []byte { return core.EncodeFat(cr) }
+
+// DecodeFat parses a multi-version binary; the result drives NewTuner
+// without recompilation.
+func DecodeFat(data []byte) (*CompileResult, error) { return core.DecodeFat(data) }
+
+// NewTuner builds the runtime occupancy tuner (Figure 9) from compile-time
+// output, whether freshly compiled or decoded from a multi-version binary.
+func NewTuner(cr *CompileResult) *Tuner { return core.NewTuner(cr) }
+
+// OccupancyLevels enumerates the achievable warps-per-SM levels for a
+// block size on a device.
+func OccupancyLevels(d *Device, blockDim int) []int {
+	return occupancy.Levels(d, blockDim)
+}
+
+// Occupancy runs the NVIDIA-calculator-style residency computation.
+func Occupancy(d *Device, cc CacheConfig, regsPerThread, sharedPerBlock, blockDim int) (OccupancyResult, error) {
+	return occupancy.Calc(d, cc, occupancy.Config{
+		RegsPerThread:  regsPerThread,
+		SharedPerBlock: sharedPerBlock,
+		BlockDim:       blockDim,
+	})
+}
+
+// Simulate executes a compiled version at a target occupancy on the
+// simulated device.
+func Simulate(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps int) (*SimStats, error) {
+	return v.RunAt(d, cc, targetWarps, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+}
+
+// Profile is Simulate with issue tracing for the first traceWarps warps;
+// the result's Trace renders a per-warp timeline.
+func Profile(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps, traceWarps int) (*SimStats, error) {
+	return v.ProfileAt(d, cc, targetWarps, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, traceWarps)
+}
+
+// Execute runs a program functionally (no timing) and returns its store
+// checksum and dynamic instruction count; useful for verifying that
+// transformed binaries preserve semantics.
+func Execute(p *Program, gridWarps int) (checksum uint64, steps int, err error) {
+	res, err := interp.Run(&interp.Launch{Prog: p, GridWarps: gridWarps}, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Checksum, res.Steps, nil
+}
+
+// Prediction is the Hong & Kim MWP-CWP analytical model's output — the
+// prior prediction-based approach the paper contrasts Orion's measured
+// feedback against.
+type Prediction = analytic.Prediction
+
+// PredictOccupancy profiles the program functionally and predicts its
+// cycles at the given occupancy with the MWP-CWP model.
+func PredictOccupancy(d *Device, p *Program, activeWarpsPerSM, totalWarps int) (Prediction, error) {
+	return analytic.PredictProgram(d, p, activeWarpsPerSM, totalWarps)
+}
+
+// EnergyPrediction is the integrated power-and-performance model's output
+// (the paper's reference [13]).
+type EnergyPrediction = analytic.EnergyPrediction
+
+// PredictEnergy predicts a program's energy at the given occupancy and
+// register allocation with the component power model of [13].
+func PredictEnergy(d *Device, p *Program, activeWarpsPerSM, totalWarps, regsPerThread int) (EnergyPrediction, error) {
+	return analytic.PredictProgramEnergy(d, p, activeWarpsPerSM, totalWarps, regsPerThread)
+}
+
+// PlateauHeadroom analyzes a sweep for the paper's Section 4.2
+// observation: the occupancy range with best-class performance and the
+// per-thread resources freed by running at its low end.
+func PlateauHeadroom(d *Device, cc CacheConfig, blockDim int, sweep []LevelResult) Headroom {
+	return core.PlateauHeadroom(d, cc, blockDim, sweep)
+}
+
+// Benchmarks returns the paper's evaluation kernels (Table 2 plus
+// heartwall and matrixMul).
+func Benchmarks() []*Kernel { return kernels.All() }
+
+// Benchmark returns one evaluation kernel by name.
+func Benchmark(name string) (*Kernel, error) { return kernels.ByName(name) }
+
+// NewSuite returns an experiment suite; scale 1.0 reproduces the recorded
+// results, smaller values shrink the grids proportionally.
+func NewSuite(scale float64) *Suite { return bench.New(scale) }

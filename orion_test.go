@@ -1,0 +1,171 @@
+package orion_test
+
+import (
+	"testing"
+
+	orion "repro"
+)
+
+const apiKernel = `
+.kernel api
+.blockdim 256
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 12
+  SHL v2, v0, v1
+  MOVI v3, 0
+  MOVI v4, 0
+loop:
+  IADD v5, v2, v3
+  LDG v6, [v5]
+  XOR v4, v4, v6
+  MOVI v7, 128
+  IADD v3, v3, v7
+  MOVI v8, 2048
+  ISET.LT v9, v3, v8
+  CBR v9, loop
+  STG [v2], v4
+  EXIT
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p, err := orion.ParseKernel(apiKernel)
+	if err != nil {
+		t.Fatalf("ParseKernel: %v", err)
+	}
+	if err := orion.ValidateKernel(p); err != nil {
+		t.Fatalf("ValidateKernel: %v", err)
+	}
+	bin := orion.EncodeKernel(p)
+	q, err := orion.DecodeKernel(bin)
+	if err != nil {
+		t.Fatalf("DecodeKernel: %v", err)
+	}
+	if orion.FormatKernel(q) != orion.FormatKernel(p) {
+		t.Error("binary round trip changed the program")
+	}
+	a, _, err := orion.Execute(p, 8)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b, _, err := orion.Execute(q, 8)
+	if err != nil {
+		t.Fatalf("Execute decoded: %v", err)
+	}
+	if a != b {
+		t.Error("decoded binary computes a different result")
+	}
+}
+
+func TestPublicAPITune(t *testing.T) {
+	p, err := orion.ParseKernel(apiKernel)
+	if err != nil {
+		t.Fatalf("ParseKernel: %v", err)
+	}
+	for _, d := range orion.Devices() {
+		r := orion.NewRealizer(d, orion.SmallCache)
+		rep, err := r.Tune(p, orion.Launch{GridWarps: 256, Iterations: 6})
+		if err != nil {
+			t.Fatalf("%s: Tune: %v", d.Name, err)
+		}
+		if rep.Chosen == nil || rep.Chosen.TargetWarps <= 0 {
+			t.Errorf("%s: no selection", d.Name)
+		}
+		want, _, err := orion.Execute(p, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := orion.Execute(rep.Chosen.Version.Prog, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Errorf("%s: tuned binary changed semantics", d.Name)
+		}
+	}
+}
+
+func TestPublicAPIOccupancy(t *testing.T) {
+	d := orion.GTX680()
+	res, err := orion.Occupancy(d, orion.SmallCache, 63, 0, 256)
+	if err != nil {
+		t.Fatalf("Occupancy: %v", err)
+	}
+	if res.ActiveWarps != 32 {
+		t.Errorf("63 regs: %d warps, want 32", res.ActiveWarps)
+	}
+	levels := orion.OccupancyLevels(d, 256)
+	if len(levels) != 8 || levels[7] != 64 {
+		t.Errorf("levels = %v", levels)
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	if len(orion.Benchmarks()) != 14 {
+		t.Errorf("benchmarks = %d, want 14", len(orion.Benchmarks()))
+	}
+	k, err := orion.Benchmark("cfd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := orion.MaxLive(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml < 50 {
+		t.Errorf("cfd max-live = %d, want high pressure", ml)
+	}
+}
+
+// TestUnrollThroughPipeline: the Section 4.2 scenario end to end — unroll
+// a benchmark's loop, recompile, and verify semantics and the pressure
+// increase the paper warns about.
+func TestUnrollThroughPipeline(t *testing.T) {
+	k, err := orion.Benchmark("srad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled, err := orion.UnrollLoop(k.Prog)
+	if err != nil {
+		t.Fatalf("UnrollLoop: %v", err)
+	}
+	want, steps, err := orion.Execute(k.Prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, steps2, err := orion.Execute(unrolled, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("unrolling changed srad's result")
+	}
+	if steps2 >= steps {
+		t.Errorf("unrolled srad executes %d steps, original %d", steps2, steps)
+	}
+	mlBefore, err := orion.MaxLive(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlAfter, err := orion.MaxLive(unrolled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlAfter < mlBefore {
+		t.Errorf("max-live dropped: %d -> %d", mlBefore, mlAfter)
+	}
+	// The unrolled kernel still compiles and runs at a mid occupancy.
+	d := orion.TeslaC2075()
+	r := orion.NewRealizer(d, orion.SmallCache)
+	v, err := r.Realize(unrolled, 24)
+	if err != nil {
+		t.Fatalf("realize unrolled: %v", err)
+	}
+	got2, _, err := orion.Execute(v.Prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Error("allocated unrolled kernel changed semantics")
+	}
+}
