@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test race determinism bench fmt
+
+## check: the full CI gate — vet, build, race-enabled tests, and the
+## serial-vs-parallel determinism suite.
+check: vet build race determinism
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## determinism: byte-identity of suite tables across serial/uncached and
+## parallel/cached runs, under the race detector.
+determinism:
+	$(GO) test -race -run Determinism ./internal/bench/
+
+## bench: the end-to-end suite benchmark behind the wall-clock claim
+## (cached vs uncached).
+bench:
+	$(GO) test -run '^$$' -bench SuiteEndToEnd -benchtime 1x .
+
+fmt:
+	gofmt -l .

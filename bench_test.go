@@ -68,6 +68,36 @@ func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
 // BenchmarkTable3 regenerates Table 3 (cache configurations).
 func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
 
+// suiteEndToEnd regenerates every experiment, resetting the memo caches
+// each iteration so the measurement covers a cold full-suite run.
+func suiteEndToEnd(b *testing.B, cached bool) {
+	b.Helper()
+	core.SetRealizeCacheEnabled(cached)
+	core.SetRunCacheEnabled(cached)
+	defer core.SetRealizeCacheEnabled(true)
+	defer core.SetRunCacheEnabled(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetRealizeCache()
+		core.ResetRunCache()
+		s := orion.NewSuite(benchScale)
+		for _, e := range s.Experiments() {
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteEndToEnd regenerates the full evaluation suite with the
+// realization and simulation caches active — the configuration behind
+// the PR's wall-clock claim. Compare against the NoCache variant.
+func BenchmarkSuiteEndToEnd(b *testing.B) { suiteEndToEnd(b, true) }
+
+// BenchmarkSuiteEndToEndNoCache is the pre-memoization baseline: every
+// realization and simulation is recomputed from scratch.
+func BenchmarkSuiteEndToEndNoCache(b *testing.B) { suiteEndToEnd(b, false) }
+
 // BenchmarkCompilerRealize measures one full occupancy realization
 // (webs, liveness, Chaitin-Briggs, compressible stack) of the
 // highest-pressure benchmark.

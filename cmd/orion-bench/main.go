@@ -4,20 +4,28 @@
 // Usage:
 //
 //	orion-bench [-exp fig1,fig11,... | -exp all] [-scale 1.0] [-progress]
+//	            [-parallel N] [-json out.json] [-cpuprofile out.pprof]
 //
-// At scale 1.0 the full suite takes tens of minutes (it sweeps every
-// occupancy level of every benchmark on both devices); smaller scales
-// shrink the grids proportionally and preserve the shapes.
+// At scale 1.0 the full suite sweeps every occupancy level of every
+// benchmark on both devices; smaller scales shrink the grids
+// proportionally and preserve the shapes. Experiments fan out over a
+// bounded worker pool (-parallel, default GOMAXPROCS) and realizations
+// are memoized process-wide, so output is byte-identical to a serial,
+// cache-free run. -json records per-experiment wall clock and row data
+// for performance-trajectory tracking across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	orion "repro"
+	"repro/internal/core"
 )
 
 func main() {
@@ -27,17 +35,63 @@ func main() {
 	}
 }
 
+// jsonExperiment is one experiment's recorded outcome.
+type jsonExperiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// jsonReport is the -json artifact: enough to diff both the numbers and
+// the wall-clock trajectory between revisions.
+type jsonReport struct {
+	Scale       float64          `json:"scale"`
+	Parallel    int              `json:"parallel"`
+	Experiments []jsonExperiment `json:"experiments"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	CacheHits   uint64           `json:"realize_cache_hits"`
+	CacheMisses uint64           `json:"realize_cache_misses"`
+	RunHits     uint64           `json:"run_cache_hits"`
+	RunMisses   uint64           `json:"run_cache_misses"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("orion-bench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "comma-separated experiment ids (fig1,fig2,fig5,fig10..fig15,table2,table3) or 'all'")
 	scale := fs.Float64("scale", 1.0, "grid scale factor (1.0 = recorded configuration)")
 	progress := fs.Bool("progress", false, "print per-step progress to stderr")
 	format := fs.String("format", "text", "output format: text or csv")
+	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	noCache := fs.Bool("nocache", false, "disable the realization cache (recompile every version)")
+	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *noCache {
+		core.SetRealizeCacheEnabled(false)
+		core.SetRunCacheEnabled(false)
+		defer core.SetRealizeCacheEnabled(true)
+		defer core.SetRunCacheEnabled(true)
+	}
+
 	s := orion.NewSuite(*scale)
+	s.Parallel = *parallel
 	if *progress {
 		s.Progress = os.Stderr
 	}
@@ -50,6 +104,8 @@ func run(args []string) error {
 		selected = strings.Split(*exp, ",")
 	}
 
+	report := jsonReport{Scale: *scale, Parallel: *parallel}
+	suiteStart := time.Now()
 	fmt.Printf("orion-bench: scale %.3f, experiments: %s\n\n", *scale, strings.Join(selected, ", "))
 	for _, id := range selected {
 		e, err := s.ByID(strings.TrimSpace(id))
@@ -61,7 +117,16 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		tbl.AddNote("wall time %s", time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		tbl.AddNote("wall time %s", wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:     tbl.ID,
+			Title:  tbl.Title,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Header: tbl.Header,
+			Rows:   tbl.Rows,
+			Notes:  tbl.Notes,
+		})
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
 			if err := tbl.WriteCSV(os.Stdout); err != nil {
@@ -70,6 +135,20 @@ func run(args []string) error {
 			fmt.Println()
 		} else {
 			tbl.Fprint(os.Stdout)
+		}
+	}
+	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
+	report.CacheHits, report.CacheMisses = core.RealizeCacheStats()
+	report.RunHits, report.RunMisses = core.RunCacheStats()
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -26,41 +26,49 @@ func (s *Suite) Model() (*Table, error) {
 	// The spill-light benchmarks, where the model's profile stays valid
 	// across levels.
 	names := []string{"backprop", "bfs", "gaussian", "srad", "streamcluster", "matrixMul"}
-	for _, dev := range device.Both() {
-		for _, name := range names {
-			k, err := kernels.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			r := core.NewRealizer(dev, device.SmallCache)
-			grid := s.grid(k)
-			sweep, err := r.Sweep(k.Prog, grid)
-			if err != nil {
-				return nil, fmt.Errorf("model %s/%s: %w", dev.Name, name, err)
-			}
-			bestSim, bestPred := 0, 0
-			var predAtBest float64
-			var bound analytic.Bound
-			for i, lr := range sweep {
-				pr, err := analytic.PredictProgram(dev, lr.Version.Prog, lr.TargetWarps, grid)
-				if err != nil {
-					return nil, err
-				}
-				if i == 0 || lr.Stats.Cycles < sweep[bestSim].Stats.Cycles {
-					bestSim = i
-				}
-				if i == 0 || pr.Cycles < predAtBest {
-					predAtBest = pr.Cycles
-					bestPred = i
-					bound = pr.Bound
-				}
-			}
-			t.AddRow(dev.Name, name,
-				d2(sweep[bestPred].TargetWarps), d2(sweep[bestSim].TargetWarps),
-				fmt.Sprintf("%.0f", predAtBest), d2(int(sweep[bestSim].Stats.Cycles)),
-				string(bound))
-			s.logf("model %s %s done", dev.Name, name)
+	devs := device.Both()
+	rows := make([][]string, len(devs)*len(names))
+	err := s.forEachRow(len(rows), func(idx int) error {
+		dev, name := devs[idx/len(names)], names[idx%len(names)]
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return err
 		}
+		r := core.NewRealizer(dev, device.SmallCache)
+		grid := s.grid(k)
+		sweep, err := r.Sweep(k.Prog, grid)
+		if err != nil {
+			return fmt.Errorf("model %s/%s: %w", dev.Name, name, err)
+		}
+		bestSim, bestPred := 0, 0
+		var predAtBest float64
+		var bound analytic.Bound
+		for i, lr := range sweep {
+			pr, err := analytic.PredictProgram(dev, lr.Version.Prog, lr.TargetWarps, grid)
+			if err != nil {
+				return err
+			}
+			if i == 0 || lr.Stats.Cycles < sweep[bestSim].Stats.Cycles {
+				bestSim = i
+			}
+			if i == 0 || pr.Cycles < predAtBest {
+				predAtBest = pr.Cycles
+				bestPred = i
+				bound = pr.Bound
+			}
+		}
+		rows[idx] = []string{dev.Name, name,
+			d2(sweep[bestPred].TargetWarps), d2(sweep[bestSim].TargetWarps),
+			fmt.Sprintf("%.0f", predAtBest), d2(int(sweep[bestSim].Stats.Cycles)),
+			string(bound)}
+		s.logf("model %s %s done", dev.Name, name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("the model is profiled per level (its required off-line pass); cycle scales are not comparable, orderings are")
 	return t, nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/interproc"
 	"repro/internal/kernels"
 	"repro/internal/occupancy"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -21,6 +24,13 @@ type Suite struct {
 	Scale float64
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
+	// Parallel bounds the experiment worker pool: how many independent
+	// rows (kernel × device × ablation) run concurrently. 0 means
+	// GOMAXPROCS, 1 is fully serial. Results are index-slotted, so tables
+	// are byte-identical at every setting.
+	Parallel int
+
+	mu sync.Mutex // serializes Progress writes from workers
 }
 
 // New returns a suite at the given grid scale.
@@ -33,8 +43,31 @@ func New(scale float64) *Suite {
 
 func (s *Suite) logf(format string, args ...interface{}) {
 	if s.Progress != nil {
+		s.mu.Lock()
 		fmt.Fprintf(s.Progress, format+"\n", args...)
+		s.mu.Unlock()
 	}
+}
+
+func (s *Suite) workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachRow fans n independent row jobs out over the suite's worker pool
+// and returns the lowest-indexed error, so failures are as deterministic
+// as results. Jobs must write their output into index-addressed slots.
+func (s *Suite) forEachRow(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	par.ForEach(s.workers(), n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // grid returns the scaled grid size for a kernel, kept block-aligned.
@@ -229,7 +262,10 @@ func (s *Suite) Fig5() (*Table, error) {
 		Title:  "inter-procedural allocation ablations, GTX680 (paper Fig. 5)",
 		Header: []string{"benchmark", "no space min", "no movement min", "localslots full/nospace", "moves full/nomove"},
 	}
-	for _, k := range kernels.Fig5() {
+	ks := kernels.Fig5()
+	rows := make([][]string, len(ks))
+	err := s.forEachRow(len(ks), func(i int) error {
+		k := ks[i]
 		grid := s.grid(k)
 		// A demanding but not extreme target (75% of maximum) puts all
 		// variants in the regime where allocation quality shows: the
@@ -250,22 +286,29 @@ func (s *Suite) Fig5() (*Table, error) {
 		}
 		base, fullVer, err := run(interproc.DefaultOptions())
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s full: %w", k.Name, err)
+			return fmt.Errorf("fig5 %s full: %w", k.Name, err)
 		}
 		noSpace, noSpaceVer, err := run(interproc.Options{SpaceMin: false, MoveMin: false})
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s no-space: %w", k.Name, err)
+			return fmt.Errorf("fig5 %s no-space: %w", k.Name, err)
 		}
 		noMove, noMoveVer, err := run(interproc.Options{SpaceMin: true, MoveMin: false})
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s no-move: %w", k.Name, err)
+			return fmt.Errorf("fig5 %s no-move: %w", k.Name, err)
 		}
-		t.AddRow(k.Name,
-			f3(float64(noSpace.Cycles)/float64(base.Cycles)),
-			f3(float64(noMove.Cycles)/float64(base.Cycles)),
+		rows[i] = []string{k.Name,
+			f3(float64(noSpace.Cycles) / float64(base.Cycles)),
+			f3(float64(noMove.Cycles) / float64(base.Cycles)),
 			fmt.Sprintf("%d/%d", fullVer.LocalSlots, noSpaceVer.LocalSlots),
-			fmt.Sprintf("%d/%d", fullVer.Moves, noMoveVer.Moves))
+			fmt.Sprintf("%d/%d", fullVer.Moves, noMoveVer.Moves)}
 		s.logf("fig5 %s done", k.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("all variants at 75%% of maximum occupancy on GTX680; normalized to the fully optimized allocator")
 	return t, nil
@@ -294,54 +337,70 @@ func (s *Suite) Fig11() (*Table, error) {
 		Title:  "speedup over nvcc: Orion-Min / Orion-Max / Orion-Select (paper Fig. 11)",
 		Header: []string{"device", "benchmark", "Orion-Min", "nvcc", "Orion-Max", "Orion-Select", "tune iters"},
 	}
-	for _, dev := range device.Both() {
-		var sumSelect float64
-		var n int
-		for _, k := range kernels.Upward() {
-			r := core.NewRealizer(dev, device.SmallCache)
-			grid := s.grid(k)
-			_, baseStats, err := r.Baseline(k.Prog, grid)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s baseline: %w", dev.Name, k.Name, err)
-			}
-			sweep, err := r.Sweep(k.Prog, grid)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s sweep: %w", dev.Name, k.Name, err)
-			}
-			worst, best := sweep[0].Stats.Cycles, sweep[0].Stats.Cycles
-			for _, lr := range sweep {
-				if lr.Stats.Cycles > worst {
-					worst = lr.Stats.Cycles
-				}
-				if lr.Stats.Cycles < best {
-					best = lr.Stats.Cycles
-				}
-			}
-			rep, err := r.Tune(k.Prog, core.Launch{GridWarps: grid, Iterations: k.Iterations})
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s tune: %w", dev.Name, k.Name, err)
-			}
-			// Amortized cost including tuning overhead: the baseline runs
-			// the same number of iterations. Split pieces jointly cover one
-			// grid, so they compare against a single baseline launch.
-			selectCycles := float64(rep.TotalCycles)
-			baseTotal := float64(baseStats.Cycles)
-			if !rep.KernelSplit {
-				baseTotal *= float64(len(rep.History))
-			}
-			base := float64(baseStats.Cycles)
-			t.AddRow(dev.Name, k.Name,
-				f3(base/float64(worst)),
-				"1.000",
-				f3(base/float64(best)),
-				f3(baseTotal/selectCycles),
-				d2(rep.TuneIterations),
-			)
-			sumSelect += baseTotal / selectCycles
-			n++
-			s.logf("fig11 %s %s done", dev.Name, k.Name)
+	devs := device.Both()
+	ks := kernels.Upward()
+	type fig11Row struct {
+		cells []string
+		ratio float64 // Orion-Select speedup over the baseline
+	}
+	rows := make([]fig11Row, len(devs)*len(ks))
+	err := s.forEachRow(len(rows), func(idx int) error {
+		dev, k := devs[idx/len(ks)], ks[idx%len(ks)]
+		r := core.NewRealizer(dev, device.SmallCache)
+		grid := s.grid(k)
+		_, baseStats, err := r.Baseline(k.Prog, grid)
+		if err != nil {
+			return fmt.Errorf("fig11 %s/%s baseline: %w", dev.Name, k.Name, err)
 		}
-		t.AddNote("%s average Orion-Select speedup: %.2f%%", dev.Name, (sumSelect/float64(n)-1)*100)
+		sweep, err := r.Sweep(k.Prog, grid)
+		if err != nil {
+			return fmt.Errorf("fig11 %s/%s sweep: %w", dev.Name, k.Name, err)
+		}
+		worst, best := sweep[0].Stats.Cycles, sweep[0].Stats.Cycles
+		for _, lr := range sweep {
+			if lr.Stats.Cycles > worst {
+				worst = lr.Stats.Cycles
+			}
+			if lr.Stats.Cycles < best {
+				best = lr.Stats.Cycles
+			}
+		}
+		rep, err := r.Tune(k.Prog, core.Launch{GridWarps: grid, Iterations: k.Iterations})
+		if err != nil {
+			return fmt.Errorf("fig11 %s/%s tune: %w", dev.Name, k.Name, err)
+		}
+		// Amortized cost including tuning overhead: the baseline runs
+		// the same number of iterations. Split pieces jointly cover one
+		// grid, so they compare against a single baseline launch.
+		selectCycles := float64(rep.TotalCycles)
+		baseTotal := float64(baseStats.Cycles)
+		if !rep.KernelSplit {
+			baseTotal *= float64(len(rep.History))
+		}
+		base := float64(baseStats.Cycles)
+		rows[idx] = fig11Row{
+			cells: []string{dev.Name, k.Name,
+				f3(base / float64(worst)),
+				"1.000",
+				f3(base / float64(best)),
+				f3(baseTotal / selectCycles),
+				d2(rep.TuneIterations)},
+			ratio: baseTotal / selectCycles,
+		}
+		s.logf("fig11 %s %s done", dev.Name, k.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dev := range devs {
+		var sumSelect float64
+		for ki := range ks {
+			row := rows[di*len(ks)+ki]
+			t.AddRow(row.cells...)
+			sumSelect += row.ratio
+		}
+		t.AddNote("%s average Orion-Select speedup: %.2f%%", dev.Name, (sumSelect/float64(len(ks))-1)*100)
 	}
 	return t, nil
 }
@@ -355,22 +414,32 @@ func (s *Suite) Fig12() (*Table, error) {
 		Title:  "downward tuning: registers and runtime vs nvcc (paper Fig. 12)",
 		Header: []string{"device", "benchmark", "registers", "runtime", "occupancy"},
 	}
-	for _, dev := range device.Both() {
+	devs := device.Both()
+	ks := kernels.Downward()
+	rows := make([]*downRow, len(devs)*len(ks))
+	err := s.forEachRow(len(rows), func(idx int) error {
+		dev, k := devs[idx/len(ks)], ks[idx%len(ks)]
+		row, err := s.downwardRow(dev, k)
+		if err != nil {
+			return fmt.Errorf("fig12 %s/%s: %w", dev.Name, k.Name, err)
+		}
+		rows[idx] = row
+		s.logf("fig12 %s %s done", dev.Name, k.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dev := range devs {
 		var regSum, rtSum float64
-		var n int
-		for _, k := range kernels.Downward() {
-			row, err := s.downwardRow(dev, k)
-			if err != nil {
-				return nil, fmt.Errorf("fig12 %s/%s: %w", dev.Name, k.Name, err)
-			}
+		for ki, k := range ks {
+			row := rows[di*len(ks)+ki]
 			t.AddRow(dev.Name, k.Name, f3(row.regRatio), f3(row.rtRatio), f3(row.occ))
 			regSum += row.regRatio
 			rtSum += row.rtRatio
-			n++
-			s.logf("fig12 %s %s done", dev.Name, k.Name)
 		}
 		t.AddNote("%s average: registers %.1f%%, runtime %+.2f%%",
-			dev.Name, (regSum/float64(n))*100, (rtSum/float64(n)-1)*100)
+			dev.Name, (regSum/float64(len(ks)))*100, (rtSum/float64(len(ks))-1)*100)
 	}
 	t.AddNote("register-file utilization and runtime normalized to nvcc; occupancy = selected/maximum")
 	return t, nil
@@ -431,15 +500,18 @@ func (s *Suite) Fig13() (*Table, error) {
 		Title:  "energy of selected kernel, C2075 (paper Fig. 13)",
 		Header: []string{"benchmark", "selected", "ideal"},
 	}
-	for _, k := range kernels.Downward() {
+	ks := kernels.Downward()
+	rows := make([][]string, len(ks))
+	err := s.forEachRow(len(ks), func(i int) error {
+		k := ks[i]
 		row, err := s.downwardRow(dev, k)
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", k.Name, err)
+			return fmt.Errorf("fig13 %s: %w", k.Name, err)
 		}
 		r := core.NewRealizer(dev, device.SmallCache)
 		sweep, err := r.Sweep(k.Prog, s.grid(k))
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %s sweep: %w", k.Name, err)
+			return fmt.Errorf("fig13 %s sweep: %w", k.Name, err)
 		}
 		// Ideal: minimal energy among levels whose runtime stays within the
 		// tuner's tolerance of the best runtime.
@@ -456,10 +528,17 @@ func (s *Suite) Fig13() (*Table, error) {
 				ideal = lr.Stats.Energy
 			}
 		}
-		t.AddRow(k.Name,
-			f3(row.selStats.Energy/row.baseline.Energy),
-			f3(ideal/row.baseline.Energy))
+		rows[i] = []string{k.Name,
+			f3(row.selStats.Energy / row.baseline.Energy),
+			f3(ideal / row.baseline.Energy)}
 		s.logf("fig13 %s done", k.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("energy normalized to the nvcc version; ideal = lowest-energy level within %.0f%% of best runtime", core.SlowdownTolerance*100)
 	return t, nil
@@ -474,18 +553,28 @@ func (s *Suite) Table2() (*Table, error) {
 		Header: []string{"benchmark", "domain", "reg", "reg(paper)", "func", "func(paper)", "smem", "smem(paper)"},
 	}
 	d := device.GTX680()
-	for _, k := range kernels.Table2() {
+	ks := kernels.Table2()
+	rows := make([][]string, len(ks))
+	err := s.forEachRow(len(ks), func(i int) error {
+		k := ks[i]
 		r := core.NewRealizer(d, device.SmallCache)
 		// Reg: registers needed to avoid spilling = the original version's
 		// per-thread register requirement (capped by hardware).
 		v, err := r.Realize(k.Prog, coreLevels(d, k.Prog.BlockDim)[0])
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", k.Name, err)
+			return fmt.Errorf("table2 %s: %w", k.Name, err)
 		}
-		t.AddRow(k.Name, k.Domain,
+		rows[i] = []string{k.Name, k.Domain,
 			d2(v.RegsPerThread), d2(k.PaperReg),
 			d2(k.Prog.StaticCalls()), d2(k.PaperFunc),
-			yn(k.Prog.UsesUserShared()), yn(k.PaperSmem))
+			yn(k.Prog.UsesUserShared()), yn(k.PaperSmem)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -505,36 +594,49 @@ func (s *Suite) Table3() (*Table, error) {
 		Title:  "small cache vs large cache at selected occupancy (paper Table 3)",
 		Header: []string{"benchmark", "C2075 SC", "C2075 LC", "GTX680 SC", "GTX680 LC"},
 	}
-	for _, k := range kernels.Upward() {
-		cells := []string{k.Name}
-		for _, dev := range device.Both() {
-			grid := s.grid(k)
-			rSC := core.NewRealizer(dev, device.SmallCache)
-			_, baseStats, err := rSC.Baseline(k.Prog, grid)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/%s: %w", dev.Name, k.Name, err)
-			}
-			rep, err := rSC.Tune(k.Prog, core.Launch{GridWarps: grid, Iterations: k.Iterations})
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/%s tune: %w", dev.Name, k.Name, err)
-			}
-			target := rep.Chosen.TargetWarps
-			for _, cc := range []device.CacheConfig{device.SmallCache, device.LargeCache} {
-				r := core.NewRealizer(dev, cc)
-				v, err := r.Realize(k.Prog, target)
-				if err != nil {
-					cells = append(cells, "-") // hardware constraints prevent this case
-					continue
-				}
-				st, err := v.RunAt(dev, cc, target, &interp.Launch{Prog: v.Prog, GridWarps: grid})
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, f3(float64(baseStats.Cycles)/float64(st.Cycles)))
-			}
-			s.logf("table3 %s %s done", dev.Name, k.Name)
+	ks := kernels.Upward()
+	devs := device.Both()
+	// One job per (kernel, device); each fills the row's two cache-config
+	// cells for its device.
+	cells := make([][]string, len(ks)*len(devs))
+	err := s.forEachRow(len(cells), func(idx int) error {
+		k, dev := ks[idx/len(devs)], devs[idx%len(devs)]
+		grid := s.grid(k)
+		rSC := core.NewRealizer(dev, device.SmallCache)
+		_, baseStats, err := rSC.Baseline(k.Prog, grid)
+		if err != nil {
+			return fmt.Errorf("table3 %s/%s: %w", dev.Name, k.Name, err)
 		}
-		t.AddRow(cells...)
+		rep, err := rSC.Tune(k.Prog, core.Launch{GridWarps: grid, Iterations: k.Iterations})
+		if err != nil {
+			return fmt.Errorf("table3 %s/%s tune: %w", dev.Name, k.Name, err)
+		}
+		target := rep.Chosen.TargetWarps
+		for _, cc := range []device.CacheConfig{device.SmallCache, device.LargeCache} {
+			r := core.NewRealizer(dev, cc)
+			v, err := r.Realize(k.Prog, target)
+			if err != nil {
+				cells[idx] = append(cells[idx], "-") // hardware constraints prevent this case
+				continue
+			}
+			st, err := v.RunAt(dev, cc, target, &interp.Launch{Prog: v.Prog, GridWarps: grid})
+			if err != nil {
+				return err
+			}
+			cells[idx] = append(cells[idx], f3(float64(baseStats.Cycles)/float64(st.Cycles)))
+		}
+		s.logf("table3 %s %s done", dev.Name, k.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		row := []string{k.Name}
+		for di := range devs {
+			row = append(row, cells[ki*len(devs)+di]...)
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("speedup over the nvcc (small cache) baseline at Orion's selected occupancy; '-' = infeasible under LC")
 	return t, nil

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/memo"
+	"repro/internal/sim"
+)
+
+// realizeKey identifies one realization exactly: the program's content
+// hash, the occupancy target (which fixes the register and shared budgets
+// through the occupancy formulas), the device's full parameter set, the
+// cache configuration (it moves the shared-spill capacity), and the
+// inter-procedural allocator options. Everything Realize reads is covered,
+// so equal keys imply byte-identical versions.
+type realizeKey struct {
+	prog        isa.Fingerprint
+	targetWarps int
+	dev         uint64
+	cache       device.CacheConfig
+	spaceMin    bool
+	moveMin     bool
+}
+
+// realizeCache memoizes Realize process-wide: the experiment suite builds
+// a fresh Realizer per kernel/device/experiment, and Compile, Sweep,
+// Baseline, and the tuner all re-realize the same (program, level, device)
+// triples — a global content-addressed cache collapses all of that to one
+// allocation per distinct input. Versions are shared between callers and
+// must be treated as immutable (they already are: nothing mutates a
+// Version or its program after Realize returns).
+var realizeCache = memo.New[realizeKey, *Version]()
+
+// cacheKey builds the memo key for a realization, or reports that this
+// realizer's configuration is not content-addressable (custom lazy
+// compression callbacks cannot be hashed) and must bypass the cache.
+func (r *Realizer) cacheKey(p *isa.Program, targetWarps int) (realizeKey, bool) {
+	if r.Interproc.Budget != 0 || r.Interproc.CalleeNeed != nil {
+		return realizeKey{}, false
+	}
+	return realizeKey{
+		prog:        p.Fingerprint(),
+		targetWarps: targetWarps,
+		dev:         r.Dev.Fingerprint(),
+		cache:       r.Cache,
+		spaceMin:    r.Interproc.SpaceMin,
+		moveMin:     r.Interproc.MoveMin,
+	}, true
+}
+
+// runKey identifies one simulated launch of a realized version exactly.
+// The simulator is deterministic: its statistics are a pure function of
+// the binary (covered by the version's program fingerprint, which also
+// pins RegsPerThread/SharedPerBlock and therefore residency), the device,
+// the cache configuration, the occupancy level, and the grid. Untraced
+// launches are therefore as content-addressable as realizations.
+type runKey struct {
+	prog        isa.Fingerprint
+	dev         uint64
+	cache       device.CacheConfig
+	targetWarps int
+	gridWarps   int
+	firstWarp   int
+}
+
+// runCache memoizes RunAt process-wide. The experiment suite re-simulates
+// identical launches constantly: every tuning iteration re-runs a
+// converged candidate, Fig12 and Fig13 recompute the same downward rows,
+// Table 3 re-baselines the Fig11 kernels, and sweeps re-run the baseline's
+// level. The returned *sim.Stats is shared and must be treated as
+// immutable (all consumers only read it). Traced runs bypass the cache.
+var runCache = memo.New[runKey, *sim.Stats]()
+
+// RunCacheStats reports the simulation cache counters: hits (launches
+// served from the memo) and misses (launches actually simulated).
+func RunCacheStats() (hits, misses uint64) { return runCache.Stats() }
+
+// ResetRunCache drops all cached simulations and zeroes the counters.
+func ResetRunCache() { runCache.Reset() }
+
+// SetRunCacheEnabled toggles simulation memoization.
+func SetRunCacheEnabled(on bool) { runCache.SetEnabled(on) }
+
+// RunCacheEnabled reports whether simulation memoization is active.
+func RunCacheEnabled() bool { return runCache.Enabled() }
+
+// RealizeCacheStats reports the process-wide realization cache counters:
+// hits (calls served without allocating) and misses (distinct realizations
+// actually run). The regression suite asserts that a full experiment run
+// performs each distinct realization exactly once.
+func RealizeCacheStats() (hits, misses uint64) { return realizeCache.Stats() }
+
+// ResetRealizeCache drops all cached realizations and zeroes the counters.
+func ResetRealizeCache() { realizeCache.Reset() }
+
+// SetRealizeCacheEnabled toggles realization memoization; disabling it
+// restores the uncached (recompile-every-time) behaviour for comparisons.
+func SetRealizeCacheEnabled(on bool) { realizeCache.SetEnabled(on) }
+
+// RealizeCacheEnabled reports whether realization memoization is active.
+func RealizeCacheEnabled() bool { return realizeCache.Enabled() }

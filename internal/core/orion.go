@@ -3,12 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/occupancy"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -221,40 +220,23 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 		ok  bool
 	}
 	slots := make([]slot, len(levels))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(levels) {
-		workers = len(levels)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				lvl := levels[i]
-				v, err := r.Realize(p, lvl)
-				if err != nil {
-					var inf *ErrInfeasible
-					if !errors.As(err, &inf) {
-						slots[i].err = err
-					}
-					continue
-				}
-				st, err := v.RunAt(r.Dev, r.Cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
-				if err != nil {
-					slots[i].err = err
-					continue
-				}
-				slots[i] = slot{res: LevelResult{TargetWarps: lvl, Version: v, Stats: st}, ok: true}
+	par.ForEach(0, len(levels), func(i int) {
+		lvl := levels[i]
+		v, err := r.Realize(p, lvl)
+		if err != nil {
+			var inf *ErrInfeasible
+			if !errors.As(err, &inf) {
+				slots[i].err = err
 			}
-		}()
-	}
-	for i := range levels {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+			return
+		}
+		st, err := v.RunAt(r.Dev, r.Cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+		if err != nil {
+			slots[i].err = err
+			return
+		}
+		slots[i] = slot{res: LevelResult{TargetWarps: lvl, Version: v, Stats: st}, ok: true}
+	})
 
 	var out []LevelResult
 	for i := range slots {

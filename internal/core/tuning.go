@@ -8,6 +8,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/occupancy"
+	"repro/internal/par"
 )
 
 // Direction is the occupancy tuning direction chosen at compile time.
@@ -146,21 +147,33 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 	if res.Direction == Increasing {
 		// Conservative version: the highest occupancy at which all values
 		// still fit on-chip (registers + shared spill slots, no local
-		// spills).
+		// spills). Candidate levels are independent realizations, so they
+		// compile concurrently; index-slotted collection keeps the ladder
+		// in level order regardless of scheduling.
+		var upper []int
+		for _, lvl := range levels {
+			if lvl > orig.Natural.ActiveWarps {
+				upper = append(upper, lvl)
+			}
+		}
+		slots := make([]*Version, len(upper))
+		par.ForEach(0, len(upper), func(i int) {
+			v, err := r.Realize(p, upper[i])
+			if err != nil {
+				return // level not realizable
+			}
+			slots[i] = v
+		})
 		var ladder []*Candidate
 		conservativeWarps := 0
-		for _, lvl := range levels {
-			if lvl <= orig.Natural.ActiveWarps {
+		for i, v := range slots {
+			if v == nil {
 				continue
 			}
-			v, err := r.Realize(p, lvl)
-			if err != nil {
-				continue // level not realizable
-			}
 			if v.LocalSlots == 0 {
-				conservativeWarps = lvl
+				conservativeWarps = upper[i]
 			}
-			ladder = append(ladder, &Candidate{Version: v, TargetWarps: lvl})
+			ladder = append(ladder, &Candidate{Version: v, TargetWarps: upper[i]})
 		}
 		// Keep the candidates from the conservative level up to max,
 		// thinning to the cap.

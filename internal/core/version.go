@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/interp"
@@ -41,6 +42,18 @@ type Version struct {
 	Moves int
 	// Natural is the residency the binary achieves with no padding.
 	Natural occupancy.Result
+
+	// fp memoizes the program's content fingerprint (the simulation-cache
+	// key component); computed lazily because decoded or hand-built
+	// versions never pay for it unless they simulate.
+	fp     isa.Fingerprint
+	fpOnce sync.Once
+}
+
+// fingerprint returns the version's program content hash, computed once.
+func (v *Version) fingerprint() isa.Fingerprint {
+	v.fpOnce.Do(func() { v.fp = v.Prog.Fingerprint() })
+	return v.fp
 }
 
 // Occupancy returns the realized occupancy fraction.
@@ -79,7 +92,23 @@ func (e *ErrInfeasible) Error() string {
 // shared-memory spill slots while shared capacity lasts, then to local
 // memory. Functions are allocated caller-first so callee budgets account
 // for the compressed stack heights at their call sites.
+//
+// Realization is memoized process-wide by content: repeated calls with the
+// same (program fingerprint, target, device, cache config, allocator
+// options) share one Version. The returned Version and its program are
+// immutable.
 func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
+	key, ok := r.cacheKey(p, targetWarps)
+	if !ok {
+		return r.realize(p, targetWarps)
+	}
+	return realizeCache.Do(key, func() (*Version, error) {
+		return r.realize(p, targetWarps)
+	})
+}
+
+// realize is the uncached realization (the cache's fill path).
+func (r *Realizer) realize(p *isa.Program, targetWarps int) (*Version, error) {
 	d := r.Dev
 	regBudget := occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps)
 	if regBudget < minFuncBudget {
@@ -435,13 +464,38 @@ func topoOrder(p *isa.Program) ([]int, error) {
 // Levels below the binary's natural residency are realized the way the
 // paper's runtime does it: by padding shared memory per block, which needs
 // no recompilation. Levels above the natural residency are not possible.
+//
+// The simulator is deterministic, so untraced launches are memoized
+// process-wide by (program fingerprint, device, cache config, level,
+// grid): re-running a tuned candidate or re-measuring a baseline in
+// another experiment is a lookup. The returned Stats is shared and must
+// not be mutated.
 func (v *Version) RunAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch) (*sim.Stats, error) {
 	return v.ProfileAt(d, cc, targetWarps, lc, 0)
 }
 
 // ProfileAt is RunAt with issue tracing for the first traceWarps warps
-// (timeline profiling; see sim.Trace).
+// (timeline profiling; see sim.Trace). Traced launches are never cached —
+// their Trace buffers are caller-owned.
 func (v *Version) ProfileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int) (*sim.Stats, error) {
+	if traceWarps > 0 || lc.Prog != v.Prog {
+		return v.profileAt(d, cc, targetWarps, lc, traceWarps)
+	}
+	key := runKey{
+		prog:        v.fingerprint(),
+		dev:         d.Fingerprint(),
+		cache:       cc,
+		targetWarps: targetWarps,
+		gridWarps:   lc.GridWarps,
+		firstWarp:   lc.FirstWarp,
+	}
+	return runCache.Do(key, func() (*sim.Stats, error) {
+		return v.profileAt(d, cc, targetWarps, lc, 0)
+	})
+}
+
+// profileAt is the uncached simulation (the cache's fill path).
+func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int) (*sim.Stats, error) {
 	wpb := lc.Prog.BlockDim / d.WarpSize
 	blocks := v.Natural.ActiveBlocks
 	if tb := targetWarps / wpb; tb < blocks {

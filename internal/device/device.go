@@ -4,6 +4,11 @@
 // the simulator needs.
 package device
 
+import (
+	"fmt"
+	"hash/fnv"
+)
+
 // CacheConfig selects the shared-memory / L1 split of the combined 64 KB
 // on-chip array (paper Table 3: small cache = 16 KB L1 + 48 KB shared,
 // large cache = 48 KB L1 + 16 KB shared).
@@ -76,6 +81,16 @@ type Device struct {
 	EnergyALU    float64
 	EnergyMem    float64
 	EnergyShared float64
+}
+
+// Fingerprint returns a stable hash over every architectural, timing, and
+// energy parameter of the device. Two devices with equal fingerprints
+// produce identical realizations and simulations, so the realization cache
+// can key on it instead of the (ambiguous) name.
+func (d *Device) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", *d)
+	return h.Sum64()
 }
 
 // GTX680 returns the Kepler platform of the paper: 8 SMs, 65536 registers

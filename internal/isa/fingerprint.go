@@ -1,0 +1,23 @@
+package isa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint is a stable content hash of a program. Two programs have
+// equal fingerprints iff their ORN1 encodings are byte-identical, which
+// covers everything the compiler and simulator consume: every function's
+// instructions, flags, frame metadata, call bounds, plus the program's
+// name, shared-memory size, and block dimension.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint computes the program's content hash (over its binary
+// encoding). It is the content-addressed identity the realization cache
+// keys on: callers must not mutate the program after fingerprinting it.
+func (p *Program) Fingerprint() Fingerprint {
+	return sha256.Sum256(Encode(p))
+}

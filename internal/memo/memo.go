@@ -1,0 +1,90 @@
+// Package memo provides a content-addressed, single-flight memoization
+// table. It backs the realization cache in package core: expensive
+// computations keyed by a value that fully determines their output run at
+// most once per distinct key, including under concurrency — callers that
+// race on the same key block on the first computation instead of
+// duplicating it.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes fn results by key. The zero value is not usable; call
+// New. Both values and errors are cached: a deterministic failure (e.g. an
+// infeasible occupancy level) is as cacheable as a success.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	// disabled flips the cache into pass-through mode (every Do calls fn);
+	// used by tests and the cache-off determinism comparisons.
+	disabled atomic.Bool
+}
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// New returns an empty, enabled cache.
+func New[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{entries: make(map[K]*entry[V])}
+}
+
+// Do returns the cached result for key, computing it with fn on the first
+// call. Concurrent calls with the same key run fn once; the rest wait and
+// share the result. With the cache disabled, Do is fn() and no counters
+// move.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	if c.disabled.Load() {
+		return fn()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry[V]{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Stats reports how many Do calls were served from the cache (hits) and
+// how many computed fresh entries (misses). A miss count equals the number
+// of distinct keys ever computed.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct keys currently cached.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[K]*entry[V])
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// SetEnabled toggles the cache. Disabling does not drop existing entries;
+// re-enabling serves them again.
+func (c *Cache[K, V]) SetEnabled(on bool) { c.disabled.Store(!on) }
+
+// Enabled reports whether the cache is serving entries.
+func (c *Cache[K, V]) Enabled() bool { return !c.disabled.Load() }

@@ -1,0 +1,107 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	c := New[int, int]()
+	var calls atomic.Int32
+	fn := func() (int, error) { calls.Add(1); return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Do(7, fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 4/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New[string, int]()
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("k", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1 (deterministic failures are cacheable)", calls)
+	}
+}
+
+func TestDisabledIsPassThrough(t *testing.T) {
+	c := New[int, int]()
+	c.SetEnabled(false)
+	var calls int
+	for i := 0; i < 3; i++ {
+		if v, _ := c.Do(1, func() (int, error) { calls++; return calls, nil }); v != calls {
+			t.Fatalf("disabled Do did not call fn fresh")
+		}
+	}
+	if calls != 3 {
+		t.Errorf("fn ran %d times, want 3 when disabled", calls)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("disabled cache moved counters: %d/%d", h, m)
+	}
+	c.SetEnabled(true)
+	if !c.Enabled() {
+		t.Error("re-enable failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int]()
+	c.Do(1, func() (int, error) { return 1, nil })
+	c.Do(1, func() (int, error) { return 1, nil })
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("stats after reset = %d/%d", h, m)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after reset = %d", c.Len())
+	}
+	var calls int
+	c.Do(1, func() (int, error) { calls++; return 1, nil })
+	if calls != 1 {
+		t.Errorf("entry survived reset")
+	}
+}
+
+func TestSingleFlightUnderConcurrency(t *testing.T) {
+	c := New[int, int]()
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				v, err := c.Do(k, func() (int, error) { calls.Add(1); return k * 10, nil })
+				if err != nil || v != k*10 {
+					t.Errorf("Do(%d) = %d, %v", k, v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Errorf("fn ran %d times, want once per key (8)", calls.Load())
+	}
+}

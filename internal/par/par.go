@@ -1,0 +1,53 @@
+// Package par is the bounded fan-out primitive shared by the compiler
+// (per-candidate realization), the occupancy sweep, and the experiment
+// suite. Work items are indexed; callers collect results into
+// index-addressed slots, so the output order never depends on goroutine
+// scheduling — parallel runs are byte-identical to serial ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns when all calls have finished. workers <= 0 means
+// GOMAXPROCS; workers == 1 runs inline (no goroutines), which keeps
+// single-threaded paths allocation-free and trivially serial.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

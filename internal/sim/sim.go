@@ -141,6 +141,7 @@ type blockCtx struct {
 	live     int // warps not yet exited
 	barCount int
 	warps    []*warpCtx
+	shared   []uint32 // block-private shared memory, recycled on retire
 }
 
 type smCtx struct {
@@ -153,6 +154,10 @@ type smCtx struct {
 	// sharedFree is the cycle at which the shared-memory port next frees
 	// (bandwidth queueing, like the DRAM channel).
 	sharedFree float64
+	// sharedPool recycles per-block shared-memory buffers: a retired
+	// block's buffer is zeroed and handed to the next launched block,
+	// bounding allocation churn by residency instead of grid size.
+	sharedPool [][]uint32
 }
 
 // Simulate runs the launch to completion and returns its statistics.
@@ -164,7 +169,9 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 	if err := isa.Validate(lc.Prog); err != nil {
 		return nil, err
 	}
-	layout, err := interp.NewLayout(lc.Prog)
+	// The layout is a pure function of the program; tuning and sweeps
+	// simulate the same binary many times, so it is memoized per program.
+	layout, err := interp.LayoutOf(lc.Prog)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +189,12 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 	l2 := newCache(d.L2Bytes, d.LineBytes, 8)
 	sms := make([]*smCtx, d.SMs)
 	for i := range sms {
-		sms[i] = &smCtx{id: i, l1: newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4)}
+		sms[i] = &smCtx{
+			id: i,
+			l1: newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4),
+			// Pre-size the issue-scan slice for the configured residency.
+			warps: make([]*warpCtx, 0, cfg.BlocksPerSM*wpb),
+		}
 	}
 	nextBlock := 0
 	var dramFree float64
@@ -199,10 +211,17 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 		if rem := lc.GridWarps - bid*wpb; rem < n {
 			n = rem
 		}
-		blk := &blockCtx{id: bid, live: n}
+		blk := &blockCtx{id: bid, live: n, warps: make([]*warpCtx, 0, n)}
 		var shared []uint32
 		if sharedWords > 0 {
-			shared = make([]uint32, sharedWords)
+			if np := len(sm.sharedPool); np > 0 {
+				shared = sm.sharedPool[np-1]
+				sm.sharedPool = sm.sharedPool[:np-1]
+				clear(shared) // a fresh block starts with zeroed shared memory
+			} else {
+				shared = make([]uint32, sharedWords)
+			}
+			blk.shared = shared
 		}
 		for k := 0; k < n; k++ {
 			var ex interp.Executor
@@ -335,6 +354,10 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 			}
 			sm.warps = keep
 			sm.lastWarp = 0
+			if blk.shared != nil {
+				sm.sharedPool = append(sm.sharedPool, blk.shared)
+				blk.shared = nil
+			}
 			liveWarps += launchBlock(sm, now+1)
 		}
 	}
