@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism bench fmt
+.PHONY: check build vet test race determinism bench fmt fmt-check
 
-## check: the full CI gate — vet, build, race-enabled tests, and the
-## serial-vs-parallel determinism suite.
-check: vet build race determinism
+## check: the full CI gate — formatting, vet, build, race-enabled tests,
+## and the serial-vs-parallel determinism suite.
+check: fmt-check vet build race determinism
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,17 @@ determinism:
 	$(GO) test -race -run Determinism ./internal/bench/
 
 ## bench: the end-to-end suite benchmark behind the wall-clock claim
-## (cached vs uncached).
+## (cached vs uncached), plus a metrics-snapshot artifact of one suite
+## experiment for revision-over-revision diffing.
 bench:
 	$(GO) test -run '^$$' -bench SuiteEndToEnd -benchtime 1x .
+	$(GO) run ./cmd/orion-bench -exp fig1 -scale 0.25 -metrics bench-metrics.json > /dev/null
+	@echo "wrote bench-metrics.json"
 
 fmt:
 	gofmt -l .
+
+## fmt-check: fail when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -35,18 +35,21 @@ func main() {
 	}
 }
 
-// jsonExperiment is one experiment's recorded outcome.
+// jsonExperiment is one experiment's recorded outcome, including the
+// memo-cache traffic it generated (counter deltas across its run).
 type jsonExperiment struct {
-	ID     string     `json:"id"`
-	Title  string     `json:"title"`
-	WallMS float64    `json:"wall_ms"`
-	Header []string   `json:"header"`
-	Rows   [][]string `json:"rows"`
-	Notes  []string   `json:"notes,omitempty"`
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	WallMS float64            `json:"wall_ms"`
+	Header []string           `json:"header"`
+	Rows   [][]string         `json:"rows"`
+	Notes  []string           `json:"notes,omitempty"`
+	Cache  core.CacheSnapshot `json:"cache"`
 }
 
 // jsonReport is the -json artifact: enough to diff both the numbers and
-// the wall-clock trajectory between revisions.
+// the wall-clock trajectory between revisions. The cache counters cover
+// this invocation only (the counters are reset at startup).
 type jsonReport struct {
 	Scale       float64          `json:"scale"`
 	Parallel    int              `json:"parallel"`
@@ -56,6 +59,7 @@ type jsonReport struct {
 	CacheMisses uint64           `json:"realize_cache_misses"`
 	RunHits     uint64           `json:"run_cache_hits"`
 	RunMisses   uint64           `json:"run_cache_misses"`
+	Metrics     any              `json:"metrics,omitempty"`
 }
 
 func run(args []string) error {
@@ -67,6 +71,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	noCache := fs.Bool("nocache", false, "disable the realization cache (recompile every version)")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,10 +96,19 @@ func run(args []string) error {
 		defer core.SetRunCacheEnabled(true)
 	}
 
+	// Counters reset at startup so every report covers exactly this
+	// invocation, even when the process (or a test binary) is warm.
+	core.ResetCacheCounters()
+
 	s := orion.NewSuite(*scale)
 	s.Parallel = *parallel
 	if *progress {
 		s.Progress = os.Stderr
+	}
+	var col *orion.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = orion.NewCollector()
+		s.Obs = col
 	}
 	var selected []string
 	if *exp == "all" {
@@ -112,6 +127,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		before := core.SnapshotCacheCounters()
 		start := time.Now()
 		tbl, err := e.Run()
 		if err != nil {
@@ -126,6 +142,7 @@ func run(args []string) error {
 			Header: tbl.Header,
 			Rows:   tbl.Rows,
 			Notes:  tbl.Notes,
+			Cache:  core.SnapshotCacheCounters().Delta(before),
 		})
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
@@ -140,6 +157,10 @@ func run(args []string) error {
 	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
 	report.CacheHits, report.CacheMisses = core.RealizeCacheStats()
 	report.RunHits, report.RunMisses = core.RunCacheStats()
+	if col != nil {
+		orion.PublishCacheMetrics(col)
+		report.Metrics = col.Metrics().Snapshot()
+	}
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")
@@ -148,6 +169,32 @@ func run(args []string) error {
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteMetricsJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readReport loads a -json artifact written by run.
+func readReport(t *testing.T, path string) jsonReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r jsonReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return r
+}
+
+// TestBackToBackRunsReportIndependentCounts is the regression test for
+// the per-invocation cache counters: two suite invocations in one warm
+// process must each report their own hit/miss traffic, not a cumulative
+// total. The second run sees a warm realization cache, so it must report
+// zero misses — which is only possible if run() resets the counters.
+func TestBackToBackRunsReportIndependentCounts(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	second := filepath.Join(dir, "second.json")
+
+	args := []string{"-exp", "fig1", "-scale", "0.05", "-json", ""}
+	args[len(args)-1] = first
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	args[len(args)-1] = second
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+
+	r1 := readReport(t, first)
+	r2 := readReport(t, second)
+
+	if r1.CacheMisses == 0 {
+		t.Error("first run reported zero realize-cache misses; expected cold compiles")
+	}
+	if r2.CacheMisses != 0 {
+		t.Errorf("second run reported %d realize-cache misses; warm cache should hit every key", r2.CacheMisses)
+	}
+	if r2.CacheHits == 0 {
+		t.Error("second run reported zero realize-cache hits on a warm cache")
+	}
+	// Independence: the second report must not include the first run's
+	// traffic. Its total (hits+misses) equals its own lookups, which for
+	// the same experiment equals the first run's lookup count.
+	if got, want := r2.CacheHits+r2.CacheMisses, r1.CacheHits+r1.CacheMisses; got != want {
+		t.Errorf("second run total lookups = %d, want %d (same experiment, independent counts)", got, want)
+	}
+
+	// Per-experiment deltas must agree with the report totals.
+	var hits, misses uint64
+	for _, e := range r2.Experiments {
+		hits += e.Cache.Realize.Hits
+		misses += e.Cache.Realize.Misses
+	}
+	if hits != r2.CacheHits || misses != r2.CacheMisses {
+		t.Errorf("per-experiment deltas sum to %d/%d, report totals %d/%d", hits, misses, r2.CacheHits, r2.CacheMisses)
+	}
+}

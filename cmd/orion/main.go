@@ -5,11 +5,12 @@
 //	orion compile  -kernel NAME | -file K.oasm  [-device gtx680|c2075] [-cache sc|lc]
 //	    Run compile-time tuning (paper Fig. 8): direction, max-live, the
 //	    candidate versions, and each candidate's resource footprint.
-//	orion tune     -kernel ... [-grid N] [-iters N] [-fat K.ofat]
+//	orion tune     -kernel ... [-grid N] [-iters N] [-fat K.ofat] [-explain]
 //	    Run the full pipeline including runtime adaptation (Fig. 9) on the
 //	    simulated device and report the selected occupancy. With -fat, the
 //	    runtime adapts from a prebuilt multi-version binary instead of
-//	    recompiling.
+//	    recompiling. -explain prints one line per tuning iteration with
+//	    the measured time and the accept/reject rationale.
 //	orion build    -kernel ... -o K.ofat
 //	    Compile-time tuning only, packaged as the paper's multi-version
 //	    binary (Fig. 3).
@@ -26,25 +27,36 @@
 //	    references [12]/[13]) against the simulator per occupancy level.
 //	orion list
 //	    List the built-in benchmark kernels.
+//
+// Observability (compile, tune, sweep, run):
+//
+//	-trace out.json    write a Chrome trace-event JSON of the invocation
+//	                   (load it in Perfetto or chrome://tracing): compile
+//	                   phases, tuner iterations, and simulator runs as
+//	                   hierarchical spans.
+//	-metrics out.json  write a flat metrics snapshot (counters, gauges,
+//	                   histograms), including the memo-cache counters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	orion "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "orion:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: orion compile|tune|sweep|run|list ... (see -h)")
 	}
@@ -58,18 +70,28 @@ func run(args []string) error {
 	grid := fs.Int("grid", 0, "grid size in warps (default: benchmark's)")
 	iters := fs.Int("iters", 0, "application iterations (default: benchmark's)")
 	warps := fs.Int("warps", 0, "occupancy level for 'run' (warps per SM)")
-	out := fs.String("o", "", "output file for 'build'")
+	out_ := fs.String("o", "", "output file for 'build'")
 	fat := fs.String("fat", "", "multi-version binary (.ofat) for 'tune'")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
+	explain := fs.Bool("explain", false, "for 'tune': print one line per tuning iteration explaining the decision")
 
 	if cmd == "list" {
 		for _, k := range orion.Benchmarks() {
-			fmt.Printf("%-18s %-16s grid %5d warps, %d iterations\n",
+			fmt.Fprintf(out, "%-18s %-16s grid %5d warps, %d iterations\n",
 				k.Name, k.Domain, k.GridWarps, k.Iterations)
 		}
 		return nil
 	}
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+
+	// The collector exists only when an export was requested, so the
+	// default path stays on the nil (zero-overhead) side of the obs layer.
+	var col *orion.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = orion.NewCollector()
 	}
 
 	dev, err := pickDevice(*devName)
@@ -80,10 +102,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	dsp := col.StartSpan("decode")
 	prog, gridWarps, iterations, err := loadKernel(*kernelName, *file)
 	if err != nil {
+		dsp.End()
 		return err
 	}
+	dsp.SetAttr(obs.String("kernel", prog.Name))
+	dsp.End()
 	if *grid > 0 {
 		gridWarps = *grid
 	}
@@ -91,168 +117,230 @@ func run(args []string) error {
 		iterations = *iters
 	}
 	r := orion.NewRealizer(dev, cc)
+	r.Obs = col
 
-	switch cmd {
-	case "compile":
-		cr, err := r.Compile(prog, iterations > 1)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("kernel %s on %s (%v cache)\n", prog.Name, dev.Name, cc)
-		fmt.Printf("max-live %d, direction %v\n", cr.MaxLive, cr.Direction)
-		fmt.Printf("original: %d regs/thread, %d B shared/block, natural occupancy %.3f (%d warps/SM)\n",
-			cr.Original.RegsPerThread, cr.Original.SharedPerBlock,
-			cr.Original.Occupancy(dev), cr.Original.Natural.ActiveWarps)
-		for i, c := range cr.Candidates {
-			fmt.Printf("candidate %d: target %d warps/SM (occ %.3f), %d regs, %d B shared, %d local slots\n",
-				i+1, c.TargetWarps, c.Occupancy(dev), c.Version.RegsPerThread,
-				c.Version.SharedPerBlock, c.Version.LocalSlots)
-		}
-		for _, c := range cr.FailSafe {
-			fmt.Printf("fail-safe: target %d warps/SM\n", c.TargetWarps)
-		}
-		return nil
-
-	case "tune":
-		var rep *orion.TuneReport
-		if *fat != "" {
-			// Runtime-only deployment: adapt from a prebuilt multi-version
-			// binary without recompiling (paper Figure 3).
-			data, err := os.ReadFile(*fat)
+	dispatch := func() error {
+		switch cmd {
+		case "compile":
+			cr, err := r.Compile(prog, iterations > 1)
 			if err != nil {
 				return err
 			}
-			cr, err := orion.DecodeFat(data)
+			fmt.Fprintf(out, "kernel %s on %s (%v cache)\n", prog.Name, dev.Name, cc)
+			fmt.Fprintf(out, "max-live %d, direction %v\n", cr.MaxLive, cr.Direction)
+			fmt.Fprintf(out, "original: %d regs/thread, %d B shared/block, natural occupancy %.3f (%d warps/SM)\n",
+				cr.Original.RegsPerThread, cr.Original.SharedPerBlock,
+				cr.Original.Occupancy(dev), cr.Original.Natural.ActiveWarps)
+			for i, c := range cr.Candidates {
+				fmt.Fprintf(out, "candidate %d: target %d warps/SM (occ %.3f), %d regs, %d B shared, %d local slots\n",
+					i+1, c.TargetWarps, c.Occupancy(dev), c.Version.RegsPerThread,
+					c.Version.SharedPerBlock, c.Version.LocalSlots)
+			}
+			for _, c := range cr.FailSafe {
+				fmt.Fprintf(out, "fail-safe: target %d warps/SM\n", c.TargetWarps)
+			}
+			return nil
+
+		case "tune":
+			var rep *orion.TuneReport
+			if *fat != "" {
+				// Runtime-only deployment: adapt from a prebuilt multi-version
+				// binary without recompiling (paper Figure 3).
+				data, err := os.ReadFile(*fat)
+				if err != nil {
+					return err
+				}
+				cr, err := orion.DecodeFat(data)
+				if err != nil {
+					return err
+				}
+				rep, err = r.TuneCompiled(cr, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+				if err != nil {
+					return err
+				}
+			} else {
+				var err error
+				rep, err = r.Tune(prog, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+				if err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(out, "kernel %s on %s: direction %v, %d candidates\n",
+				prog.Name, dev.Name, rep.Compile.Direction, len(rep.Compile.Candidates))
+			if rep.KernelSplit {
+				fmt.Fprintln(out, "single invocation: kernel splitting created the tuning iterations")
+			}
+			fmt.Fprintf(out, "selected %d warps/SM (occupancy %.3f) after %d tuning iterations\n",
+				rep.Chosen.TargetWarps, rep.Chosen.Occupancy(dev), rep.TuneIterations)
+			fmt.Fprintf(out, "total: %d cycles over %d runs, energy %.1f\n",
+				rep.TotalCycles, len(rep.History), rep.TotalEnergy)
+			if *explain {
+				printDecisions(out, rep)
+			}
+			return nil
+
+		case "sweep":
+			res, err := r.Sweep(prog, gridWarps)
 			if err != nil {
 				return err
 			}
-			rep, err = r.TuneCompiled(cr, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+			best := res[0].Stats.Cycles
+			for _, lr := range res {
+				if lr.Stats.Cycles < best {
+					best = lr.Stats.Cycles
+				}
+			}
+			fmt.Fprintf(out, "%-9s %-8s %-5s %-12s %-10s %-8s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy")
+			for _, lr := range res {
+				fmt.Fprintf(out, "%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f\n",
+					lr.Occupancy(dev.MaxWarpsPerSM), lr.TargetWarps,
+					lr.Version.RegsPerThread, lr.Stats.Cycles,
+					float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy)
+			}
+			return nil
+
+		case "run":
+			if *warps <= 0 {
+				return fmt.Errorf("run requires -warps")
+			}
+			v, err := r.Realize(prog, *warps)
 			if err != nil {
 				return err
 			}
-		} else {
-			var err error
-			rep, err = r.Tune(prog, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+			st, err := orion.SimulateObs(v, dev, cc, *warps, gridWarps, col)
 			if err != nil {
 				return err
 			}
-		}
-		fmt.Printf("kernel %s on %s: direction %v, %d candidates\n",
-			prog.Name, dev.Name, rep.Compile.Direction, len(rep.Compile.Candidates))
-		if rep.KernelSplit {
-			fmt.Println("single invocation: kernel splitting created the tuning iterations")
-		}
-		fmt.Printf("selected %d warps/SM (occupancy %.3f) after %d tuning iterations\n",
-			rep.Chosen.TargetWarps, rep.Chosen.Occupancy(dev), rep.TuneIterations)
-		fmt.Printf("total: %d cycles over %d runs, energy %.1f\n",
-			rep.TotalCycles, len(rep.History), rep.TotalEnergy)
-		return nil
+			fmt.Fprintf(out, "%s at %d warps/SM on %s: %d cycles, %d instructions (IPC %.2f)\n",
+				prog.Name, *warps, dev.Name, st.Cycles, st.Instructions, st.IPC())
+			fmt.Fprintf(out, "regs/thread %d, shared/block %d B, local slots %d, spill instrs %d, moves %d\n",
+				v.RegsPerThread, v.SharedPerBlock, v.LocalSlots, st.SpillInstrs, st.MoveInstrs)
+			fmt.Fprintf(out, "L1 %d/%d hit, L2 %d/%d hit, DRAM lines %d, energy %.1f (rf %.1f)\n",
+				st.L1Hits, st.L1Hits+st.L1Misses, st.L2Hits, st.L2Hits+st.L2Misses,
+				st.DRAMLines, st.Energy, st.EnergyRF)
+			fmt.Fprintf(out, "stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
+				st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
+			fmt.Fprintf(out, "checksum %016x\n", st.Checksum)
+			return nil
 
-	case "sweep":
-		res, err := r.Sweep(prog, gridWarps)
-		if err != nil {
-			return err
-		}
-		best := res[0].Stats.Cycles
-		for _, lr := range res {
-			if lr.Stats.Cycles < best {
-				best = lr.Stats.Cycles
+		case "build":
+			// Compile-time tuning only, packaged as the paper's multi-version
+			// binary (Figure 3) for a later 'tune -fat'.
+			if *out_ == "" {
+				return fmt.Errorf("build requires -o FILE.ofat")
 			}
-		}
-		fmt.Printf("%-9s %-8s %-5s %-12s %-10s %-8s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy")
-		for _, lr := range res {
-			fmt.Printf("%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f\n",
-				lr.Occupancy(dev.MaxWarpsPerSM), lr.TargetWarps,
-				lr.Version.RegsPerThread, lr.Stats.Cycles,
-				float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy)
-		}
-		return nil
-
-	case "run":
-		if *warps <= 0 {
-			return fmt.Errorf("run requires -warps")
-		}
-		v, err := r.Realize(prog, *warps)
-		if err != nil {
-			return err
-		}
-		st, err := orion.Simulate(v, dev, cc, *warps, gridWarps)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s at %d warps/SM on %s: %d cycles, %d instructions (IPC %.2f)\n",
-			prog.Name, *warps, dev.Name, st.Cycles, st.Instructions, st.IPC())
-		fmt.Printf("regs/thread %d, shared/block %d B, local slots %d, spill instrs %d, moves %d\n",
-			v.RegsPerThread, v.SharedPerBlock, v.LocalSlots, st.SpillInstrs, st.MoveInstrs)
-		fmt.Printf("L1 %d/%d hit, L2 %d/%d hit, DRAM lines %d, energy %.1f (rf %.1f)\n",
-			st.L1Hits, st.L1Hits+st.L1Misses, st.L2Hits, st.L2Hits+st.L2Misses,
-			st.DRAMLines, st.Energy, st.EnergyRF)
-		fmt.Printf("stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
-			st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
-		fmt.Printf("checksum %016x\n", st.Checksum)
-		return nil
-
-	case "build":
-		// Compile-time tuning only, packaged as the paper's multi-version
-		// binary (Figure 3) for a later 'tune -fat'.
-		if *out == "" {
-			return fmt.Errorf("build requires -o FILE.ofat")
-		}
-		cr, err := r.Compile(prog, iterations > 1)
-		if err != nil {
-			return err
-		}
-		data := orion.EncodeFat(cr)
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s: %d versions (%d candidates, %d fail-safe), direction %v, %d bytes\n",
-			*out, 1+len(cr.Candidates)+len(cr.FailSafe), len(cr.Candidates), len(cr.FailSafe),
-			cr.Direction, len(data))
-		return nil
-
-	case "profile":
-		if *warps <= 0 {
-			return fmt.Errorf("profile requires -warps")
-		}
-		v, err := r.Realize(prog, *warps)
-		if err != nil {
-			return err
-		}
-		st, err := orion.Profile(v, dev, cc, *warps, gridWarps, 16)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s at %d warps/SM on %s: %d cycles\n", prog.Name, *warps, dev.Name, st.Cycles)
-		fmt.Printf("stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
-			st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
-		fmt.Print(st.Trace.Timeline(st.Cycles, 100))
-		return nil
-
-	case "predict":
-		// MWP-CWP analytical prediction across occupancy levels, next to
-		// simulation — the prediction-vs-feedback comparison the paper
-		// draws with [12]/[13].
-		fmt.Printf("%-9s %-10s %-10s %-6s %-6s %-12s\n", "warps/SM", "predicted", "simulated", "MWP", "CWP", "bound")
-		for _, lvl := range orion.OccupancyLevels(dev, prog.BlockDim) {
-			v, err := r.Realize(prog, lvl)
-			if err != nil {
-				continue
-			}
-			pr, err := orion.PredictOccupancy(dev, v.Prog, lvl, gridWarps)
+			cr, err := r.Compile(prog, iterations > 1)
 			if err != nil {
 				return err
 			}
-			st, err := orion.Simulate(v, dev, cc, lvl, gridWarps)
+			data := orion.EncodeFat(cr)
+			if err := os.WriteFile(*out_, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s: %d versions (%d candidates, %d fail-safe), direction %v, %d bytes\n",
+				*out_, 1+len(cr.Candidates)+len(cr.FailSafe), len(cr.Candidates), len(cr.FailSafe),
+				cr.Direction, len(data))
+			return nil
+
+		case "profile":
+			if *warps <= 0 {
+				return fmt.Errorf("profile requires -warps")
+			}
+			v, err := r.Realize(prog, *warps)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-9d %-10.0f %-10d %-6.1f %-6.1f %-12s\n",
-				lvl, pr.Cycles, st.Cycles, pr.MWP, pr.CWP, pr.Bound)
+			st, err := orion.Profile(v, dev, cc, *warps, gridWarps, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s at %d warps/SM on %s: %d cycles\n", prog.Name, *warps, dev.Name, st.Cycles)
+			fmt.Fprintf(out, "stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
+				st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
+			fmt.Fprint(out, st.Trace.Timeline(st.Cycles, 100))
+			return nil
+
+		case "predict":
+			// MWP-CWP analytical prediction across occupancy levels, next to
+			// simulation — the prediction-vs-feedback comparison the paper
+			// draws with [12]/[13].
+			fmt.Fprintf(out, "%-9s %-10s %-10s %-6s %-6s %-12s\n", "warps/SM", "predicted", "simulated", "MWP", "CWP", "bound")
+			for _, lvl := range orion.OccupancyLevels(dev, prog.BlockDim) {
+				v, err := r.Realize(prog, lvl)
+				if err != nil {
+					continue
+				}
+				pr, err := orion.PredictOccupancy(dev, v.Prog, lvl, gridWarps)
+				if err != nil {
+					return err
+				}
+				st, err := orion.Simulate(v, dev, cc, lvl, gridWarps)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%-9d %-10.0f %-10d %-6.1f %-6.1f %-12s\n",
+					lvl, pr.Cycles, st.Cycles, pr.MWP, pr.CWP, pr.Bound)
+			}
+			return nil
 		}
-		return nil
+		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
-	return fmt.Errorf("unknown subcommand %q", cmd)
+
+	if err := dispatch(); err != nil {
+		return err
+	}
+	return writeObsOutputs(col, *traceOut, *metricsOut)
+}
+
+// printDecisions renders the tuner's per-iteration decision log (the
+// -explain report).
+func printDecisions(out io.Writer, rep *orion.TuneReport) {
+	if len(rep.Decisions) == 0 {
+		fmt.Fprintln(out, "no runtime decisions: static selection chose the kernel")
+		return
+	}
+	fmt.Fprintln(out, "tuning decisions:")
+	for _, d := range rep.Decisions {
+		verdict := "accept"
+		if !d.Accepted {
+			verdict = "reject"
+		}
+		fmt.Fprintf(out, "  iter %2d: %2d warps/SM, %12.1f cycles/unit, %+6.2f%% vs best -> %s: %s\n",
+			d.Iter, d.TargetWarps, d.Runtime, d.Slowdown*100, verdict, d.Reason)
+	}
+	fmt.Fprintf(out, "converged on %d warps/SM\n", rep.Chosen.TargetWarps)
+}
+
+// writeObsOutputs exports the collected trace and metrics, if requested.
+func writeObsOutputs(col *orion.Collector, traceOut, metricsOut string) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		orion.PublishCacheMetrics(col)
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteMetricsJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pickDevice(name string) (*orion.Device, error) {

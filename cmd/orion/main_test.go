@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestProfileOutputShape is the golden test for `orion profile`: the
+// report must open with the cycle count, include the stall breakdown,
+// and render the timeline with its header and legend lines.
+func TestProfileOutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-kernel", "bfs", "-warps", "32"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	lines := strings.Split(got, "\n")
+	if !regexp.MustCompile(`^bfs at 32 warps/SM on .+: \d+ cycles$`).MatchString(lines[0]) {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !regexp.MustCompile(`(?m)^stalls \(warp-cycles\): mem \d+, alu \d+, barrier \d+, mshr \d+$`).MatchString(got) {
+		t.Errorf("missing stall breakdown in:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^timeline: \d+ cycles across \d+ columns \(\d+ cycles/column\)$`).MatchString(got) {
+		t.Errorf("missing timeline header in:\n%s", got)
+	}
+	const legend = "legend: '#' dense issue, '+' medium, '.' sparse, 'M' memory-dominated, ' ' stalled"
+	if !strings.Contains(got, legend) {
+		t.Errorf("missing legend line in:\n%s", got)
+	}
+	// One timeline row per traced warp ("w NN |...|").
+	if rows := regexp.MustCompile(`(?m)^w\d+\s+\|`).FindAllString(got, -1); len(rows) == 0 {
+		t.Errorf("no per-warp timeline rows in:\n%s", got)
+	}
+}
+
+// TestTuneExplain checks the -explain report: one line per runtime
+// iteration with the level, measured time, slowdown, and rationale,
+// then the convergence line matching the selected occupancy.
+func TestTuneExplain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"tune", "-kernel", "bfs", "-explain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "tuning decisions:") {
+		t.Fatalf("missing decision log in:\n%s", got)
+	}
+	iterRe := regexp.MustCompile(`(?m)^  iter\s+(\d+):\s+(\d+) warps/SM,\s+[\d.]+ cycles/unit,\s+[+-][\d.]+% vs best -> (accept|reject): (.+)$`)
+	iters := iterRe.FindAllStringSubmatch(got, -1)
+	if len(iters) == 0 {
+		t.Fatalf("no iteration lines in:\n%s", got)
+	}
+	for _, m := range iters {
+		if m[4] == "" {
+			t.Errorf("iteration %s has an empty reason", m[1])
+		}
+	}
+	selRe := regexp.MustCompile(`selected (\d+) warps/SM`)
+	sel := selRe.FindStringSubmatch(got)
+	if sel == nil {
+		t.Fatalf("missing selection line in:\n%s", got)
+	}
+	if want := fmt.Sprintf("converged on %s warps/SM", sel[1]); !strings.Contains(got, want) {
+		t.Errorf("missing %q in:\n%s", want, got)
+	}
+}
+
+// TestTuneTraceAndMetricsArtifacts is the acceptance check for the
+// observability exports: `orion tune -trace -metrics` must write a valid
+// Chrome trace with compile-phase, tuner-iteration, and simulation spans
+// and a metrics snapshot that includes the memo-cache counters.
+func TestTuneTraceAndMetricsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var buf bytes.Buffer
+	if err := run([]string{"tune", "-kernel", "srad", "-trace", tracePath, "-metrics", metricsPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	spans := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Phase == "X" {
+			spans[ev.Name]++
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative duration %v", ev.Name, ev.Dur)
+			}
+		}
+	}
+	for _, want := range []string{"decode", "compile", "realize", "regalloc", "tune", "tune-iter"} {
+		if spans[want] == 0 {
+			t.Errorf("trace has no %q span; spans = %v", want, spans)
+		}
+	}
+	if spans["simulate"]+spans["simulate.cached"] == 0 {
+		t.Errorf("trace has no simulation spans; spans = %v", spans)
+	}
+
+	data, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	for _, want := range []string{
+		"compile.kernels", "compile.realizations",
+		"core.realize_cache.hits", "core.realize_cache.misses",
+		"core.run_cache.hits", "core.run_cache.misses",
+		"tune.iterations",
+	} {
+		if _, ok := metrics.Counters[want]; !ok {
+			t.Errorf("metrics missing counter %q; have %v", want, metrics.Counters)
+		}
+	}
+	if _, ok := metrics.Gauges["tune.selected_warps"]; !ok {
+		t.Errorf("metrics missing gauge tune.selected_warps; have %v", metrics.Gauges)
+	}
+}
+
+// TestListAndUnknownSubcommand covers the trivial dispatch paths.
+func TestListAndUnknownSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bfs") {
+		t.Errorf("list output missing bfs:\n%s", buf.String())
+	}
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Error("unknown subcommand did not error")
+	}
+}

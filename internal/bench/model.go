@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/analytic"
-	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/kernels"
 )
@@ -34,7 +33,7 @@ func (s *Suite) Model() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		r := core.NewRealizer(dev, device.SmallCache)
+		r := s.realizer(dev, device.SmallCache)
 		grid := s.grid(k)
 		sweep, err := r.Sweep(k.Prog, grid)
 		if err != nil {

@@ -6,12 +6,14 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/interp"
 	"repro/internal/interproc"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -29,6 +31,9 @@ type Suite struct {
 	// GOMAXPROCS, 1 is fully serial. Results are index-slotted, so tables
 	// are byte-identical at every setting.
 	Parallel int
+	// Obs, when non-nil, wraps every experiment in a span and records
+	// per-experiment wall time into the metrics registry. Nil disables it.
+	Obs *obs.Collector
 
 	mu sync.Mutex // serializes Progress writes from workers
 }
@@ -89,7 +94,7 @@ type Experiment struct {
 
 // Experiments lists every reproducible table and figure in paper order.
 func (s *Suite) Experiments() []Experiment {
-	return []Experiment{
+	list := []Experiment{
 		{"fig1", "imageDenoising runtime vs occupancy (GTX680)", s.Fig1},
 		{"fig2", "matrixMul runtime vs occupancy (C2075)", s.Fig2},
 		{"fig5", "inter-procedural allocation ablations", s.Fig5},
@@ -103,6 +108,42 @@ func (s *Suite) Experiments() []Experiment {
 		{"table3", "small vs large cache at selected occupancy", s.Table3},
 		{"model", "analytical model vs simulator (extension)", s.Model},
 	}
+	for i := range list {
+		list[i].Run = s.instrument(list[i].ID, list[i].Run)
+	}
+	return list
+}
+
+// instrument wraps one experiment so its run is recorded as an
+// "experiment" span with a wall-time histogram sample. With no collector
+// the original function is returned untouched.
+func (s *Suite) instrument(id string, fn func() (*Table, error)) func() (*Table, error) {
+	if s.Obs == nil {
+		return fn
+	}
+	return func() (*Table, error) {
+		sp := s.Obs.StartSpan("experiment", obs.String("id", id))
+		start := time.Now()
+		t, err := fn()
+		wallMS := float64(time.Since(start).Nanoseconds()) / 1e6
+		s.Obs.Metrics().Histogram("bench.experiment_wall_ms").Observe(wallMS)
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+		} else {
+			sp.SetAttr(obs.Int("rows", len(t.Rows)))
+		}
+		sp.End()
+		return t, err
+	}
+}
+
+// realizer builds an experiment's compiler with the suite's collector
+// attached, so experiment traces carry the nested compile/tune/simulate
+// spans and metrics (a nil collector leaves the compiler untraced).
+func (s *Suite) realizer(d *device.Device, cc device.CacheConfig) *core.Realizer {
+	r := core.NewRealizer(d, cc)
+	r.Obs = s.Obs
+	return r
 }
 
 // ByID returns the experiment with the given ID.
@@ -118,7 +159,7 @@ func (s *Suite) ByID(id string) (Experiment, error) {
 // sweepTable renders an occupancy sweep for one kernel/device, normalizing
 // runtime to the reference level ("best" or "max").
 func (s *Suite) sweepTable(id, title string, k *kernels.Kernel, d *device.Device, normalizeTo string) (*Table, error) {
-	r := core.NewRealizer(d, device.SmallCache)
+	r := s.realizer(d, device.SmallCache)
 	res, err := r.Sweep(k.Prog, s.grid(k))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
@@ -213,7 +254,7 @@ func (s *Suite) pairSweep(id, title string, d *device.Device, nameA, nameB strin
 	if err != nil {
 		return nil, err
 	}
-	r := core.NewRealizer(d, device.SmallCache)
+	r := s.realizer(d, device.SmallCache)
 	ra, err := r.Sweep(ka.Prog, s.grid(ka))
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: %w", id, nameA, err)
@@ -274,7 +315,7 @@ func (s *Suite) Fig5() (*Table, error) {
 		lvls := coreLevels(d, k.Prog.BlockDim)
 		target := lvls[(len(lvls)-1)*3/4]
 		run := func(opt interproc.Options) (*sim.Stats, *core.Version, error) {
-			r := core.NewRealizer(d, device.SmallCache)
+			r := s.realizer(d, device.SmallCache)
 			r.Interproc = opt
 			v, err := r.Realize(k.Prog, target)
 			if err != nil {
@@ -346,7 +387,7 @@ func (s *Suite) Fig11() (*Table, error) {
 	rows := make([]fig11Row, len(devs)*len(ks))
 	err := s.forEachRow(len(rows), func(idx int) error {
 		dev, k := devs[idx/len(ks)], ks[idx%len(ks)]
-		r := core.NewRealizer(dev, device.SmallCache)
+		r := s.realizer(dev, device.SmallCache)
 		grid := s.grid(k)
 		_, baseStats, err := r.Baseline(k.Prog, grid)
 		if err != nil {
@@ -456,7 +497,7 @@ type downRow struct {
 }
 
 func (s *Suite) downwardRow(dev *device.Device, k *kernels.Kernel) (*downRow, error) {
-	r := core.NewRealizer(dev, device.SmallCache)
+	r := s.realizer(dev, device.SmallCache)
 	grid := s.grid(k)
 	baseVer, baseStats, err := r.Baseline(k.Prog, grid)
 	if err != nil {
@@ -508,7 +549,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		if err != nil {
 			return fmt.Errorf("fig13 %s: %w", k.Name, err)
 		}
-		r := core.NewRealizer(dev, device.SmallCache)
+		r := s.realizer(dev, device.SmallCache)
 		sweep, err := r.Sweep(k.Prog, s.grid(k))
 		if err != nil {
 			return fmt.Errorf("fig13 %s sweep: %w", k.Name, err)
@@ -557,7 +598,7 @@ func (s *Suite) Table2() (*Table, error) {
 	rows := make([][]string, len(ks))
 	err := s.forEachRow(len(ks), func(i int) error {
 		k := ks[i]
-		r := core.NewRealizer(d, device.SmallCache)
+		r := s.realizer(d, device.SmallCache)
 		// Reg: registers needed to avoid spilling = the original version's
 		// per-thread register requirement (capped by hardware).
 		v, err := r.Realize(k.Prog, coreLevels(d, k.Prog.BlockDim)[0])
@@ -602,7 +643,7 @@ func (s *Suite) Table3() (*Table, error) {
 	err := s.forEachRow(len(cells), func(idx int) error {
 		k, dev := ks[idx/len(devs)], devs[idx%len(devs)]
 		grid := s.grid(k)
-		rSC := core.NewRealizer(dev, device.SmallCache)
+		rSC := s.realizer(dev, device.SmallCache)
 		_, baseStats, err := rSC.Baseline(k.Prog, grid)
 		if err != nil {
 			return fmt.Errorf("table3 %s/%s: %w", dev.Name, k.Name, err)
@@ -613,7 +654,7 @@ func (s *Suite) Table3() (*Table, error) {
 		}
 		target := rep.Chosen.TargetWarps
 		for _, cc := range []device.CacheConfig{device.SmallCache, device.LargeCache} {
-			r := core.NewRealizer(dev, cc)
+			r := s.realizer(dev, cc)
 			v, err := r.Realize(k.Prog, target)
 			if err != nil {
 				cells[idx] = append(cells[idx], "-") // hardware constraints prevent this case

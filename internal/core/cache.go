@@ -4,6 +4,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -99,3 +100,58 @@ func SetRealizeCacheEnabled(on bool) { realizeCache.SetEnabled(on) }
 
 // RealizeCacheEnabled reports whether realization memoization is active.
 func RealizeCacheEnabled() bool { return realizeCache.Enabled() }
+
+// CacheCounters is a point-in-time snapshot of one memo cache's counters.
+type CacheCounters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// CacheSnapshot captures both process-wide memo caches at once.
+type CacheSnapshot struct {
+	Realize CacheCounters `json:"realize"`
+	Run     CacheCounters `json:"run"`
+}
+
+// SnapshotCacheCounters reads both caches' counters atomically enough for
+// reporting (each counter pair is read together; the caches are
+// independent).
+func SnapshotCacheCounters() CacheSnapshot {
+	var s CacheSnapshot
+	s.Realize.Hits, s.Realize.Misses = realizeCache.Stats()
+	s.Run.Hits, s.Run.Misses = runCache.Stats()
+	return s
+}
+
+// Delta returns the counter movement since an earlier snapshot.
+func (s CacheSnapshot) Delta(earlier CacheSnapshot) CacheSnapshot {
+	return CacheSnapshot{
+		Realize: CacheCounters{
+			Hits:   s.Realize.Hits - earlier.Realize.Hits,
+			Misses: s.Realize.Misses - earlier.Realize.Misses,
+		},
+		Run: CacheCounters{
+			Hits:   s.Run.Hits - earlier.Run.Hits,
+			Misses: s.Run.Misses - earlier.Run.Misses,
+		},
+	}
+}
+
+// ResetCacheCounters zeroes both caches' hit/miss counters without
+// dropping entries, so per-invocation numbers can be reported from a warm
+// process (keys cached before the reset count as hits afterwards).
+func ResetCacheCounters() {
+	realizeCache.ResetStats()
+	runCache.ResetStats()
+}
+
+// PublishCacheMetrics copies the current memo-cache counters into a
+// metrics registry under the core.* namespace (called by exporters just
+// before writing a snapshot).
+func PublishCacheMetrics(m *obs.Registry) {
+	s := SnapshotCacheCounters()
+	m.Counter("core.realize_cache.hits").Store(s.Realize.Hits)
+	m.Counter("core.realize_cache.misses").Store(s.Realize.Misses)
+	m.Counter("core.run_cache.hits").Store(s.Run.Hits)
+	m.Counter("core.run_cache.misses").Store(s.Run.Misses)
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -50,6 +51,9 @@ type TuneReport struct {
 	Checksum uint64
 	// KernelSplit reports whether splitting created the iterations.
 	KernelSplit bool
+	// Decisions is the tuner's per-iteration decision log (empty for the
+	// static-selection path, which takes no runtime decisions).
+	Decisions []Decision
 }
 
 // Tune runs the full Orion pipeline: compile-time tuning, then runtime
@@ -85,6 +89,31 @@ func (r *Realizer) Tune(p *isa.Program, lc Launch) (*TuneReport, error) {
 // compile result — e.g., one decoded from a multi-version binary, the
 // paper's deployment model: compile once, adapt on every run.
 func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, error) {
+	x := r.Obs.Ctx()
+	sp := x.Span("tune",
+		obs.String("kernel", cr.Original.Prog.Name),
+		obs.String("direction", cr.Direction.String()))
+	rep, err := r.tuneCompiled(cr, lc, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Int("chosen_warps", rep.Chosen.TargetWarps),
+			obs.Int("tune_iterations", rep.TuneIterations),
+			obs.Uint64("total_cycles", rep.TotalCycles),
+			obs.Bool("kernel_split", rep.KernelSplit))
+		m := x.Metrics()
+		m.Counter("tune.runs").Add(1)
+		m.Counter("tune.iterations").Add(uint64(rep.TuneIterations))
+		m.Gauge("tune.selected_warps").Set(float64(rep.Chosen.TargetWarps))
+	}
+	sp.End()
+	return rep, err
+}
+
+// tuneCompiled is the uninstrumented Figure 9 loop; x scopes the
+// per-iteration spans under the caller's "tune" span.
+func (r *Realizer) tuneCompiled(cr *CompileResult, lc Launch, x obs.Ctx) (*TuneReport, error) {
 	if len(lc.IterationGrids) > 0 {
 		lc.Iterations = len(lc.IterationGrids)
 		lc.GridWarps = lc.IterationGrids[0]
@@ -111,11 +140,15 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 	if !canTune {
 		// Static selection: run the compiler-picked kernel once.
 		cand := cr.StaticChoice
-		st, err := cand.Version.RunAt(r.Dev, r.Cache, cand.TargetWarps,
-			&interp.Launch{Prog: cand.Version.Prog, GridWarps: lc.GridWarps})
+		ssp := x.Span("tune-static", obs.Int("target_warps", cand.TargetWarps))
+		st, err := cand.Version.RunAtCtx(r.Dev, r.Cache, cand.TargetWarps,
+			&interp.Launch{Prog: cand.Version.Prog, GridWarps: lc.GridWarps}, ssp.Ctx())
 		if err != nil {
+			ssp.SetAttr(obs.String("error", err.Error()))
+			ssp.End()
 			return nil, err
 		}
+		ssp.End()
 		rep.Chosen = cand
 		rep.History = append(rep.History, IterationRecord{Candidate: cand, Stats: st})
 		rep.TotalCycles = st.Cycles
@@ -125,9 +158,9 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 	}
 
 	tuner := NewTuner(cr)
-	run := func(cand *Candidate, first, warps int, split bool) (*sim.Stats, error) {
-		st, err := cand.Version.RunAt(r.Dev, r.Cache, cand.TargetWarps,
-			&interp.Launch{Prog: cand.Version.Prog, GridWarps: warps, FirstWarp: first})
+	run := func(ix obs.Ctx, cand *Candidate, first, warps int, split bool) (*sim.Stats, error) {
+		st, err := cand.Version.RunAtCtx(r.Dev, r.Cache, cand.TargetWarps,
+			&interp.Launch{Prog: cand.Version.Prog, GridWarps: warps, FirstWarp: first}, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -135,6 +168,31 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 		rep.TotalCycles += st.Cycles
 		rep.TotalEnergy += st.Energy
 		return st, nil
+	}
+	// iterSpan opens one "tune-iter" span; finishIter stamps it with the
+	// decision the feedback round just recorded (or the converged state).
+	iterSpan := func(it int, cand *Candidate, warps int) *obs.Span {
+		return x.Span("tune-iter",
+			obs.Int("iter", it+1),
+			obs.Int("target_warps", cand.TargetWarps),
+			obs.Int("grid_warps", warps))
+	}
+	finishIter := func(isp *obs.Span, st *sim.Stats, before int) {
+		if isp == nil {
+			return
+		}
+		isp.SetAttr(obs.Uint64("cycles", st.Cycles))
+		if dec := tuner.Decisions(); len(dec) > before {
+			d := dec[len(dec)-1]
+			isp.SetAttr(
+				obs.Float("norm_runtime", d.Runtime),
+				obs.Float("slowdown_vs_best", d.Slowdown),
+				obs.Bool("accepted", d.Accepted),
+				obs.String("reason", d.Reason))
+		} else {
+			isp.SetAttr(obs.String("reason", "converged; running the selected kernel"))
+		}
+		isp.End()
 	}
 
 	if lc.Iterations > 1 {
@@ -145,8 +203,11 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 				grid = lc.IterationGrids[it]
 			}
 			cand := tuner.Next()
-			st, err := run(cand, 0, grid, false)
+			isp := iterSpan(it, cand, grid)
+			before := len(tuner.Decisions())
+			st, err := run(isp.Ctx(), cand, 0, grid, false)
 			if err != nil {
+				isp.End()
 				return nil, err
 			}
 			checksum = st.Checksum
@@ -158,12 +219,14 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 					rep.TuneIterations = tuner.Iterations()
 				}
 			}
+			finishIter(isp, st, before)
 		}
 		rep.Checksum = checksum
 		rep.Chosen = tuner.Next() // finalized (or best-so-far) kernel
 		if rep.TuneIterations == 0 {
 			rep.TuneIterations = tuner.Iterations()
 		}
+		rep.Decisions = tuner.Decisions()
 		return rep, nil
 	}
 
@@ -171,10 +234,13 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 	// pieces cover the grid exactly once.
 	rep.KernelSplit = true
 	var checksum uint64
-	for _, piece := range plan.Pieces {
+	for it, piece := range plan.Pieces {
 		cand := tuner.Next()
-		st, err := run(cand, piece.FirstWarp, piece.Warps, true)
+		isp := iterSpan(it, cand, piece.Warps)
+		before := len(tuner.Decisions())
+		st, err := run(isp.Ctx(), cand, piece.FirstWarp, piece.Warps, true)
 		if err != nil {
+			isp.End()
 			return nil, err
 		}
 		checksum ^= st.Checksum
@@ -185,12 +251,14 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 				rep.TuneIterations = tuner.Iterations()
 			}
 		}
+		finishIter(isp, st, before)
 	}
 	rep.Checksum = checksum
 	rep.Chosen = tuner.Next()
 	if rep.TuneIterations == 0 {
 		rep.TuneIterations = tuner.Iterations()
 	}
+	rep.Decisions = tuner.Decisions()
 	return rep, nil
 }
 
@@ -213,6 +281,10 @@ func (l *LevelResult) Occupancy(maxWarps int) float64 {
 // simulate concurrently; each level's simulation is deterministic, so the
 // results do not depend on scheduling.
 func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
+	x := r.Obs.Ctx()
+	sp := x.Span("sweep",
+		obs.String("kernel", p.Name),
+		obs.Int("grid_warps", gridWarps))
 	levels := occupancy.Levels(r.Dev, p.BlockDim)
 	type slot struct {
 		res LevelResult
@@ -220,9 +292,11 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 		ok  bool
 	}
 	slots := make([]slot, len(levels))
+	fork := sp.Ctx().Fork("level", len(levels))
 	par.ForEach(0, len(levels), func(i int) {
 		lvl := levels[i]
-		v, err := r.Realize(p, lvl)
+		lx := fork.At(i)
+		v, err := r.RealizeCtx(p, lvl, lx)
 		if err != nil {
 			var inf *ErrInfeasible
 			if !errors.As(err, &inf) {
@@ -230,17 +304,20 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 			}
 			return
 		}
-		st, err := v.RunAt(r.Dev, r.Cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+		st, err := v.RunAtCtx(r.Dev, r.Cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, lx)
 		if err != nil {
 			slots[i].err = err
 			return
 		}
 		slots[i] = slot{res: LevelResult{TargetWarps: lvl, Version: v, Stats: st}, ok: true}
 	})
+	fork.Join()
 
 	var out []LevelResult
 	for i := range slots {
 		if slots[i].err != nil {
+			sp.SetAttr(obs.String("error", slots[i].err.Error()))
+			sp.End()
 			return nil, slots[i].err
 		}
 		if slots[i].ok {
@@ -248,8 +325,11 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 		}
 	}
 	if len(out) == 0 {
+		sp.End()
 		return nil, fmt.Errorf("core: no occupancy level of %s is realizable", p.Name)
 	}
+	sp.SetAttr(obs.Int("levels", len(out)))
+	sp.End()
 	return out, nil
 }
 
@@ -258,15 +338,21 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 // occupancy that register usage naturally allows — no occupancy search,
 // no runtime adaptation.
 func (r *Realizer) Baseline(p *isa.Program, gridWarps int) (*Version, *sim.Stats, error) {
+	x := r.Obs.Ctx()
+	sp := x.Span("baseline", obs.String("kernel", p.Name))
 	levels := occupancy.Levels(r.Dev, p.BlockDim)
-	v, err := r.Realize(p, levels[0])
+	v, err := r.RealizeCtx(p, levels[0], sp.Ctx())
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
-	st, err := v.RunAt(r.Dev, r.Cache, v.Natural.ActiveWarps,
-		&interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
+	st, err := v.RunAtCtx(r.Dev, r.Cache, v.Natural.ActiveWarps,
+		&interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, sp.Ctx())
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.SetAttr(obs.Int("natural_warps", v.Natural.ActiveWarps), obs.Uint64("cycles", st.Cycles))
+	sp.End()
 	return v, st, nil
 }

@@ -7,6 +7,29 @@ import "fmt"
 // resource savings (paper Figure 9).
 const SlowdownTolerance = 0.02
 
+// Decision records one runtime tuning step for explanation and tracing:
+// which occupancy level ran, how it measured, and what the state machine
+// concluded. Decisions are always recorded (they are a handful of words
+// per iteration) so `orion tune -explain` works without a collector.
+type Decision struct {
+	// Iter is the 1-based feedback round.
+	Iter int
+	// TargetWarps is the occupancy level that was run.
+	TargetWarps int
+	// Runtime is the (work-normalized) measured runtime.
+	Runtime float64
+	// Slowdown is Runtime relative to the best runtime seen before this
+	// round, minus one (negative = faster than the previous best). Zero on
+	// the baseline round.
+	Slowdown float64
+	// Accepted reports whether the walk continued through this level.
+	Accepted bool
+	// Reason explains the state machine's conclusion in one clause.
+	Reason string
+	// Finalized reports whether this decision locked the selection.
+	Finalized bool
+}
+
 // Tuner is the Orion runtime's dynamic occupancy selection state machine
 // (paper Figure 9). Each kernel iteration, the host asks Next() which
 // candidate to run, executes it, and reports the runtime via Feedback().
@@ -29,6 +52,8 @@ type Tuner struct {
 	prevCand   *Candidate
 	bestTime   float64
 	failedOver bool // already switched to the fail-safe direction
+
+	decisions []Decision
 }
 
 // NewTuner builds the runtime tuner from compile-time output.
@@ -54,8 +79,20 @@ func (t *Tuner) Next() *Candidate {
 	}
 	// Tried every occupancy in the tuning direction.
 	t.finalized = t.best()
+	t.decisions = append(t.decisions, Decision{
+		Iter:        t.iter,
+		TargetWarps: t.finalized.TargetWarps,
+		Runtime:     t.prevTime,
+		Accepted:    true,
+		Finalized:   true,
+		Reason:      "candidate ladder exhausted; settling on best measured level",
+	})
 	return t.finalized
 }
+
+// Decisions returns the per-iteration decision log in order. The slice is
+// owned by the tuner; callers must not mutate it.
+func (t *Tuner) Decisions() []Decision { return t.decisions }
 
 // Feedback reports the measured runtime of the candidate returned by the
 // preceding Next call.
@@ -76,30 +113,58 @@ func (t *Tuner) FeedbackWork(cand *Candidate, runtime, work float64) {
 	if t.finalized != nil {
 		return
 	}
+	d := Decision{Iter: t.iter, TargetWarps: cand.TargetWarps, Runtime: runtime}
+	if t.bestTime > 0 {
+		d.Slowdown = runtime/t.bestTime - 1
+	}
 	defer func() {
 		t.prevTime = runtime
 		t.prevCand = cand
 		if t.bestTime == 0 || runtime < t.bestTime {
 			t.bestTime = runtime
 		}
+		d.Finalized = t.finalized != nil
+		t.decisions = append(t.decisions, d)
 	}()
 	if cand == t.original {
+		d.Accepted = true
+		d.Reason = "baseline measurement of the original kernel"
 		return // baseline measurement; start walking candidates
 	}
 	if t.direction == Increasing {
 		// Keep increasing until performance degrades.
 		if t.prevCand != nil && runtime > t.prevTime {
 			t.finalize(t.prevCand)
+			d.Reason = rejectReason(t, "slower than the previous level")
 			return
 		}
+		d.Accepted = true
+		d.Reason = "no slowdown vs the previous level; keep increasing occupancy"
 	} else {
 		// Keep decreasing while the slowdown stays within tolerance.
 		if t.prevCand != nil && runtime > t.prevTime*(1+SlowdownTolerance) {
 			t.finalize(t.prevCand)
+			d.Reason = rejectReason(t, fmt.Sprintf(
+				"slowdown beyond the %.0f%% tolerance", SlowdownTolerance*100))
 			return
 		}
+		d.Accepted = true
+		d.Reason = fmt.Sprintf(
+			"within the %.0f%% slowdown tolerance; keep decreasing occupancy",
+			SlowdownTolerance*100)
 	}
 	t.idx++
+}
+
+// rejectReason explains a rejected level given what finalize just did:
+// either the selection locked on a previous level, or the direction was
+// mispredicted and the fail-safe ladder is next.
+func rejectReason(t *Tuner, why string) string {
+	if t.finalized != nil {
+		return fmt.Sprintf("%s; settling on %d warps/SM", why, t.finalized.TargetWarps)
+	}
+	return fmt.Sprintf("%s; direction mispredicted, switching to the %s fail-safe ladder",
+		why, t.direction)
 }
 
 // finalize locks the selection, except when the walk's very first step was

@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/par"
 )
@@ -118,13 +119,42 @@ const maxCandidates = 5
 // static selection (the [11]-style latency-hiding estimate) picks a single
 // kernel.
 func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error) {
-	if err := isa.Validate(p); err != nil {
-		return nil, err
+	x := r.Obs.Ctx()
+	sp := x.Span("compile",
+		obs.String("kernel", p.Name),
+		obs.Bool("can_tune", canTune))
+	res, err := r.compile(p, canTune, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Int("max_live", res.MaxLive),
+			obs.String("direction", res.Direction.String()),
+			obs.Int("candidates", len(res.Candidates)),
+			obs.Int("fail_safe", len(res.FailSafe)))
+		x.Metrics().Counter("compile.kernels").Add(1)
 	}
-	ml, err := MaxLive(p)
+	sp.End()
+	return res, err
+}
+
+// compile is the uninstrumented Figure 8 pipeline; x scopes its phase
+// spans under the caller's "compile" span.
+func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileResult, error) {
+	vsp := x.Span("validate")
+	err := isa.Validate(p)
+	vsp.End()
 	if err != nil {
 		return nil, err
 	}
+	msp := x.Span("maxlive")
+	ml, err := MaxLive(p)
+	if err != nil {
+		msp.End()
+		return nil, err
+	}
+	msp.SetAttr(obs.Int("max_live", ml))
+	msp.End()
 	res := &CompileResult{MaxLive: ml}
 	if ml >= DirectionThreshold(r.Dev) {
 		res.Direction = Increasing
@@ -138,7 +168,7 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 	// Original version: everything lives in the minimal number of
 	// registers (target the lowest occupancy level, i.e., the largest
 	// register budget the hardware offers).
-	orig, err := r.Realize(p, minLevel)
+	orig, err := r.RealizeCtx(p, minLevel, x)
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: original version: %w", p.Name, err)
 	}
@@ -157,13 +187,15 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 			}
 		}
 		slots := make([]*Version, len(upper))
+		fork := x.Fork("candidate", len(upper))
 		par.ForEach(0, len(upper), func(i int) {
-			v, err := r.Realize(p, upper[i])
+			v, err := r.RealizeCtx(p, upper[i], fork.At(i))
 			if err != nil {
 				return // level not realizable
 			}
 			slots[i] = v
 		})
+		fork.Join()
 		var ladder []*Candidate
 		conservativeWarps := 0
 		for i, v := range slots {
@@ -206,7 +238,7 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 			if lvl <= orig.Natural.ActiveWarps {
 				continue
 			}
-			v, err := r.Realize(p, lvl)
+			v, err := r.RealizeCtx(p, lvl, x)
 			if err == nil {
 				res.FailSafe = append(res.FailSafe, &Candidate{Version: v, TargetWarps: lvl})
 				break
@@ -215,7 +247,10 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 	}
 
 	if !canTune {
+		ssp := x.Span("static-select")
 		res.StaticChoice = r.staticSelect(p, res)
+		ssp.SetAttr(obs.Int("chosen_warps", res.StaticChoice.TargetWarps))
+		ssp.End()
 	}
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/regalloc"
 	"repro/internal/sim"
@@ -68,6 +69,11 @@ type Realizer struct {
 	// Interproc selects the compressible-stack options (ablations for the
 	// paper's Figure 5 flip these off).
 	Interproc interproc.Options
+	// Obs, when non-nil, collects spans and metrics from every compile,
+	// tune, sweep, and simulation driven through this realizer. Nil (the
+	// default) disables all instrumentation at the cost of one pointer
+	// check per call.
+	Obs *obs.Collector
 }
 
 // NewRealizer returns a Realizer with the full optimization set.
@@ -98,17 +104,58 @@ func (e *ErrInfeasible) Error() string {
 // options) share one Version. The returned Version and its program are
 // immutable.
 func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
-	key, ok := r.cacheKey(p, targetWarps)
-	if !ok {
-		return r.realize(p, targetWarps)
-	}
-	return realizeCache.Do(key, func() (*Version, error) {
-		return r.realize(p, targetWarps)
-	})
+	return r.RealizeCtx(p, targetWarps, r.Obs.Ctx())
 }
 
-// realize is the uncached realization (the cache's fill path).
-func (r *Realizer) realize(p *isa.Program, targetWarps int) (*Version, error) {
+// RealizeCtx is Realize with an explicit observability context (parallel
+// compile ladders pass per-worker fork contexts so span streams merge
+// deterministically). Cache hits emit a short "realize.cached" span so
+// traces stay complete; only fill paths carry the full compile spans.
+func (r *Realizer) RealizeCtx(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
+	key, ok := r.cacheKey(p, targetWarps)
+	if !ok {
+		return r.realize(p, targetWarps, x)
+	}
+	filled := false
+	v, err := realizeCache.Do(key, func() (*Version, error) {
+		filled = true
+		return r.realize(p, targetWarps, x)
+	})
+	if !filled && x.Enabled() {
+		sp := x.Span("realize.cached",
+			obs.String("kernel", p.Name),
+			obs.Int("target_warps", targetWarps))
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+		}
+		sp.End()
+	}
+	return v, err
+}
+
+// realize wraps the uncached realization in a "realize" span.
+func (r *Realizer) realize(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
+	sp := x.Span("realize",
+		obs.String("kernel", p.Name),
+		obs.Int("target_warps", targetWarps))
+	v, err := r.realizeUncached(p, targetWarps, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Int("regs_per_thread", v.RegsPerThread),
+			obs.Int("shared_per_block", v.SharedPerBlock),
+			obs.Int("local_slots", v.LocalSlots),
+			obs.Int("moves", v.Moves),
+			obs.Int("natural_warps", v.Natural.ActiveWarps))
+		x.Metrics().Counter("compile.realizations").Add(1)
+	}
+	sp.End()
+	return v, err
+}
+
+// realizeUncached is the cache's fill path.
+func (r *Realizer) realizeUncached(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
 	d := r.Dev
 	regBudget := occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps)
 	if regBudget < minFuncBudget {
@@ -125,7 +172,7 @@ func (r *Realizer) realize(p *isa.Program, targetWarps int) (*Version, error) {
 	}
 
 	for attempt := 0; attempt < 4; attempt++ {
-		v, err := r.realizeWithBudget(p, regBudget, sharedSlotBudget)
+		v, err := r.realizeWithBudget(p, regBudget, sharedSlotBudget, x)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +201,7 @@ func (r *Realizer) realize(p *isa.Program, targetWarps int) (*Version, error) {
 // realizeWithBudget allocates every function, walking the call graph
 // caller-first so that callee budgets subtract the caller's compressed
 // height (Bk) and spill-slot usage along the worst chain.
-func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget int) (*Version, error) {
+func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget int, x obs.Ctx) (*Version, error) {
 	np := p.Clone()
 	n := len(np.Funcs)
 	needs, perMaxLive, err := chainNeeds(p)
@@ -207,11 +254,11 @@ func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget
 			opt.CalleeNeed = func(callee int) int { return needs[callee] }
 		}
 		allocOnce := func(budget int) (*isa.Function, *interproc.Stats, error) {
-			a, err := regalloc.Run(np.Funcs[fi], budget, shBudget)
+			a, err := regalloc.RunCtx(np.Funcs[fi], budget, shBudget, x)
 			if err != nil {
 				return nil, nil, err
 			}
-			return interproc.Optimize(a, opt)
+			return interproc.OptimizeCtx(a, opt, x)
 		}
 		// variantCost scores an allocation: its own spill/move overhead
 		// (loop-weighted) plus the registers it squeezes out of callee
@@ -270,7 +317,9 @@ func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget
 			}
 		}
 		nf.Name = np.Funcs[fi].Name
-		regalloc.ElideCoalescedMoves(nf) // coalesced copies are no-ops
+		if n := regalloc.ElideCoalescedMoves(nf); n > 0 { // coalesced copies are no-ops
+			x.Metrics().Counter("regalloc.coalesced_moves").Add(uint64(n))
+		}
 		np.Funcs[fi] = nf
 		allocated[fi] = true
 		totalMoves += st.Movements
@@ -471,15 +520,28 @@ func topoOrder(p *isa.Program) ([]int, error) {
 // another experiment is a lookup. The returned Stats is shared and must
 // not be mutated.
 func (v *Version) RunAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch) (*sim.Stats, error) {
-	return v.ProfileAt(d, cc, targetWarps, lc, 0)
+	return v.ProfileAtCtx(d, cc, targetWarps, lc, 0, obs.Ctx{})
+}
+
+// RunAtCtx is RunAt with an observability context: the simulation (or its
+// cache hit) is recorded as a span under x.
+func (v *Version) RunAtCtx(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, x obs.Ctx) (*sim.Stats, error) {
+	return v.ProfileAtCtx(d, cc, targetWarps, lc, 0, x)
 }
 
 // ProfileAt is RunAt with issue tracing for the first traceWarps warps
 // (timeline profiling; see sim.Trace). Traced launches are never cached —
 // their Trace buffers are caller-owned.
 func (v *Version) ProfileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int) (*sim.Stats, error) {
+	return v.ProfileAtCtx(d, cc, targetWarps, lc, traceWarps, obs.Ctx{})
+}
+
+// ProfileAtCtx is ProfileAt with an observability context. Run-cache hits
+// emit a "simulate.cached" span carrying the memoized cycle count; fill
+// paths carry the full "simulate" span from package sim.
+func (v *Version) ProfileAtCtx(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, x obs.Ctx) (*sim.Stats, error) {
 	if traceWarps > 0 || lc.Prog != v.Prog {
-		return v.profileAt(d, cc, targetWarps, lc, traceWarps)
+		return v.profileAt(d, cc, targetWarps, lc, traceWarps, x)
 	}
 	key := runKey{
 		prog:        v.fingerprint(),
@@ -489,13 +551,28 @@ func (v *Version) ProfileAt(d *device.Device, cc device.CacheConfig, targetWarps
 		gridWarps:   lc.GridWarps,
 		firstWarp:   lc.FirstWarp,
 	}
-	return runCache.Do(key, func() (*sim.Stats, error) {
-		return v.profileAt(d, cc, targetWarps, lc, 0)
+	filled := false
+	st, err := runCache.Do(key, func() (*sim.Stats, error) {
+		filled = true
+		return v.profileAt(d, cc, targetWarps, lc, 0, x)
 	})
+	if !filled && x.Enabled() {
+		sp := x.Span("simulate.cached",
+			obs.String("kernel", lc.Prog.Name),
+			obs.Int("target_warps", targetWarps),
+			obs.Int("grid_warps", lc.GridWarps))
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+		} else {
+			sp.SetAttr(obs.Uint64("cycles", st.Cycles))
+		}
+		sp.End()
+	}
+	return st, err
 }
 
 // profileAt is the uncached simulation (the cache's fill path).
-func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int) (*sim.Stats, error) {
+func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, x obs.Ctx) (*sim.Stats, error) {
 	wpb := lc.Prog.BlockDim / d.WarpSize
 	blocks := v.Natural.ActiveBlocks
 	if tb := targetWarps / wpb; tb < blocks {
@@ -511,5 +588,6 @@ func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps
 		RegsPerThread:  v.RegsPerThread,
 		SharedPerBlock: v.SharedPerBlock,
 		TraceWarps:     traceWarps,
+		Obs:            x,
 	}, &interp.Launch{Prog: v.Prog, GridWarps: lc.GridWarps, FirstWarp: lc.FirstWarp})
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -61,6 +62,35 @@ type Stats struct {
 // (re-addressing slots, Figure 6b) and returns the physically rewritten
 // function with CallBounds populated.
 func Optimize(a *regalloc.Alloc, opt Options) (*isa.Function, *Stats, error) {
+	return OptimizeCtx(a, opt, obs.Ctx{})
+}
+
+// OptimizeCtx is Optimize with observability: when x is enabled the
+// function gets an "interproc" span (with a "km-matching" child around
+// the Kuhn-Munkres layout search) and the movement counts feed the
+// metrics registry.
+func OptimizeCtx(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats, error) {
+	sp := x.Span("interproc",
+		obs.String("func", a.Vars.F.Name),
+		obs.Bool("space_min", opt.SpaceMin),
+		obs.Bool("move_min", opt.MoveMin))
+	f, stats, err := optimize(a, opt, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Int("calls", stats.Calls),
+			obs.Int("movements", stats.Movements),
+			obs.Int("frame_slots", stats.FrameSlots))
+		m := x.Metrics()
+		m.Counter("interproc.calls").Add(uint64(stats.Calls))
+		m.Counter("interproc.movements").Add(uint64(stats.Movements))
+	}
+	sp.End()
+	return f, stats, err
+}
+
+func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats, error) {
 	v, res, live := a.Vars, a.Res, a.Live
 	m := res.FrameSlots
 	stats := &Stats{FrameSlots: m}
@@ -175,6 +205,10 @@ func Optimize(a *regalloc.Alloc, opt Options) (*isa.Function, *Stats, error) {
 	// Movement-minimizing layout (Theorem 1 + Kuhn-Munkres). Wij = number
 	// of calls where slot set SSi is live and position j >= Bk.
 	if opt.MoveMin && opt.SpaceMin && len(slots) > 0 {
+		ksp := x.Span("km-matching",
+			obs.Int("slots", len(slots)),
+			obs.Int("free_positions", len(freePos)))
+		x.Metrics().Counter("interproc.km_matchings").Add(1)
 		w := make([][]float64, len(slots))
 		for si, pos := range slots {
 			w[si] = make([]float64, len(freePos))
@@ -194,6 +228,7 @@ func Optimize(a *regalloc.Alloc, opt Options) (*isa.Function, *Stats, error) {
 				res.Color[id] = freePos[match[si]]
 			}
 		}
+		ksp.End()
 	}
 
 	f, err := regalloc.Rewrite(v, res)

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event (the JSON object format read by
+// Perfetto and chrome://tracing). Spans use "X" (complete) events with
+// microsecond timestamps; track names use "M" (metadata) events.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace document: the JSON-object form with a
+// traceEvents array, which both Perfetto and chrome://tracing load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// micros converts a span duration to trace microseconds (nanosecond
+// resolution survives as fraction digits).
+func micros(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace exports every completed span as Chrome trace-event
+// JSON. Span ids are assigned by record position, so they are as
+// deterministic as the span stream (index-ordered under Fork/Join);
+// parent links appear as span_id/parent_id args. Fork tracks appear as
+// named threads. Call after all spans have ended and forks joined.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if c == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	root := c.root
+	root.mu.Lock()
+	spans := append([]spanRec(nil), root.spans...)
+	names := make(map[int]string, len(root.trackNames))
+	for t, n := range root.trackNames {
+		names[t] = n
+	}
+	root.mu.Unlock()
+
+	doc := chromeTrace{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]string{"name": "orion"},
+	})
+	// Only tracks that actually carry spans get a name event, in track
+	// order, so unused fork slots do not bloat the trace.
+	used := map[int]bool{}
+	var tracks []int
+	for i := range spans {
+		if !used[spans[i].track] {
+			used[spans[i].track] = true
+			tracks = append(tracks, spans[i].track)
+		}
+	}
+	sort.Ints(tracks)
+	for _, t := range tracks {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: t,
+			Args: map[string]string{"name": names[t]},
+		})
+	}
+
+	ids := make(map[*Span]int, len(spans))
+	for i := range spans {
+		ids[spans[i].self] = i + 1
+	}
+	for i := range spans {
+		rec := &spans[i]
+		args := make(map[string]string, len(rec.attrs)+2)
+		for _, a := range rec.attrs {
+			args[a.Key] = a.Val
+		}
+		args["span_id"] = fmt.Sprintf("%d", i+1)
+		if pid, ok := ids[rec.parent]; ok && rec.parent != nil {
+			args["parent_id"] = fmt.Sprintf("%d", pid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: rec.name, Cat: "orion", Ph: "X",
+			TS: micros(rec.start.Nanoseconds()), Dur: micros(rec.dur.Nanoseconds()),
+			PID: tracePID, TID: rec.track, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// WriteMetricsJSON exports the registry as a flat metrics snapshot
+// (counters, gauges, histograms; keys sorted by encoding/json).
+func (c *Collector) WriteMetricsJSON(w io.Writer) error {
+	snap := c.Metrics().Snapshot()
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// SpanCount reports how many completed spans the collector holds
+// (including joined fork spans); used by tests and the CLIs' summaries.
+func (c *Collector) SpanCount() int {
+	if c == nil {
+		return 0
+	}
+	root := c.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return len(root.spans)
+}
+
+// SpanNames returns the completed spans' names in record order; used by
+// tests asserting on span streams.
+func (c *Collector) SpanNames() []string {
+	if c == nil {
+		return nil
+	}
+	root := c.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	out := make([]string, len(root.spans))
+	for i := range root.spans {
+		out[i] = root.spans[i].name
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace unmarshals a Chrome trace document back into the event
+// structs for assertions.
+func decodeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := New()
+	root := c.StartSpan("compile", String("kernel", "bfs"))
+	ch := root.Child("maxlive")
+	ch.SetAttr(Int("maxlive", 21))
+	ch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var complete []chromeEvent
+	sawProcessName := false
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				sawProcessName = true
+			}
+		case "X":
+			complete = append(complete, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !sawProcessName {
+		t.Fatal("no process_name metadata event")
+	}
+	if len(complete) != 2 {
+		t.Fatalf("complete events = %d, want 2", len(complete))
+	}
+	// Record order: child ends first.
+	if complete[0].Name != "maxlive" || complete[1].Name != "compile" {
+		t.Fatalf("event order = %q, %q", complete[0].Name, complete[1].Name)
+	}
+	if complete[0].Args["maxlive"] != "21" {
+		t.Fatalf("child args = %v", complete[0].Args)
+	}
+	// Parent link resolves to the compile span's id.
+	if complete[0].Args["parent_id"] != complete[1].Args["span_id"] {
+		t.Fatalf("parent_id %q != compile span_id %q",
+			complete[0].Args["parent_id"], complete[1].Args["span_id"])
+	}
+	if complete[1].Args["kernel"] != "bfs" {
+		t.Fatalf("root args = %v", complete[1].Args)
+	}
+	for _, e := range complete {
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("negative timestamp in %+v", e)
+		}
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	c := New()
+	c.Metrics().Counter("core.realize_cache.hits").Store(5)
+	c.Metrics().Gauge("tune.selected_warps").Set(24)
+	c.Metrics().Histogram("bench.experiment_wall_ms").Observe(3.5)
+
+	var buf bytes.Buffer
+	if err := c.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["core.realize_cache.hits"] != 5 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["tune.selected_warps"] != 24 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	if h := snap.Histograms["bench.experiment_wall_ms"]; h.Count != 1 || h.Sum != 3.5 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+}
+
+func TestForkTrackNames(t *testing.T) {
+	c := New()
+	f := c.Ctx().Fork("realize", 2)
+	sp := f.At(1).Span("realize")
+	sp.End()
+	f.Join()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	found := ""
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			found = e.Args["name"]
+		}
+	}
+	if found != "realize[1]" {
+		t.Fatalf("thread name = %q, want realize[1]", found)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a goroutine-safe metrics registry: named counters, gauges,
+// and histograms, created on first use. A nil *Registry is the disabled
+// state — it hands out nil handles whose methods are no-ops — so
+// instrumented code never branches on "is metrics on".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64. Nil-safe.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Store overwrites the counter's value (used to publish counters that
+// are maintained elsewhere, e.g. the memo cache hit/miss totals).
+func (c *Counter) Store(v uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64. Nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// counts observations with value <= 2^i (the last bucket is +Inf).
+const histBuckets = 32
+
+// Histogram accumulates a distribution in power-of-two buckets with
+// exact count/sum/min/max. Nil-safe.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := 0
+	for i < histBuckets-1 && v > float64(uint64(1)<<uint(i)) {
+		i++
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count samples
+// with value <= LE.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's point-in-time summary.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the histogram's current summary (zero value when nil
+// or empty).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < histBuckets-1 {
+			le = float64(uint64(1) << uint(i))
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: n})
+	}
+	return s
+}
+
+// MetricsSnapshot is a registry's point-in-time state, the payload of
+// the metrics JSON exporter. Maps marshal with sorted keys, so the JSON
+// form is deterministic.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Names returns the registry's metric names, sorted, for tests and
+// debugging.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

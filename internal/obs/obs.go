@@ -1,0 +1,267 @@
+// Package obs is the unified observability substrate shared by the
+// compiler, the runtime tuner, the simulator, and the experiment suite:
+// hierarchical spans (start/end, attributes, parent links), a
+// goroutine-safe metrics registry, and two exporters — Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing) and a flat
+// metrics snapshot.
+//
+// The overhead contract is "one pointer check when disabled": every
+// entry point is nil-safe, so instrumented code holds a possibly-nil
+// *Collector (or a zero Ctx) and calls through it unconditionally. A nil
+// collector produces nil spans and nil metric handles whose methods are
+// no-ops; the instrumented hot paths pay only the nil test.
+//
+// Span streams from parallel workers merge deterministically: Fork
+// hands each worker an index-addressed child collector and Join splices
+// the children's completed spans into the parent in index order — the
+// same discipline par.ForEach imposes on result slots — so a trace of a
+// parallel run has the same span order as a serial one.
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Values are stringified at construction so
+// records are immutable and exporters need no type switches.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{k, strconv.Itoa(v)} }
+
+// Uint64 builds an unsigned integer attribute.
+func Uint64(k string, v uint64) Attr { return Attr{k, strconv.FormatUint(v, 10)} }
+
+// Float builds a floating-point attribute.
+func Float(k string, v float64) Attr { return Attr{k, strconv.FormatFloat(v, 'g', 6, 64)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{k, strconv.FormatBool(v)} }
+
+// spanRec is one completed span. Parent links are pointers; exporters
+// resolve them to ids by record position, so ids are as deterministic as
+// the record order.
+type spanRec struct {
+	name   string
+	track  int
+	self   *Span
+	parent *Span
+	start  time.Duration
+	dur    time.Duration
+	attrs  []Attr
+}
+
+// Collector accumulates completed spans. The zero *Collector (nil) is
+// the disabled state. A Collector returned by Fork buffers its spans
+// separately until Join merges them into the parent; all collectors of
+// one tree share the root's epoch and metrics registry.
+type Collector struct {
+	root  *Collector
+	track int
+
+	mu    sync.Mutex
+	spans []spanRec
+
+	// Root-only state.
+	epoch      time.Time
+	metrics    *Registry
+	nextTrack  int
+	trackNames map[int]string
+}
+
+// New returns an enabled root collector with a fresh metrics registry.
+func New() *Collector {
+	c := &Collector{epoch: time.Now(), metrics: NewRegistry(), nextTrack: 1,
+		trackNames: map[int]string{0: "main"}}
+	c.root = c
+	return c
+}
+
+// Metrics returns the tree's shared metrics registry (nil when the
+// collector is nil, which makes every metric handle a no-op).
+func (c *Collector) Metrics() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.root.metrics
+}
+
+// Enabled reports whether the collector records anything.
+func (c *Collector) Enabled() bool { return c != nil }
+
+func (c *Collector) now() time.Duration { return time.Since(c.root.epoch) }
+
+// Span is one in-flight or completed operation. A nil *Span is the
+// disabled state: all methods no-op. A span must be used by a single
+// goroutine; cross-goroutine fan-out goes through Fork.
+type Span struct {
+	c      *Collector
+	parent *Span
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// StartSpan opens a root-level span on the collector.
+func (c *Collector) StartSpan(name string, attrs ...Attr) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{c: c, name: name, start: c.now(), attrs: attrs}
+}
+
+// Child opens a span whose parent is s, recorded on the same collector.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := s.c.StartSpan(name, attrs...)
+	sp.parent = s
+	return sp
+}
+
+// SetAttr appends attributes; calls after End are ignored.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || s.ended {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span and appends its record to the collector. End is
+// idempotent; spans never ended are never exported.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	end := s.c.now()
+	s.c.mu.Lock()
+	s.c.spans = append(s.c.spans, spanRec{
+		name: s.name, track: s.c.track, self: s, parent: s.parent,
+		start: s.start, dur: end - s.start, attrs: s.attrs,
+	})
+	s.c.mu.Unlock()
+}
+
+// Metrics returns the registry of the span's collector tree (nil for a
+// nil span).
+func (s *Span) Metrics() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.c.Metrics()
+}
+
+// Ctx returns a context rooted at this span: spans started from it
+// become s's children. A nil span yields the zero (disabled) Ctx.
+func (s *Span) Ctx() Ctx {
+	if s == nil {
+		return Ctx{}
+	}
+	return Ctx{c: s.c, parent: s}
+}
+
+// Ctx bundles a collector and a parent span so instrumentation can be
+// threaded through layers as one value. The zero Ctx is disabled: Span
+// returns nil, Fork returns nil, Metrics returns nil — all no-ops.
+type Ctx struct {
+	c      *Collector
+	parent *Span
+}
+
+// Ctx returns a context that records root-level spans on the collector.
+func (c *Collector) Ctx() Ctx {
+	if c == nil {
+		return Ctx{}
+	}
+	return Ctx{c: c}
+}
+
+// Span opens a span on the context's collector, parented to the
+// context's span if any. Returns nil when the context is disabled.
+func (x Ctx) Span(name string, attrs ...Attr) *Span {
+	if x.c == nil {
+		return nil
+	}
+	sp := x.c.StartSpan(name, attrs...)
+	sp.parent = x.parent
+	return sp
+}
+
+// Metrics returns the context's metrics registry (nil when disabled).
+func (x Ctx) Metrics() *Registry { return x.c.Metrics() }
+
+// Enabled reports whether the context records anything.
+func (x Ctx) Enabled() bool { return x.c != nil }
+
+// Fork returns an index-addressed fork of the context for n parallel
+// workers: worker i records spans through At(i) (its own track, named
+// "label[i]"), and Join merges the workers' spans into the forking
+// collector in index order — deterministic regardless of scheduling.
+func (x Ctx) Fork(label string, n int) *Fork {
+	if x.c == nil || n <= 0 {
+		return nil
+	}
+	root := x.c.root
+	root.mu.Lock()
+	base := root.nextTrack
+	root.nextTrack += n
+	for i := 0; i < n; i++ {
+		root.trackNames[base+i] = label + "[" + strconv.Itoa(i) + "]"
+	}
+	root.mu.Unlock()
+	f := &Fork{parent: x.c, parentSpan: x.parent, children: make([]*Collector, n)}
+	for i := 0; i < n; i++ {
+		f.children[i] = &Collector{root: root, track: base + i}
+	}
+	return f
+}
+
+// Fork is a set of index-addressed child collectors for parallel
+// workers. A nil *Fork (tracing disabled) yields disabled contexts and a
+// no-op Join.
+type Fork struct {
+	parent     *Collector
+	parentSpan *Span
+	children   []*Collector
+}
+
+// At returns worker i's context. Spans it opens are parented to the span
+// the fork was created under.
+func (f *Fork) At(i int) Ctx {
+	if f == nil {
+		return Ctx{}
+	}
+	return Ctx{c: f.children[i], parent: f.parentSpan}
+}
+
+// Join splices every worker's completed spans into the forking collector
+// in index order. Spans still open at Join time are dropped; end them in
+// the worker. Join is called once, after the workers have finished.
+func (f *Fork) Join() {
+	if f == nil {
+		return
+	}
+	for _, ch := range f.children {
+		ch.mu.Lock()
+		spans := ch.spans
+		ch.spans = nil
+		ch.mu.Unlock()
+		if len(spans) == 0 {
+			continue
+		}
+		f.parent.mu.Lock()
+		f.parent.spans = append(f.parent.spans, spans...)
+		f.parent.mu.Unlock()
+	}
+}

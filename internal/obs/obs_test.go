@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// A nil collector must make every call in the span, context, fork, and
+// metrics surface a no-op — this is the zero-overhead-when-disabled
+// contract relied on by every instrumented hot path.
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	sp := c.StartSpan("x", Int("a", 1))
+	if sp != nil {
+		t.Fatal("nil collector produced a span")
+	}
+	sp.SetAttr(String("k", "v"))
+	sp.End()
+	child := sp.Child("y")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	x := c.Ctx()
+	if x.Enabled() {
+		t.Fatal("zero Ctx reports enabled")
+	}
+	if x.Span("z") != nil {
+		t.Fatal("zero Ctx produced a span")
+	}
+	f := x.Fork("w", 4)
+	if f != nil {
+		t.Fatal("zero Ctx produced a fork")
+	}
+	f.At(2).Span("inner").End()
+	f.Join()
+	c.Metrics().Counter("n").Add(3)
+	c.Metrics().Gauge("g").Set(1)
+	c.Metrics().Histogram("h").Observe(2)
+	if got := c.Metrics().Counter("n").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if c.SpanCount() != 0 || c.SpanNames() != nil {
+		t.Fatal("nil collector holds spans")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-collector trace is not JSON: %v", err)
+	}
+}
+
+func TestSpanHierarchyAndOrder(t *testing.T) {
+	c := New()
+	root := c.StartSpan("root", String("kernel", "k"))
+	a := root.Child("a")
+	aa := a.Child("aa")
+	aa.End()
+	a.End()
+	b := root.Child("b")
+	b.SetAttr(Int("n", 7))
+	b.End()
+	root.End()
+	root.End() // idempotent
+
+	want := []string{"aa", "a", "b", "root"}
+	if got := c.SpanNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("span order = %v, want %v", got, want)
+	}
+}
+
+func TestForkJoinDeterministicOrder(t *testing.T) {
+	// Workers complete in arbitrary order; the joined stream must be
+	// index-ordered regardless.
+	for trial := 0; trial < 10; trial++ {
+		c := New()
+		outer := c.StartSpan("outer")
+		const n = 8
+		f := outer.Ctx().Fork("worker", n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sp := f.At(i).Span("item-" + strconv.Itoa(i))
+				sp.Child("inner").End()
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		f.Join()
+		outer.End()
+
+		want := []string{}
+		for i := 0; i < n; i++ {
+			want = append(want, "inner", "item-"+strconv.Itoa(i))
+		}
+		want = append(want, "outer")
+		if got := c.SpanNames(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: joined order = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("hits").Add(1)
+				r.Histogram("lat").Observe(float64(j % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	r.Gauge("level").Set(12.5)
+	if got := r.Counter("hits").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	if got := r.Gauge("level").Value(); got != 12.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+	hs := r.Histogram("lat").Snapshot()
+	if hs.Count != 800 || hs.Min != 0 || hs.Max != 9 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	var total uint64
+	for _, b := range hs.Buckets {
+		total += b.Count
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, hs.Count)
+	}
+	names := r.Names()
+	if !reflect.DeepEqual(names, []string{"hits", "lat", "level"}) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestHistogramInfBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.Pow(2, 40)) // beyond the largest finite bucket
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || !math.IsInf(s.Buckets[0].LE, 1) {
+		t.Fatalf("overflow sample landed in %+v", s.Buckets)
+	}
+}
+
+func TestAttrConstructors(t *testing.T) {
+	cases := []struct {
+		a    Attr
+		k, v string
+	}{
+		{String("s", "x"), "s", "x"},
+		{Int("i", -3), "i", "-3"},
+		{Uint64("u", 42), "u", "42"},
+		{Bool("b", true), "b", "true"},
+	}
+	for _, tc := range cases {
+		if tc.a.Key != tc.k || tc.a.Val != tc.v {
+			t.Errorf("attr %q = %q, want %q=%q", tc.a.Key, tc.a.Val, tc.k, tc.v)
+		}
+	}
+	if f := Float("f", 0.25); f.Val != "0.25" {
+		t.Errorf("float attr = %q", f.Val)
+	}
+}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -34,5 +35,101 @@ func TestForEachSerialIsInline(t *testing.T) {
 		if i != v {
 			t.Fatalf("serial order = %v", order)
 		}
+	}
+}
+
+// catchPanic runs f and returns the recovered *ItemPanic (nil if f did
+// not panic, fatal if it panicked with anything else).
+func catchPanic(t *testing.T, f func()) (p *ItemPanic) {
+	t.Helper()
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		var ok bool
+		p, ok = v.(*ItemPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *ItemPanic", v)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestForEachRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 40
+		const bad = 17
+		var after atomic.Int32
+		p := catchPanic(t, func() {
+			ForEach(workers, n, func(i int) {
+				if i == bad {
+					panic("boom")
+				}
+				if i > bad {
+					after.Add(1)
+				}
+			})
+		})
+		if p == nil {
+			t.Fatalf("workers=%d: ForEach did not re-panic", workers)
+		}
+		if p.Index != bad {
+			t.Errorf("workers=%d: panic index = %d, want %d", workers, p.Index, bad)
+		}
+		if p.Value != "boom" {
+			t.Errorf("workers=%d: panic value = %v", workers, p.Value)
+		}
+		if len(p.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+		if !strings.Contains(p.Error(), "item 17 panicked: boom") {
+			t.Errorf("workers=%d: Error() = %q", workers, p.Error())
+		}
+		if workers == 1 && after.Load() != 0 {
+			t.Errorf("inline mode ran %d items after the panic", after.Load())
+		}
+	}
+}
+
+func TestForEachPanicStopsDispatch(t *testing.T) {
+	// After an item panics, workers must stop pulling new items; every
+	// item that did run before the stop still completes exactly once.
+	const n = 10000
+	var ran atomic.Int32
+	p := catchPanic(t, func() {
+		ForEach(2, n, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+		})
+	})
+	if p == nil || p.Index != 0 {
+		t.Fatalf("panic = %+v, want index 0", p)
+	}
+	if got := ran.Load(); int(got) >= n-1 {
+		t.Errorf("dispatch did not stop: %d of %d items ran after the panic", got, n-1)
+	}
+}
+
+func TestForEachNestedPanicKeepsInnermostItem(t *testing.T) {
+	// A nested ForEach's ItemPanic must pass through the outer loop
+	// untouched, so the report names the innermost failing item.
+	p := catchPanic(t, func() {
+		ForEach(2, 4, func(i int) {
+			ForEach(1, 3, func(j int) {
+				if j == 2 {
+					panic("inner")
+				}
+			})
+		})
+	})
+	if p == nil {
+		t.Fatal("no panic surfaced")
+	}
+	if p.Index != 2 || p.Value != "inner" {
+		t.Errorf("panic = index %d value %v, want inner item 2", p.Index, p.Value)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // SpillClass says where a spilled variable's slots live.
@@ -158,30 +159,68 @@ type Alloc struct {
 // everything is colored. sharedBudget is the number of shared-memory spill
 // slots this function may consume (beyond what it already uses).
 func Run(f *isa.Function, c, sharedBudget int) (*Alloc, error) {
+	return RunCtx(f, c, sharedBudget, obs.Ctx{})
+}
+
+// RunCtx is Run with observability: when x is enabled it wraps the loop
+// in a "regalloc" span with webs/liveness/color/spill child spans per
+// round and records spill counts in the metrics registry.
+func RunCtx(f *isa.Function, c, sharedBudget int, x obs.Ctx) (*Alloc, error) {
+	sp := x.Span("regalloc",
+		obs.String("func", f.Name),
+		obs.Int("reg_budget", c),
+		obs.Int("shared_budget", sharedBudget))
+	a, rounds, spilled, err := run(f, c, sharedBudget, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(obs.Int("rounds", rounds), obs.Int("spilled_vars", spilled))
+		m := x.Metrics()
+		m.Counter("regalloc.runs").Add(1)
+		m.Counter("regalloc.rounds").Add(uint64(rounds))
+		m.Counter("regalloc.spilled_vars").Add(uint64(spilled))
+	}
+	sp.End()
+	return a, err
+}
+
+func run(f *isa.Function, c, sharedBudget int, x obs.Ctx) (a *Alloc, rounds, spilled int, err error) {
 	cur := f
 	const maxRounds = 32
 	for round := 0; round < maxRounds; round++ {
+		rounds = round + 1
+		wsp := x.Span("webs", obs.Int("round", round))
 		v, err := ir.SplitWebs(cur)
+		wsp.End()
 		if err != nil {
-			return nil, err
+			return nil, rounds, spilled, err
 		}
+		lsp := x.Span("liveness", obs.Int("round", round))
 		live := ir.ComputeLiveness(v)
+		lsp.End()
+		csp := x.Span("color", obs.Int("round", round), obs.Int("webs", len(v.Defs)))
 		g := BuildInterference(v, live)
 		res, err := Allocate(v, g, c)
 		if err != nil {
-			return nil, err
+			csp.End()
+			return nil, rounds, spilled, err
 		}
+		csp.SetAttr(obs.Int("spilled", len(res.Spilled)))
+		csp.End()
 		if len(res.Spilled) == 0 {
-			return &Alloc{Vars: v, Live: live, Res: res}, nil
+			return &Alloc{Vars: v, Live: live, Res: res}, rounds, spilled, nil
 		}
+		spilled += len(res.Spilled)
 		budget := sharedBudget - (cur.SpillShared - f.SpillShared)
 		if budget < 0 {
 			budget = 0
 		}
+		ssp := x.Span("spill", obs.Int("round", round), obs.Int("vars", len(res.Spilled)))
 		sa := PlanSpills(v, res.Spilled, budget)
 		cur = InsertSpills(v, sa)
+		ssp.End()
 	}
-	return nil, fmt.Errorf("regalloc: %s: spill loop did not converge at budget %d registers", f.Name, c)
+	return nil, rounds, spilled, fmt.Errorf("regalloc: %s: spill loop did not converge at budget %d registers", f.Name, c)
 }
 
 // AllocateWithSpills runs the Chaitin loop and applies the coloring,

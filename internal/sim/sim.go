@@ -21,6 +21,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/interp"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Config describes one simulated launch.
@@ -38,6 +39,10 @@ type Config struct {
 	TraceWarps int
 	// Scheduler selects the warp scheduling policy (default GTO).
 	Scheduler Scheduler
+	// Obs, when enabled, wraps the launch in an observability span
+	// carrying the run's statistics (cycles, IPC, stall breakdown, cache
+	// hit rates). The zero Ctx disables it at the cost of one check.
+	Obs obs.Ctx
 }
 
 // Scheduler is a warp scheduling policy.
@@ -161,7 +166,53 @@ type smCtx struct {
 }
 
 // Simulate runs the launch to completion and returns its statistics.
+// When cfg.Obs is enabled, the run is wrapped in a "simulate" span whose
+// attributes summarize the Stats; disabled, the instrumentation costs a
+// single check.
 func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
+	if !cfg.Obs.Enabled() {
+		return simulateLoop(cfg, lc)
+	}
+	sp := cfg.Obs.Span("simulate",
+		obs.String("kernel", lc.Prog.Name),
+		obs.Int("blocks_per_sm", cfg.BlocksPerSM),
+		obs.Int("grid_warps", lc.GridWarps))
+	st, err := simulateLoop(cfg, lc)
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Uint64("cycles", st.Cycles),
+			obs.Uint64("instructions", st.Instructions),
+			obs.Float("ipc", st.IPC()),
+			obs.Uint64("stall_mem", st.StallMem),
+			obs.Uint64("stall_alu", st.StallALU),
+			obs.Uint64("stall_barrier", st.StallBarrier),
+			obs.Uint64("stall_mshr", st.StallMSHR),
+			obs.Float("l1_hit_rate", hitRate(st.L1Hits, st.L1Misses)),
+			obs.Float("l2_hit_rate", hitRate(st.L2Hits, st.L2Misses)),
+			obs.Uint64("dram_lines", st.DRAMLines),
+			obs.Float("avg_resident_warps", st.AvgResidentWarps),
+		)
+		m := cfg.Obs.Metrics()
+		m.Counter("sim.launches").Add(1)
+		m.Counter("sim.cycles").Add(st.Cycles)
+		m.Counter("sim.instructions").Add(st.Instructions)
+	}
+	sp.End()
+	return st, err
+}
+
+// hitRate is hits/(hits+misses), zero when there were no accesses.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// simulateLoop is the uninstrumented simulation loop.
+func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	d := cfg.Device
 	if cfg.BlocksPerSM <= 0 {
 		return nil, fmt.Errorf("sim: residency is zero blocks per SM")

@@ -38,6 +38,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/sim"
 )
@@ -64,6 +65,9 @@ type (
 	Launch = core.Launch
 	// LevelResult is one point of an occupancy sweep.
 	LevelResult = core.LevelResult
+	// Decision is one runtime tuning step's explanation (TuneReport's
+	// decision log; `orion tune -explain` renders these).
+	Decision = core.Decision
 	// Headroom describes an occupancy plateau and the resources running at
 	// its low end frees (paper Section 4.2).
 	Headroom = core.Headroom
@@ -84,6 +88,16 @@ type (
 	Suite = bench.Suite
 	// ResultTable is a rendered experiment result.
 	ResultTable = bench.Table
+
+	// Collector gathers observability spans and metrics; attach one to
+	// Realizer.Obs or Suite.Obs and export with WriteChromeTrace /
+	// WriteMetricsJSON. A nil Collector disables all instrumentation.
+	Collector = obs.Collector
+	// MetricsRegistry is a collector's named counters/gauges/histograms.
+	MetricsRegistry = obs.Registry
+	// CacheSnapshot reports the process-wide memo caches' hit/miss
+	// counters.
+	CacheSnapshot = core.CacheSnapshot
 )
 
 // Cache configurations (paper Table 3).
@@ -179,6 +193,12 @@ func Simulate(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps int)
 	return v.RunAt(d, cc, targetWarps, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps})
 }
 
+// SimulateObs is Simulate recording a span (and metrics) into the
+// collector; a nil collector behaves exactly like Simulate.
+func SimulateObs(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps int, c *Collector) (*SimStats, error) {
+	return v.RunAtCtx(d, cc, targetWarps, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, c.Ctx())
+}
+
 // Profile is Simulate with issue tracing for the first traceWarps warps;
 // the result's Trace renders a per-warp timeline.
 func Profile(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps, traceWarps int) (*SimStats, error) {
@@ -234,3 +254,20 @@ func Benchmark(name string) (*Kernel, error) { return kernels.ByName(name) }
 // NewSuite returns an experiment suite; scale 1.0 reproduces the recorded
 // results, smaller values shrink the grids proportionally.
 func NewSuite(scale float64) *Suite { return bench.New(scale) }
+
+// NewCollector returns an enabled observability collector (see
+// Realizer.Obs and Suite.Obs; DESIGN.md §8 documents the span model and
+// export formats).
+func NewCollector() *Collector { return obs.New() }
+
+// SnapshotCacheCounters reads the process-wide realize/run memo-cache
+// counters.
+func SnapshotCacheCounters() CacheSnapshot { return core.SnapshotCacheCounters() }
+
+// ResetCacheCounters zeroes the memo-cache counters without dropping
+// entries, so a warm process can report per-invocation numbers.
+func ResetCacheCounters() { core.ResetCacheCounters() }
+
+// PublishCacheMetrics copies the memo-cache counters into the collector's
+// metrics registry (called just before exporting a metrics snapshot).
+func PublishCacheMetrics(c *Collector) { core.PublishCacheMetrics(c.Metrics()) }
