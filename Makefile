@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism bench fmt fmt-check
+.PHONY: check build vet test race test-race determinism fuzz-short bench fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, build, race-enabled tests,
-## and the serial-vs-parallel determinism suite.
-check: fmt-check vet build race determinism
+## the serial-vs-parallel determinism suite, and a short fuzz pass over
+## the binary decoder and the realization pipeline.
+check: fmt-check vet build test-race determinism fuzz-short
 
 build:
 	$(GO) build ./...
@@ -15,13 +16,21 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 ## determinism: byte-identity of suite tables across serial/uncached and
 ## parallel/cached runs, under the race detector.
 determinism:
 	$(GO) test -race -run Determinism ./internal/bench/
+
+## fuzz-short: a quick coverage-guided pass over each fuzz target; the
+## checked-in corpora run as plain regression tests under `make test`.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/isa/
+	$(GO) test -run '^$$' -fuzz FuzzRealize -fuzztime 10s ./internal/core/
 
 ## bench: the end-to-end suite benchmark behind the wall-clock claim
 ## (cached vs uncached), plus a metrics-snapshot artifact of one suite

@@ -70,6 +70,7 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	noCache := fs.Bool("nocache", false, "disable the realization cache (recompile every version)")
+	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
@@ -102,6 +103,7 @@ func run(args []string) error {
 
 	s := orion.NewSuite(*scale)
 	s.Parallel = *parallel
+	s.Verify = *verify
 	if *progress {
 		s.Progress = os.Stderr
 	}

@@ -75,9 +75,14 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
 	explain := fs.Bool("explain", false, "for 'tune': print one line per tuning iteration explaining the decision")
+	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
 
 	if cmd == "list" {
-		for _, k := range orion.Benchmarks() {
+		ks, err := orion.Benchmarks()
+		if err != nil {
+			return err
+		}
+		for _, k := range ks {
 			fmt.Fprintf(out, "%-18s %-16s grid %5d warps, %d iterations\n",
 				k.Name, k.Domain, k.GridWarps, k.Iterations)
 		}
@@ -118,6 +123,7 @@ func run(args []string, out io.Writer) error {
 	}
 	r := orion.NewRealizer(dev, cc)
 	r.Obs = col
+	r.Verify = *verify
 
 	dispatch := func() error {
 		switch cmd {

@@ -7,9 +7,12 @@ package assign
 import "math"
 
 // MaxWeight solves the assignment problem on an n×m weight matrix
-// (rows = left nodes, columns = right nodes, m >= n) and returns, for each
-// row, the column it is matched to, maximizing the total weight of the
-// matching. Every row is matched to a distinct column.
+// (rows = left nodes, columns = right nodes) and returns, for each row,
+// the column it is matched to, maximizing the total weight of the
+// matching. Every row is matched to a distinct column. When the matrix
+// has more rows than columns it is padded internally with zero-weight
+// columns so every row still receives a distinct column index; indices at
+// or beyond the real column count mark rows matched to a padding column.
 //
 // The implementation is the classic potential-based Hungarian algorithm on
 // the cost matrix c = -w (minimum-cost assignment maximizes weight).
@@ -20,7 +23,7 @@ func MaxWeight(w [][]float64) []int {
 	}
 	m := len(w[0])
 	if m < n {
-		panic("assign: matrix must have at least as many columns as rows")
+		m = n
 	}
 
 	const inf = math.MaxFloat64
@@ -29,7 +32,12 @@ func MaxWeight(w [][]float64) []int {
 	v := make([]float64, m+1)
 	p := make([]int, m+1)   // p[j] = row matched to column j (0 = none)
 	way := make([]int, m+1) // way[j] = previous column on the alternating path
-	cost := func(i, j int) float64 { return -w[i-1][j-1] }
+	cost := func(i, j int) float64 {
+		if j-1 >= len(w[i-1]) {
+			return 0 // zero-weight padding column
+		}
+		return -w[i-1][j-1]
+	}
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
@@ -88,10 +96,14 @@ func MaxWeight(w [][]float64) []int {
 }
 
 // TotalWeight sums the weight of an assignment produced by MaxWeight.
+// Matches to padding columns (index at or beyond the row's real column
+// count) contribute zero.
 func TotalWeight(w [][]float64, match []int) float64 {
 	t := 0.0
 	for i, j := range match {
-		t += w[i][j]
+		if j < len(w[i]) {
+			t += w[i][j]
+		}
 	}
 	return t
 }

@@ -134,3 +134,25 @@ func BenchmarkMaxWeight64(b *testing.B) {
 		MaxWeight(w)
 	}
 }
+
+func TestMaxWeightRectangularTall(t *testing.T) {
+	// More rows than columns: the matrix is padded with zero-weight
+	// columns, every row still gets a distinct index, and the single real
+	// column goes to the heavier row.
+	w := [][]float64{{5}, {3}}
+	m := MaxWeight(w)
+	if len(m) != 2 {
+		t.Fatalf("match length = %d, want 2", len(m))
+	}
+	if m[0] == m[1] {
+		t.Errorf("rows share column %d", m[0])
+	}
+	for i, j := range m {
+		if j < 0 || j >= 2 {
+			t.Errorf("row %d matched to %d, outside the padded range [0,2)", i, j)
+		}
+	}
+	if tw := TotalWeight(w, m); tw != 5 {
+		t.Errorf("TotalWeight = %v, want 5 (heavy row should win the real column)", tw)
+	}
+}

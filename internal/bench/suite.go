@@ -34,6 +34,10 @@ type Suite struct {
 	// Obs, when non-nil, wraps every experiment in a span and records
 	// per-experiment wall time into the metrics registry. Nil disables it.
 	Obs *obs.Collector
+	// Verify runs the allocation verifier and differential oracle on every
+	// realized version (see internal/verify). On by default; orion-bench
+	// exposes -verify=false to opt out.
+	Verify bool
 
 	mu sync.Mutex // serializes Progress writes from workers
 }
@@ -43,7 +47,7 @@ func New(scale float64) *Suite {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Suite{Scale: scale}
+	return &Suite{Scale: scale, Verify: true}
 }
 
 func (s *Suite) logf(format string, args ...interface{}) {
@@ -143,6 +147,7 @@ func (s *Suite) instrument(id string, fn func() (*Table, error)) func() (*Table,
 func (s *Suite) realizer(d *device.Device, cc device.CacheConfig) *core.Realizer {
 	r := core.NewRealizer(d, cc)
 	r.Obs = s.Obs
+	r.Verify = s.Verify
 	return r
 }
 
@@ -303,9 +308,12 @@ func (s *Suite) Fig5() (*Table, error) {
 		Title:  "inter-procedural allocation ablations, GTX680 (paper Fig. 5)",
 		Header: []string{"benchmark", "no space min", "no movement min", "localslots full/nospace", "moves full/nomove"},
 	}
-	ks := kernels.Fig5()
+	ks, err := kernels.Fig5()
+	if err != nil {
+		return nil, err
+	}
 	rows := make([][]string, len(ks))
-	err := s.forEachRow(len(ks), func(i int) error {
+	err = s.forEachRow(len(ks), func(i int) error {
 		k := ks[i]
 		grid := s.grid(k)
 		// A demanding but not extreme target (75% of maximum) puts all
@@ -379,13 +387,16 @@ func (s *Suite) Fig11() (*Table, error) {
 		Header: []string{"device", "benchmark", "Orion-Min", "nvcc", "Orion-Max", "Orion-Select", "tune iters"},
 	}
 	devs := device.Both()
-	ks := kernels.Upward()
+	ks, err := kernels.Upward()
+	if err != nil {
+		return nil, err
+	}
 	type fig11Row struct {
 		cells []string
 		ratio float64 // Orion-Select speedup over the baseline
 	}
 	rows := make([]fig11Row, len(devs)*len(ks))
-	err := s.forEachRow(len(rows), func(idx int) error {
+	err = s.forEachRow(len(rows), func(idx int) error {
 		dev, k := devs[idx/len(ks)], ks[idx%len(ks)]
 		r := s.realizer(dev, device.SmallCache)
 		grid := s.grid(k)
@@ -456,9 +467,12 @@ func (s *Suite) Fig12() (*Table, error) {
 		Header: []string{"device", "benchmark", "registers", "runtime", "occupancy"},
 	}
 	devs := device.Both()
-	ks := kernels.Downward()
+	ks, err := kernels.Downward()
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]*downRow, len(devs)*len(ks))
-	err := s.forEachRow(len(rows), func(idx int) error {
+	err = s.forEachRow(len(rows), func(idx int) error {
 		dev, k := devs[idx/len(ks)], ks[idx%len(ks)]
 		row, err := s.downwardRow(dev, k)
 		if err != nil {
@@ -541,9 +555,12 @@ func (s *Suite) Fig13() (*Table, error) {
 		Title:  "energy of selected kernel, C2075 (paper Fig. 13)",
 		Header: []string{"benchmark", "selected", "ideal"},
 	}
-	ks := kernels.Downward()
+	ks, err := kernels.Downward()
+	if err != nil {
+		return nil, err
+	}
 	rows := make([][]string, len(ks))
-	err := s.forEachRow(len(ks), func(i int) error {
+	err = s.forEachRow(len(ks), func(i int) error {
 		k := ks[i]
 		row, err := s.downwardRow(dev, k)
 		if err != nil {
@@ -594,9 +611,12 @@ func (s *Suite) Table2() (*Table, error) {
 		Header: []string{"benchmark", "domain", "reg", "reg(paper)", "func", "func(paper)", "smem", "smem(paper)"},
 	}
 	d := device.GTX680()
-	ks := kernels.Table2()
+	ks, err := kernels.Table2()
+	if err != nil {
+		return nil, err
+	}
 	rows := make([][]string, len(ks))
-	err := s.forEachRow(len(ks), func(i int) error {
+	err = s.forEachRow(len(ks), func(i int) error {
 		k := ks[i]
 		r := s.realizer(d, device.SmallCache)
 		// Reg: registers needed to avoid spilling = the original version's
@@ -635,12 +655,15 @@ func (s *Suite) Table3() (*Table, error) {
 		Title:  "small cache vs large cache at selected occupancy (paper Table 3)",
 		Header: []string{"benchmark", "C2075 SC", "C2075 LC", "GTX680 SC", "GTX680 LC"},
 	}
-	ks := kernels.Upward()
+	ks, err := kernels.Upward()
+	if err != nil {
+		return nil, err
+	}
 	devs := device.Both()
 	// One job per (kernel, device); each fills the row's two cache-config
 	// cells for its device.
 	cells := make([][]string, len(ks)*len(devs))
-	err := s.forEachRow(len(cells), func(idx int) error {
+	err = s.forEachRow(len(cells), func(idx int) error {
 		k, dev := ks[idx/len(devs)], devs[idx%len(devs)]
 		grid := s.grid(k)
 		rSC := s.realizer(dev, device.SmallCache)

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSuiteCleanUnderVerifier runs a full sweep experiment with the
+// allocation verifier and differential oracle enabled and asserts that no
+// realized candidate violated an invariant: a benchmark suite that ships
+// numbers from unverified binaries is measuring the wrong thing.
+func TestSuiteCleanUnderVerifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	s := quickSuite()
+	if !s.Verify {
+		t.Fatal("New() should enable verification by default")
+	}
+	s.Obs = obs.New()
+	if _, err := s.Fig1(); err != nil {
+		t.Fatalf("Fig1 under -verify: %v", err)
+	}
+	m := s.Obs.Metrics()
+	if n := m.Counter("verify.violations").Value(); n != 0 {
+		t.Errorf("verify.violations = %d, want 0", n)
+	}
+	// verify.checks can legitimately be zero on a warm process-wide
+	// realization cache, so only its polarity is sanity-checked.
+	if n := m.Counter("verify.checks").Value(); n < 0 {
+		t.Errorf("verify.checks = %d", n)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+)
+
+// fuzzSeedSources are small programs covering the features realization has
+// to get right: wide variables, call chains with arguments and returns,
+// user shared memory, and enough register pressure to force spills.
+var fuzzSeedSources = []string{
+	`
+.kernel tiny
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 3
+  IADD v2, v0, v1
+  STG [v2], v1
+  EXIT
+`,
+	`
+.kernel wide
+.blockdim 64
+.func main
+  RDSP v0, WARPID
+  SHL v1, v0, v0
+  LDG.64 v2, [v1]
+  FADD v4, v2, v2
+  MOV.64 v6, v4
+  STG.64 [v1+8], v6
+  EXIT
+`,
+	`
+.kernel calls
+.blockdim 64
+.shared 256
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 5
+  CALL v2, scale, v0, v1
+  LDS v3, [v0]
+  STS [v0+4], v3
+  STG [v0], v2
+  EXIT
+.func scale args 2 ret
+  IMUL v2, v0, v1
+  IADD v3, v2, v1
+  RET v3
+`,
+}
+
+// fuzzRealizable gates fuzz inputs to sizes the compile pipeline is meant
+// for; anything larger just burns the fuzz budget without new coverage.
+func fuzzRealizable(p *isa.Program) bool {
+	if len(p.Funcs) > 8 || p.BlockDim > 1024 {
+		return false
+	}
+	total := 0
+	for _, f := range p.Funcs {
+		total += len(f.Instrs)
+		if f.NumVRegs > 512 {
+			return false
+		}
+	}
+	return total <= 512
+}
+
+// FuzzRealize decodes arbitrary binaries and, for every structurally valid
+// program, realizes every occupancy level with the verifier and the
+// differential oracle enabled. Infeasible levels and compile errors are
+// expected; a panic or a verification failure means the allocator shipped
+// a broken binary for some input.
+func FuzzRealize(f *testing.F) {
+	for _, src := range fuzzSeedSources {
+		f.Add(isa.Encode(isa.MustParse(src)))
+	}
+	if ks, err := kernels.Upward(); err == nil && len(ks) > 0 {
+		f.Add(isa.Encode(ks[0].Prog))
+	}
+	d := device.GTX680()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := isa.Decode(data)
+		if err != nil {
+			return
+		}
+		if isa.Validate(p) != nil {
+			return
+		}
+		if !fuzzRealizable(p) {
+			return
+		}
+		r := NewRealizer(d, device.SmallCache)
+		for _, lvl := range occupancy.Levels(d, p.BlockDim) {
+			_, err := r.Realize(p, lvl)
+			if err == nil {
+				continue
+			}
+			var ve *VerifyError
+			if errors.As(err, &ve) {
+				t.Fatalf("level %d: realization produced a bad binary: %v", lvl, err)
+			}
+			// Infeasible levels and allocator limits are legitimate.
+		}
+	})
+}

@@ -16,7 +16,11 @@ import (
 // compressible stack are all exercised).
 func TestEveryKernelEveryLevelPreservesSemantics(t *testing.T) {
 	const grid = 16 // warps; semantics don't depend on grid size
-	for _, k := range kernels.All() {
+	all, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range all {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
 			want, err := interp.Run(&interp.Launch{Prog: k.Prog, GridWarps: grid}, 0)
@@ -60,12 +64,24 @@ func TestEveryKernelEveryLevelPreservesSemantics(t *testing.T) {
 // one exists.
 func TestCompileEveryKernel(t *testing.T) {
 	upward := map[string]bool{}
-	for _, k := range kernels.Upward() {
+	up, err := kernels.Upward()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range up {
 		upward[k.Name] = true
+	}
+	down, err := kernels.Downward()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
 	}
 	d := device.GTX680()
 	r := NewRealizer(d, device.SmallCache)
-	for _, k := range kernels.All() {
+	for _, k := range all {
 		cr, err := r.Compile(k.Prog, true)
 		if err != nil {
 			t.Errorf("%s: %v", k.Name, err)
@@ -78,7 +94,7 @@ func TestCompileEveryKernel(t *testing.T) {
 			t.Errorf("%s: direction %v, want increasing (paper)", k.Name, cr.Direction)
 		}
 		isDown := false
-		for _, dk := range kernels.Downward() {
+		for _, dk := range down {
 			if dk.Name == k.Name {
 				isDown = true
 			}

@@ -141,6 +141,11 @@ func (r *Realizer) tuneCompiled(cr *CompileResult, lc Launch, x obs.Ctx) (*TuneR
 		// Static selection: run the compiler-picked kernel once.
 		cand := cr.StaticChoice
 		ssp := x.Span("tune-static", obs.Int("target_warps", cand.TargetWarps))
+		if err := r.verifyCandidate(cr, cand, ssp.Ctx()); err != nil {
+			ssp.SetAttr(obs.String("error", err.Error()))
+			ssp.End()
+			return nil, err
+		}
 		st, err := cand.Version.RunAtCtx(r.Dev, r.Cache, cand.TargetWarps,
 			&interp.Launch{Prog: cand.Version.Prog, GridWarps: lc.GridWarps}, ssp.Ctx())
 		if err != nil {
@@ -159,6 +164,12 @@ func (r *Realizer) tuneCompiled(cr *CompileResult, lc Launch, x obs.Ctx) (*TuneR
 
 	tuner := NewTuner(cr)
 	run := func(ix obs.Ctx, cand *Candidate, first, warps int, split bool) (*sim.Stats, error) {
+		// Every tuner iteration re-verifies its candidate (a memoized
+		// lookup after the first check) — decoded multi-version binaries
+		// reach execution only through here, so this is their gate.
+		if err := r.verifyCandidate(cr, cand, ix); err != nil {
+			return nil, err
+		}
 		st, err := cand.Version.RunAtCtx(r.Dev, r.Cache, cand.TargetWarps,
 			&interp.Launch{Prog: cand.Version.Prog, GridWarps: warps, FirstWarp: first}, ix)
 		if err != nil {

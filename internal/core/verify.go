@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// VerifyError reports that a realized version failed the post-realization
+// allocation verifier or the differential execution oracle. It carries the
+// full violation list so callers (and obs exports) see every broken
+// invariant, not just the first.
+type VerifyError struct {
+	Kernel      string
+	TargetWarps int
+	Violations  []verify.Violation
+}
+
+// Error lists the violations, one per line after the header.
+func (e *VerifyError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %s at %d warps/SM failed verification (%d violation",
+		e.Kernel, e.TargetWarps, len(e.Violations))
+	if len(e.Violations) != 1 {
+		b.WriteString("s")
+	}
+	b.WriteString(")")
+	for _, v := range e.Violations {
+		b.WriteString("\n\t")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// verifyMemo caches verification outcomes per Version. Versions are
+// immutable and shared process-wide by the realization cache, so one check
+// per distinct version suffices even though the tuner re-verifies its
+// candidate on every iteration. A benign store race just repeats the check.
+var verifyMemo sync.Map // *Version -> verifyOutcome
+
+type verifyOutcome struct{ err error }
+
+// verifyVersion checks a realized version against the allocation verifier
+// and, when a distinct reference program is available, the differential
+// oracle. orig is the semantic reference — the pre-realization source in
+// the compile path, the original version's binary in the tuner path.
+func (r *Realizer) verifyVersion(orig *isa.Program, v *Version, x obs.Ctx) error {
+	if v == nil {
+		return nil
+	}
+	if got, ok := verifyMemo.Load(v); ok {
+		return got.(verifyOutcome).err
+	}
+	err := r.verifyUncached(orig, v, x)
+	verifyMemo.Store(v, verifyOutcome{err})
+	return err
+}
+
+// verifyUncached runs the static invariants, then the execution oracle,
+// and reports every violation as a structured "verify.violation" span plus
+// a verify.violations counter bump before folding them into a VerifyError.
+func (r *Realizer) verifyUncached(orig *isa.Program, v *Version, x obs.Ctx) error {
+	sp := x.Span("verify",
+		obs.String("kernel", v.Prog.Name),
+		obs.Int("target_warps", v.TargetWarps))
+	vs := verify.Check(r.Dev, r.Cache, verify.Realized{
+		Prog:           v.Prog,
+		TargetWarps:    v.TargetWarps,
+		RegsPerThread:  v.RegsPerThread,
+		SharedPerBlock: v.SharedPerBlock,
+		LocalSlots:     v.LocalSlots,
+	})
+	// The oracle needs a statically sane binary and a reference that is
+	// not the binary itself (the decreasing direction runs the original
+	// version at padded levels — nothing to diff).
+	if len(vs) == 0 && orig != nil && orig != v.Prog {
+		vs = verify.Differential(orig, v.Prog, 0, 0)
+	}
+	for _, viol := range vs {
+		vsp := sp.Ctx().Span("verify.violation",
+			obs.String("kernel", v.Prog.Name),
+			obs.Int("target_warps", v.TargetWarps),
+			obs.String("invariant", viol.Invariant),
+			obs.String("func", viol.Func),
+			obs.String("detail", viol.Detail))
+		vsp.End()
+	}
+	if n := len(vs); n > 0 {
+		x.Metrics().Counter("verify.violations").Add(uint64(n))
+		sp.SetAttr(obs.Int("violations", n))
+	}
+	x.Metrics().Counter("verify.checks").Add(1)
+	sp.End()
+	if len(vs) > 0 {
+		return &VerifyError{Kernel: v.Prog.Name, TargetWarps: v.TargetWarps, Violations: vs}
+	}
+	return nil
+}
+
+// verifyCandidate is the tuner-side check: before a candidate executes, it
+// is verified against the compile result's original binary. Memoization
+// makes the per-iteration cost a map lookup after the first run.
+func (r *Realizer) verifyCandidate(cr *CompileResult, cand *Candidate, x obs.Ctx) error {
+	if !r.Verify || cand == nil {
+		return nil
+	}
+	var ref *isa.Program
+	if cr.Original != nil {
+		ref = cr.Original.Prog
+	}
+	return r.verifyVersion(ref, cand.Version, x)
+}

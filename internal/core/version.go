@@ -74,11 +74,17 @@ type Realizer struct {
 	// default) disables all instrumentation at the cost of one pointer
 	// check per call.
 	Obs *obs.Collector
+	// Verify, when set, runs the post-realization allocation verifier and
+	// the differential execution oracle on every realized version and on
+	// every candidate the runtime tuner executes; any violation fails the
+	// compile with a *VerifyError instead of shipping a bad binary.
+	// NewRealizer turns it on; pass -verify=false to the CLIs to opt out.
+	Verify bool
 }
 
 // NewRealizer returns a Realizer with the full optimization set.
 func NewRealizer(d *device.Device, cc device.CacheConfig) *Realizer {
-	return &Realizer{Dev: d, Cache: cc, Interproc: interproc.DefaultOptions()}
+	return &Realizer{Dev: d, Cache: cc, Interproc: interproc.DefaultOptions(), Verify: true}
 }
 
 // ErrInfeasible reports that a target occupancy cannot be realized.
@@ -113,22 +119,33 @@ func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
 // traces stay complete; only fill paths carry the full compile spans.
 func (r *Realizer) RealizeCtx(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
 	key, ok := r.cacheKey(p, targetWarps)
+	var v *Version
+	var err error
 	if !ok {
-		return r.realize(p, targetWarps, x)
-	}
-	filled := false
-	v, err := realizeCache.Do(key, func() (*Version, error) {
-		filled = true
-		return r.realize(p, targetWarps, x)
-	})
-	if !filled && x.Enabled() {
-		sp := x.Span("realize.cached",
-			obs.String("kernel", p.Name),
-			obs.Int("target_warps", targetWarps))
-		if err != nil {
-			sp.SetAttr(obs.String("error", err.Error()))
+		v, err = r.realize(p, targetWarps, x)
+	} else {
+		filled := false
+		v, err = realizeCache.Do(key, func() (*Version, error) {
+			filled = true
+			return r.realize(p, targetWarps, x)
+		})
+		if !filled && x.Enabled() {
+			sp := x.Span("realize.cached",
+				obs.String("kernel", p.Name),
+				obs.Int("target_warps", targetWarps))
+			if err != nil {
+				sp.SetAttr(obs.String("error", err.Error()))
+			}
+			sp.End()
 		}
-		sp.End()
+	}
+	// Verification sits outside the realization cache (memoized per
+	// Version) so a version realized by a non-verifying caller is still
+	// checked the first time a verifying caller obtains it.
+	if err == nil && r.Verify {
+		if verr := r.verifyVersion(p, v, x); verr != nil {
+			return nil, verr
+		}
 	}
 	return v, err
 }

@@ -248,7 +248,12 @@ type Launch struct {
 // WarpsPerBlock returns warps per thread block.
 func (lc *Launch) WarpsPerBlock() int { return lc.Prog.BlockDim / 32 }
 
-const regFileSize = 512 // generous flat file; real budget enforced elsewhere
+// RegFileSize is the flat per-thread register file the executor models:
+// generous (the real budget is enforced by occupancy realization), but a
+// hard ceiling on the deepest call chain's register high-water.
+const RegFileSize = 512
+
+const regFileSize = RegFileSize
 
 type frame struct {
 	fn      int
@@ -405,6 +410,17 @@ func (w *Warp) localAddr(fr *frame, in *isa.Instr) uint32 {
 
 func (w *Warp) reg(fr *frame, r isa.Reg) uint32 {
 	return w.regs[fr.base+int(r)]
+}
+
+// ReadAbsReg returns the value of an absolute register-file slot (as
+// resolved by Peek's AbsDst/AbsSrc fields). Out-of-range slots read as 0.
+// The differential oracle uses this to capture store operands before a
+// step commits.
+func (w *Warp) ReadAbsReg(i int) uint32 {
+	if i < 0 || i >= regFileSize {
+		return 0
+	}
+	return w.regs[i]
 }
 
 func (w *Warp) setReg(fr *frame, r isa.Reg, v uint32) {
@@ -565,8 +581,16 @@ func (w *Warp) Step() (Event, error) {
 			retDst = fr.base + int(in.Dst)
 		}
 		// ABI: arguments are copied into the callee frame's first registers.
+		// Read every source before writing any: the callee frame starts at
+		// the caller's compressed stack height, so with lazy compression a
+		// source register can itself sit inside the argument window, and a
+		// sequential copy would read an already-overwritten value.
+		var argv [3]uint32
 		for a := 0; a < cf.NumArgs; a++ {
-			w.regs[newBase+a] = w.reg(fr, in.Src[a])
+			argv[a] = w.reg(fr, in.Src[a])
+		}
+		for a := 0; a < cf.NumArgs; a++ {
+			w.regs[newBase+a] = argv[a]
 		}
 		fr.pc++ // return address
 		w.stack = append(w.stack, frame{
@@ -646,6 +670,18 @@ func (w *Warp) logStore(addr, v uint32) {
 	w.StoreCnt++
 }
 
+// MixWarpChecksum binds a warp's store checksum to its global warp ID
+// before the order-independent XOR fold. Without the mix, warps with
+// identical (warp-relative) store streams cancel pairwise under XOR and a
+// whole launch can fold to zero — hiding real differences from any
+// checksum-based comparison.
+func MixWarpChecksum(globalWarpID int, cks uint64) uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(globalWarpID)) * fnvPrime
+	h = (h ^ cks) * fnvPrime
+	return h
+}
+
 // GlobalData is the deterministic pseudo-content of global memory at a
 // byte address (word-granular).
 func GlobalData(addr uint32) uint32 {
@@ -721,6 +757,13 @@ func Run(lc *Launch, stepLimit int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The deepest call chain must fit the flat register file; the per-call
+	// overflow guard in Step cannot protect an entry frame that is already
+	// too large.
+	if layout.RegHighWater > regFileSize {
+		return nil, fmt.Errorf("interp: program needs %d registers, file holds %d",
+			layout.RegHighWater, regFileSize)
+	}
 	if stepLimit <= 0 {
 		stepLimit = 5_000_000
 	}
@@ -756,7 +799,7 @@ func Run(lc *Launch, stepLimit int) (*Result, error) {
 			}
 		}
 		steps, cks, stores := w.Result()
-		res.Checksum ^= cks
+		res.Checksum ^= MixWarpChecksum(lc.FirstWarp+wi, cks)
 		res.Steps += steps
 		res.Stores += stores
 		res.WarpSteps[wi] = steps

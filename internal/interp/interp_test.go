@@ -46,6 +46,7 @@ func TestArithmetic(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 4096) * fnvPrime
 	want = (want ^ 1) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x (comparison failed in kernel)", res.Checksum, want)
 	}
@@ -75,6 +76,7 @@ func TestFloatOps(t *testing.T) {
 	want = (want ^ 11) * fnvPrime
 	want = (want ^ 8196) * fnvPrime
 	want = (want ^ 1) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
@@ -106,6 +108,7 @@ top:
 	var want uint64 = fnvOffset
 	want = (want ^ 100) * fnvPrime
 	want = (want ^ 45) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
@@ -136,6 +139,7 @@ func TestCallsAndFrames(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 200) * fnvPrime
 	want = (want ^ 85) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
@@ -172,6 +176,7 @@ func TestNestedCallsPreserveCaller(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 300) * fnvPrime
 	want = (want ^ 1071) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
@@ -204,7 +209,7 @@ func TestSpecialRegisters(t *testing.T) {
 		h = (h ^ uint64(w%2)) * fnvPrime // warp in block
 		h = (h ^ (addr + 8)) * fnvPrime
 		h = (h ^ 2) * fnvPrime // warps per block
-		want ^= h
+		want ^= MixWarpChecksum(w, h)
 	}
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
@@ -231,6 +236,7 @@ func TestGlobalLoadsDeterministic(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ (512 + 64)) * fnvPrime
 	want = (want ^ uint64(GlobalData(512)^GlobalData(516))) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if a.Checksum != want {
 		t.Errorf("checksum = %x, want %x", a.Checksum, want)
 	}
@@ -254,6 +260,7 @@ func TestSharedMemory(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 0) * fnvPrime
 	want = (want ^ 777) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
@@ -284,25 +291,21 @@ func TestSpillSlots(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	var h uint64 = fnvOffset
-	h = (h ^ 128) * fnvPrime
-	h = (h ^ 100) * fnvPrime
-	if res.Checksum != 0 { // two identical warps XOR to zero
-		_ = h
-	}
 	var one uint64 = fnvOffset
 	one = (one ^ 128) * fnvPrime
 	one = (one ^ 100) * fnvPrime
-	if res.Checksum != 0 {
-		t.Errorf("two identical warps should XOR to 0, got %x", res.Checksum)
+	// The per-warp mix keeps identical store streams from cancelling
+	// under XOR: each warp contributes its stream hash bound to its ID.
+	if want := MixWarpChecksum(0, one) ^ MixWarpChecksum(1, one); res.Checksum != want {
+		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}
 	// Single warp yields the concrete hash.
 	res1, err := Run(&Launch{Prog: p, GridWarps: 1}, 1000)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if res1.Checksum != one {
-		t.Errorf("checksum = %x, want %x", res1.Checksum, one)
+	if res1.Checksum != MixWarpChecksum(0, one) {
+		t.Errorf("checksum = %x, want %x", res1.Checksum, MixWarpChecksum(0, one))
 	}
 }
 
@@ -322,6 +325,7 @@ func TestWideOps(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ (1024 + 32)) * fnvPrime
 	want = (want ^ uint64(GlobalData(1024)^GlobalData(1028))) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum = %x, want %x", res.Checksum, want)
 	}

@@ -126,6 +126,7 @@ func TestConversions(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 0) * fnvPrime
 	want = (want ^ uint64(uint32(0xFFFFFFF9))) * fnvPrime // -7 round-trips
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum %x, want %x", res.Checksum, want)
 	}
@@ -164,6 +165,7 @@ func TestF2ISaturation(t *testing.T) {
 		var want uint64 = fnvOffset
 		want = (want ^ 0) * fnvPrime
 		want = (want ^ uint64(uint32(tc.want))) * fnvPrime
+		want = MixWarpChecksum(0, want)
 		if res.Checksum != want {
 			t.Errorf("F2I(%v): checksum %x, want value %d", tc.in, res.Checksum, tc.want)
 		}
@@ -191,6 +193,7 @@ func TestIMadAndMovI(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 0) * fnvPrime
 	want = (want ^ 142) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("IMAD checksum %x, want 142", res.Checksum)
 	}
@@ -217,6 +220,7 @@ func TestFFmaChain(t *testing.T) {
 	var want uint64 = fnvOffset
 	want = (want ^ 0) * fnvPrime
 	want = (want ^ uint64(fbits(6.5))) * fnvPrime
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("FFMA checksum %x, want 6.5", res.Checksum)
 	}

@@ -46,6 +46,7 @@ func TestSIMTLaneVariantValues(t *testing.T) {
 		want = (want ^ uint64(lane*4)) * fnvPrime
 		want = (want ^ uint64(lane*2)) * fnvPrime
 	}
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum %x, want %x", res.Checksum, want)
 	}
@@ -85,6 +86,7 @@ join:
 		want = (want ^ uint64(lane*4)) * fnvPrime
 		want = (want ^ uint64(base+lane)) * fnvPrime
 	}
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum %x, want %x", res.Checksum, want)
 	}
@@ -117,6 +119,7 @@ top:
 		want = (want ^ uint64(lane*4)) * fnvPrime
 		want = (want ^ uint64(lane+1)) * fnvPrime
 	}
+	want = MixWarpChecksum(0, want)
 	if res.Checksum != want {
 		t.Errorf("checksum %x, want %x", res.Checksum, want)
 	}

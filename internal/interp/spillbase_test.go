@@ -51,6 +51,7 @@ func TestSpillSlotBasesAcrossCalls(t *testing.T) {
 			var want uint64 = fnvOffset
 			want = (want ^ 64) * fnvPrime
 			want = (want ^ 1115) * fnvPrime
+			want = MixWarpChecksum(0, want)
 			if res.Checksum != want {
 				t.Errorf("checksum %x, want %x (callee clobbered caller's %s spill slot?)",
 					res.Checksum, want, spill.name)

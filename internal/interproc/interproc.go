@@ -223,6 +223,13 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 			}
 		}
 		match := assign.MaxWeight(w)
+		// The slot→position assignment must be a true permutation into the
+		// free positions: a repeated or out-of-range position would alias
+		// two slot groups onto one physical register.
+		if err := checkMatching(match, len(freePos)); err != nil {
+			ksp.End()
+			return nil, nil, fmt.Errorf("interproc: %s: %w", v.F.Name, err)
+		}
 		for si, pos := range slots {
 			for _, id := range slotVars[pos] {
 				res.Color[id] = freePos[match[si]]
@@ -241,6 +248,22 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 	}
 	stats.Movements = moved
 	return f, stats, nil
+}
+
+// checkMatching verifies that a Kuhn-Munkres result is an injective map
+// into [0, cols): every row assigned a distinct, in-range column.
+func checkMatching(match []int, cols int) error {
+	seen := make(map[int]bool, len(match))
+	for si, j := range match {
+		if j < 0 || j >= cols {
+			return fmt.Errorf("KM matching: slot %d assigned out-of-range position %d (have %d)", si, j, cols)
+		}
+		if seen[j] {
+			return fmt.Errorf("KM matching: position %d assigned twice", j)
+		}
+		seen[j] = true
+	}
+	return nil
 }
 
 // insertMoves rewrites the allocated function, inserting compress moves

@@ -1,0 +1,21 @@
+package interproc
+
+import "testing"
+
+func TestCheckMatching(t *testing.T) {
+	if err := checkMatching([]int{2, 0, 1}, 3); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	if err := checkMatching(nil, 0); err != nil {
+		t.Errorf("empty matching rejected: %v", err)
+	}
+	if err := checkMatching([]int{0, 3}, 3); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if err := checkMatching([]int{-1}, 3); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := checkMatching([]int{1, 1}, 3); err == nil {
+		t.Error("duplicate position accepted")
+	}
+}

@@ -292,8 +292,40 @@ func SplitWebs(f *isa.Function) (*Vars, error) {
 		return id, u - sp[0]
 	}
 
-	// 5. Rewrite instructions into a cloned function.
+	// 5. Rewrite instructions into a cloned function. Unreachable blocks
+	// were skipped by φ placement and renaming, so their operands have no
+	// names; leaving them in place would let stale pre-renumbering
+	// registers survive into the rewritten function. The code can never
+	// execute, so each unreachable instruction becomes a self-branch
+	// (indices are preserved — only unreachable code can target it).
 	nf := f.Clone()
+	for bi := range cfg.Blocks {
+		if cfg.Reachable(bi) {
+			continue
+		}
+		for i := cfg.Blocks[bi].Start; i < cfg.Blocks[bi].End; i++ {
+			nf.Instrs[i] = isa.Instr{
+				Op:  isa.OpBra,
+				Dst: isa.RegNone,
+				Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+				Tgt: int32(i),
+			}
+		}
+	}
+	if nf.CallBounds != nil {
+		// Keep bounds only for call sites that survived (in order).
+		kept := make([]int, 0, len(nf.CallBounds))
+		k := 0
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				if bi := cfg.BlockOf[i]; bi >= 0 && cfg.Reachable(bi) {
+					kept = append(kept, nf.CallBounds[k])
+				}
+				k++
+			}
+		}
+		nf.CallBounds = kept
+	}
 	type patch struct {
 		instr int
 		srcI  int // -1 for dst

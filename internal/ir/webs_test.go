@@ -296,3 +296,39 @@ func TestCallSiteLiveness(t *testing.T) {
 		t.Errorf("call 1 live-across = %v, want none", calls[1])
 	}
 }
+
+func TestSplitWebsUnreachableCode(t *testing.T) {
+	// Found by FuzzRealize: instructions in unreachable blocks are skipped
+	// by SSA renaming, so their operands kept pre-renumbering registers
+	// while NumVRegs shrank — and the stale units indexed past UnitVar in
+	// the allocator. SplitWebs must leave no operand outside the new
+	// numbering.
+	src := `
+.kernel k
+.blockdim 32
+.func main
+  MOVI v0, 7
+  STG [v0], v0
+  EXIT
+dead:
+  CBR v5, dead
+  EXIT
+`
+	_, v := splitEntry(t, src)
+	check := func(r isa.Reg) {
+		if r == isa.RegNone {
+			return
+		}
+		if int(r) >= len(v.UnitVar) {
+			t.Fatalf("operand v%d survives outside the %d renumbered units", r, len(v.UnitVar))
+		}
+		_ = v.VarAt(r) // must not panic
+	}
+	for i := range v.F.Instrs {
+		in := &v.F.Instrs[i]
+		check(in.Dst)
+		for _, s := range in.Src {
+			check(s)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package isa
+
+import "testing"
+
+// FuzzDecode throws arbitrary bytes at the binary decoder. The decoder must
+// never panic; anything it accepts that also passes Validate must round-trip
+// through Encode/Decode unchanged (the back end re-encodes what the front
+// end decoded, so a lossy round trip would silently corrupt binaries).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ORN1"))
+	f.Add(Encode(MustParse(sampleSrc)))
+	// A structurally damaged program: operands outside the frame.
+	broken := MustParse(sampleSrc)
+	broken.Funcs[0].Instrs[2].Dst = 9999
+	f.Add(Encode(broken))
+	// Truncation of a valid binary exercises every reader error path.
+	whole := Encode(MustParse(sampleSrc))
+	f.Add(whole[:len(whole)-7])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if Validate(p) != nil {
+			return
+		}
+		out := Encode(p)
+		p2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatal("decode/encode round trip changed the program")
+		}
+	})
+}

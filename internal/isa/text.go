@@ -182,6 +182,7 @@ func Parse(src string) (*Program, error) {
 
 	for _, f := range p.Funcs {
 		f.NumVRegs = countVRegs(f)
+		f.SpillShared, f.SpillLocal = countSpillSlots(f)
 	}
 	return p, nil
 }
@@ -218,6 +219,27 @@ func countVRegs(f *Function) int {
 		maxr = a
 	}
 	return maxr + 1
+}
+
+// countSpillSlots derives the per-thread spill footprint from explicit
+// spill instructions in the source, so hand-written spill code validates
+// and later allocation rounds number fresh slots after the existing ones.
+func countSpillSlots(f *Function) (shared, local int) {
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		end := int(in.Imm) + in.W()
+		switch in.Op {
+		case OpSpillSS, OpSpillSL:
+			if end > shared {
+				shared = end
+			}
+		case OpSpillLS, OpSpillLL:
+			if end > local {
+				local = end
+			}
+		}
+	}
+	return shared, local
 }
 
 func parseInstr(text string, line int) (Instr, bool, error) {

@@ -12,9 +12,13 @@ var ErrRecursion = errors.New("isa: recursive call graph")
 
 // Validate checks structural invariants of a program: opcode validity,
 // branch targets in range, call targets defined and non-recursive, widths
-// legal, the entry function taking no args, and every path ending in a
-// terminator. It does not check register bounds (virtual registers are
-// unbounded before allocation).
+// legal, the entry function taking no args, every path ending in a
+// terminator, and all operands in bounds — registers within the declared
+// frame (NumVRegs before allocation, FrameSlots after), spill slots within
+// the declared spill counts, and call bounds within the frame. Operand
+// bounds make decoded binaries safe to feed to the middle end and the
+// interpreter: out-of-range registers or slots would otherwise index past
+// internal arrays.
 func Validate(p *Program) error {
 	if len(p.Funcs) == 0 {
 		return errors.New("isa: program has no functions")
@@ -47,6 +51,38 @@ func validateFunc(p *Program, fi int, f *Function) error {
 	if len(f.Instrs) == 0 {
 		return fmt.Errorf("isa: function %q is empty", f.Name)
 	}
+	// Registers live in the virtual frame before allocation and the
+	// physical frame after; either way every operand must fit.
+	bound := f.NumVRegs
+	if f.Allocated {
+		bound = f.FrameSlots
+	}
+	if bound < 0 {
+		return fmt.Errorf("isa: %s: negative frame size", f.Name)
+	}
+	if f.NumArgs < 0 {
+		return fmt.Errorf("isa: %s: negative arg count", f.Name)
+	}
+	if f.NumArgs > 3 {
+		return fmt.Errorf("isa: %s: %d args exceeds the 3-register call ABI", f.Name, f.NumArgs)
+	}
+	if f.NumArgs > bound {
+		return fmt.Errorf("isa: %s: %d args exceed frame size %d", f.Name, f.NumArgs, bound)
+	}
+	if f.SpillShared < 0 || f.SpillLocal < 0 {
+		return fmt.Errorf("isa: %s: negative spill slot count", f.Name)
+	}
+	checkReg := func(i int, r Reg, w int, what string) error {
+		if r == RegNone {
+			return fmt.Errorf("isa: %s[%d]: missing %s operand", f.Name, i, what)
+		}
+		if int(r)+w > bound {
+			return fmt.Errorf("isa: %s[%d]: %s v%d width %d exceeds frame size %d",
+				f.Name, i, what, r, w, bound)
+		}
+		return nil
+	}
+	calls := 0
 	for i := range f.Instrs {
 		in := &f.Instrs[i]
 		if in.Op == OpInvalid || in.Op >= opMax {
@@ -54,6 +90,36 @@ func validateFunc(p *Program, fi int, f *Function) error {
 		}
 		if in.Width > 4 {
 			return fmt.Errorf("isa: %s[%d]: bad width %d", f.Name, i, in.Width)
+		}
+		if in.Cmp > CmpGT {
+			return fmt.Errorf("isa: %s[%d]: invalid comparison %d", f.Name, i, in.Cmp)
+		}
+		if in.Sp > SpLaneID {
+			return fmt.Errorf("isa: %s[%d]: invalid special register %d", f.Name, i, in.Sp)
+		}
+		if in.HasDst() {
+			if err := checkReg(i, in.Dst, in.W(), "destination"); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			if err := checkReg(i, in.Src[s], in.SrcWidth(s), "source"); err != nil {
+				return err
+			}
+		}
+		switch in.Op {
+		case OpSpillSS, OpSpillSL:
+			if in.Imm < 0 || int(in.Imm)+in.W() > f.SpillShared {
+				return fmt.Errorf("isa: %s[%d]: shared spill slot %d width %d exceeds %d slots",
+					f.Name, i, in.Imm, in.W(), f.SpillShared)
+			}
+		case OpSpillLS, OpSpillLL:
+			if in.Imm < 0 || int(in.Imm)+in.W() > f.SpillLocal {
+				return fmt.Errorf("isa: %s[%d]: local spill slot %d width %d exceeds %d slots",
+					f.Name, i, in.Imm, in.W(), f.SpillLocal)
+			}
+		case OpCall:
+			calls++
 		}
 		switch in.Op {
 		case OpBra, OpCbr:
@@ -96,6 +162,18 @@ func validateFunc(p *Program, fi int, f *Function) error {
 	last := &f.Instrs[len(f.Instrs)-1]
 	if !last.Terminates() {
 		return fmt.Errorf("isa: %s: control falls off the end", f.Name)
+	}
+	if f.CallBounds != nil {
+		if len(f.CallBounds) != calls {
+			return fmt.Errorf("isa: %s: %d call bounds for %d call sites",
+				f.Name, len(f.CallBounds), calls)
+		}
+		for k, bk := range f.CallBounds {
+			if bk < 0 || bk > bound {
+				return fmt.Errorf("isa: %s: call bound %d at site %d outside frame size %d",
+					f.Name, bk, k, bound)
+			}
+		}
 	}
 	return nil
 }

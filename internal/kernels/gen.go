@@ -79,7 +79,7 @@ type cfg struct {
 //	mixes ALU work on rotating accumulators, strided global loads within a
 //	per-warp window, optional shared-tile staging, and helper calls; an
 //	epilogue folding the accumulators into stores.
-func build(c cfg) *Kernel {
+func build(c cfg) (*Kernel, error) {
 	var b strings.Builder
 	w := func(format string, args ...interface{}) {
 		fmt.Fprintf(&b, format, args...)
@@ -280,17 +280,21 @@ func build(c cfg) *Kernel {
 	emitHelpers(&b, c.calls)
 
 	src := b.String()
+	prog, err := isa.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: building %s: %w", c.name, err)
+	}
 	return &Kernel{
 		Name:       c.name,
 		Domain:     c.domain,
 		Source:     src,
-		Prog:       isa.MustParse(src),
+		Prog:       prog,
 		GridWarps:  c.gridWarps,
 		Iterations: c.iterations,
 		PaperReg:   c.paperReg,
 		PaperFunc:  c.paperFunc,
 		PaperSmem:  c.paperSmem,
-	}
+	}, nil
 }
 
 // emitHelpers appends the device functions used as call targets. They

@@ -156,68 +156,82 @@ var (
 	buildOnce sync.Once
 	all       []*Kernel
 	byName    map[string]*Kernel
+	buildErr  error
 )
 
-func ensure() {
+func ensure() error {
 	buildOnce.Do(func() {
 		byName = make(map[string]*Kernel, len(configs))
 		for _, c := range configs {
-			k := build(c)
+			k, err := build(c)
+			if err != nil {
+				buildErr = err
+				return
+			}
 			all = append(all, k)
 			byName[k.Name] = k
 		}
 	})
+	return buildErr
 }
 
 // All returns every benchmark kernel in Table 2 order (matrixMul last).
-func All() []*Kernel {
-	ensure()
-	return all
+func All() ([]*Kernel, error) {
+	if err := ensure(); err != nil {
+		return nil, err
+	}
+	return all, nil
 }
 
 // Table2 returns the twelve Table 2 benchmarks (those with paper reference
 // data; heartwall and matrixMul are evaluated elsewhere in the paper).
-func Table2() []*Kernel {
-	ensure()
+func Table2() ([]*Kernel, error) {
+	if err := ensure(); err != nil {
+		return nil, err
+	}
 	out := make([]*Kernel, 0, len(all))
 	for _, k := range all {
 		if k.PaperReg > 0 {
 			out = append(out, k)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig5 returns the paper's Figure 5 benchmark set (inter-procedural
 // allocation ablations).
-func Fig5() []*Kernel {
+func Fig5() ([]*Kernel, error) {
 	return pick("cfd", "dxtc", "heartwall", "hotspot", "imageDenoising", "particles", "recursiveGaussian")
 }
 
 // Upward returns the seven benchmarks the paper tunes toward higher
 // occupancy (Figure 11).
-func Upward() []*Kernel {
+func Upward() ([]*Kernel, error) {
 	return pick("cfd", "dxtc", "FDTD3d", "hotspot", "imageDenoising", "particles", "recursiveGaussian")
 }
 
 // Downward returns the five benchmarks the paper tunes toward lower
 // occupancy (Figure 12).
-func Downward() []*Kernel {
+func Downward() ([]*Kernel, error) {
 	return pick("backprop", "bfs", "gaussian", "srad", "streamcluster")
 }
 
-func pick(names ...string) []*Kernel {
-	ensure()
+func pick(names ...string) ([]*Kernel, error) {
+	if err := ensure(); err != nil {
+		return nil, err
+	}
 	out := make([]*Kernel, 0, len(names))
 	for _, n := range names {
 		out = append(out, byName[n])
 	}
-	return out
+	return out, nil
 }
 
 // ByName returns the named kernel or an error listing what exists.
 func ByName(name string) (*Kernel, error) {
-	ensure()
+	if err := ensure(); err != nil {
+		return nil, err
+	}
 	k, ok := byName[name]
 	if !ok {
 		names := make([]string, 0, len(all))

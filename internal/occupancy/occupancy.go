@@ -62,16 +62,27 @@ func roundUp(x, g int) int {
 	return (x + g - 1) / g * g
 }
 
+// warpsPerBlock is the residency footprint of one block in warps: block
+// size rounded up to warp granularity (partial warps occupy a full warp).
+func warpsPerBlock(d *device.Device, blockDim int) int {
+	if blockDim < 1 {
+		blockDim = 1
+	}
+	return roundUp(blockDim, d.WarpSize) / d.WarpSize
+}
+
 // Calc computes SM residency for the configuration under the cache config
-// (which sets the shared-memory capacity).
+// (which sets the shared-memory capacity). Block dims that are not warp
+// multiples are rounded up to warp granularity, as the hardware allocates
+// residency in whole warps; only non-positive dims are an error.
 func Calc(d *device.Device, cc device.CacheConfig, cfg Config) (Result, error) {
-	if cfg.BlockDim <= 0 || cfg.BlockDim%d.WarpSize != 0 {
-		return Result{}, fmt.Errorf("occupancy: block dim %d not a positive multiple of %d", cfg.BlockDim, d.WarpSize)
+	if cfg.BlockDim <= 0 {
+		return Result{}, fmt.Errorf("occupancy: block dim %d must be positive", cfg.BlockDim)
 	}
 	if cfg.RegsPerThread > d.MaxRegsPerThread {
 		return Result{}, fmt.Errorf("occupancy: %d registers/thread exceeds hardware max %d", cfg.RegsPerThread, d.MaxRegsPerThread)
 	}
-	wpb := cfg.BlockDim / d.WarpSize
+	wpb := warpsPerBlock(d, cfg.BlockDim)
 
 	blocks := d.MaxBlocksPerSM
 	lim := LimitBlocks
@@ -109,7 +120,7 @@ func Calc(d *device.Device, cc device.CacheConfig, cfg Config) (Result, error) {
 // register per thread is too many (the target is infeasible by registers
 // alone). Other limits (shared memory, block count) are not considered.
 func MaxRegsForWarps(d *device.Device, blockDim, targetWarps int) int {
-	wpb := blockDim / d.WarpSize
+	wpb := warpsPerBlock(d, blockDim)
 	targetBlocks := (targetWarps + wpb - 1) / wpb
 	lo, hi := 0, d.MaxRegsPerThread
 	for lo < hi {
@@ -128,7 +139,7 @@ func MaxRegsForWarps(d *device.Device, blockDim, targetWarps int) int {
 // (bytes) that still allows targetWarps resident warps per SM under the
 // cache configuration, or 0 if infeasible.
 func MaxSharedForWarps(d *device.Device, cc device.CacheConfig, blockDim, targetWarps int) int {
-	wpb := blockDim / d.WarpSize
+	wpb := warpsPerBlock(d, blockDim)
 	targetBlocks := (targetWarps + wpb - 1) / wpb
 	if targetBlocks <= 0 {
 		targetBlocks = 1
@@ -146,7 +157,7 @@ func MaxSharedForWarps(d *device.Device, cc device.CacheConfig, blockDim, target
 // candidate occupancy levels the Orion compiler walks (occupancy moves in
 // whole blocks).
 func Levels(d *device.Device, blockDim int) []int {
-	wpb := blockDim / d.WarpSize
+	wpb := warpsPerBlock(d, blockDim)
 	maxBlocks := d.MaxBlocksPerSM
 	if byWarps := d.MaxWarpsPerSM / wpb; byWarps < maxBlocks {
 		maxBlocks = byWarps

@@ -78,8 +78,35 @@ func TestCalcErrors(t *testing.T) {
 	if _, err := Calc(d, device.SmallCache, Config{RegsPerThread: 64, BlockDim: 256}); err == nil {
 		t.Error("64 regs/thread accepted")
 	}
-	if _, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: 100}); err == nil {
-		t.Error("block dim 100 accepted")
+	if _, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: 0}); err == nil {
+		t.Error("block dim 0 accepted")
+	}
+	if _, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: -32}); err == nil {
+		t.Error("negative block dim accepted")
+	}
+}
+
+func TestCalcRoundsBlockDimUp(t *testing.T) {
+	d := device.GTX680()
+	// 100 threads occupy 4 warps of residency, exactly like a 128-thread
+	// block; sub-warp blocks (e.g. 8 threads) occupy one full warp.
+	odd, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: 100})
+	if err != nil {
+		t.Fatalf("Calc(100): %v", err)
+	}
+	full, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: 128})
+	if err != nil {
+		t.Fatalf("Calc(128): %v", err)
+	}
+	if odd != full {
+		t.Errorf("block dim 100 -> %+v, want the 128-thread result %+v", odd, full)
+	}
+	tiny, err := Calc(d, device.SmallCache, Config{RegsPerThread: 10, BlockDim: 8})
+	if err != nil {
+		t.Fatalf("Calc(8): %v", err)
+	}
+	if tiny.ActiveBlocks == 0 || tiny.ActiveWarps != tiny.ActiveBlocks {
+		t.Errorf("block dim 8 -> %+v, want one warp per block", tiny)
 	}
 }
 

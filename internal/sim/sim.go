@@ -388,7 +388,7 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	finishWarp := func(sm *smCtx, wc *warpCtx) {
 		wc.done = true
 		_, cks, _ := wc.exec.Result()
-		st.Checksum ^= cks
+		st.Checksum ^= interp.MixWarpChecksum(lc.FirstWarp+int(wc.gid), cks)
 		liveWarps--
 		blk := wc.block
 		blk.live--

@@ -1,0 +1,164 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// defaultOracleSteps bounds the dynamic instructions per warp during a
+// differential run; realized binaries execute extra spill and move
+// instructions, so the limit is per-side, not shared. The example kernels
+// finish in a few thousand steps per warp; the budget mostly caps how long
+// the oracle spends on adversarial (fuzz-generated) loops.
+const defaultOracleSteps = 200_000
+
+// Differential is the execution oracle: it runs the original and the
+// realized program through the functional interpreter on the same launch
+// and diffs their global-store streams word for word. Register allocation,
+// spilling, and the compressible stack are pure implementation detail —
+// the observable output (every store's address and value, in order) must
+// be bit-identical.
+//
+// When the original program fails to execute (step limit, resource
+// overflow) no reference exists and the oracle abstains, returning nil;
+// a realized program that fails where the original succeeded is a
+// violation. Lane-dependent (SIMT) programs are compared by store count
+// and the order-sensitive store checksum, which covers the same
+// (address, value) word stream.
+func Differential(orig, realized *isa.Program, gridWarps, stepLimit int) []Violation {
+	if orig == nil || realized == nil {
+		return []Violation{{Invariant: "differential", Detail: "missing program"}}
+	}
+	if stepLimit <= 0 {
+		stepLimit = defaultOracleSteps
+	}
+	if gridWarps <= 0 {
+		gridWarps = 2 * orig.BlockDim / 32
+		if gridWarps < 2 {
+			gridWarps = 2 // at least two blocks' worth of sub-warp blocks
+		}
+	}
+
+	if orig.UsesLaneID() || realized.UsesLaneID() {
+		return diffChecksum(orig, realized, gridWarps, stepLimit)
+	}
+
+	want, err := storeStreams(orig, gridWarps, stepLimit)
+	if err != nil {
+		return nil // no reference: the input program itself cannot run
+	}
+	got, err := storeStreams(realized, gridWarps, stepLimit)
+	if err != nil {
+		if errors.Is(err, interp.ErrStepLimit) {
+			// Realization adds spill/move instructions but never changes
+			// control flow; a budget the original just fit under proves
+			// nothing about the realized binary. Abstain.
+			return nil
+		}
+		return []Violation{{Invariant: "differential",
+			Detail: fmt.Sprintf("realized program failed to execute: %v", err)}}
+	}
+	for wi := range want {
+		if v := diffStream(wi, want[wi], got[wi]); v != nil {
+			return []Violation{*v}
+		}
+	}
+	return nil
+}
+
+// diffStream compares one warp's store streams and describes the first
+// divergence. Streams are flat [addr, word...] records.
+func diffStream(warp int, want, got []uint32) *Violation {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return &Violation{Invariant: "differential",
+				Detail: fmt.Sprintf("warp %d: store stream diverges at word %d: got %#x, want %#x",
+					warp, i, got[i], want[i])}
+		}
+	}
+	if len(want) != len(got) {
+		return &Violation{Invariant: "differential",
+			Detail: fmt.Sprintf("warp %d: %d store words, want %d",
+				warp, len(got), len(want))}
+	}
+	return nil
+}
+
+// storeStreams executes every warp of a launch and captures its global
+// store stream as flat [addr, word...] records, using Peek to resolve the
+// store operands before each step commits.
+func storeStreams(p *isa.Program, gridWarps, stepLimit int) ([][]uint32, error) {
+	if err := isa.Validate(p); err != nil {
+		return nil, err
+	}
+	layout, err := interp.NewLayout(p)
+	if err != nil {
+		return nil, err
+	}
+	if layout.RegHighWater > interp.RegFileSize {
+		return nil, fmt.Errorf("verify: program needs %d registers, file holds %d",
+			layout.RegHighWater, interp.RegFileSize)
+	}
+	lc := &interp.Launch{Prog: p, GridWarps: gridWarps}
+	wpb := lc.WarpsPerBlock()
+	sharedWords := (p.SharedBytes + 3) / 4
+	streams := make([][]uint32, gridWarps)
+	var shared []uint32
+	for wi := 0; wi < gridWarps; wi++ {
+		if wi%wpb == 0 && sharedWords > 0 {
+			shared = make([]uint32, sharedWords)
+		}
+		w := interp.NewWarp(lc, layout, wi, shared)
+		var stream []uint32
+		for steps := 0; !w.Done(); steps++ {
+			if steps >= stepLimit {
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, interp.ErrStepLimit)
+			}
+			ev := w.Peek()
+			if ev.Kind == interp.KindStore && ev.Space == interp.SpaceGlobal {
+				stream = append(stream, ev.Addr)
+				for k := 0; k < ev.Instr.W(); k++ {
+					stream = append(stream, w.ReadAbsReg(ev.AbsSrc[1]+k))
+				}
+			}
+			if _, err := w.Step(); err != nil {
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, err)
+			}
+		}
+		streams[wi] = stream
+	}
+	return streams, nil
+}
+
+// diffChecksum is the SIMT-mode oracle: per-program full runs compared by
+// store count and the order-sensitive (address, value) checksum.
+func diffChecksum(orig, realized *isa.Program, gridWarps, stepLimit int) []Violation {
+	want, err := interp.Run(&interp.Launch{Prog: orig, GridWarps: gridWarps}, stepLimit)
+	if err != nil {
+		return nil // no reference
+	}
+	got, err := interp.Run(&interp.Launch{Prog: realized, GridWarps: gridWarps}, stepLimit)
+	if err != nil {
+		if errors.Is(err, interp.ErrStepLimit) {
+			return nil // see storeStreams: overhead may cross the budget
+		}
+		return []Violation{{Invariant: "differential",
+			Detail: fmt.Sprintf("realized program failed to execute: %v", err)}}
+	}
+	if got.Stores != want.Stores {
+		return []Violation{{Invariant: "differential",
+			Detail: fmt.Sprintf("%d stores, want %d", got.Stores, want.Stores)}}
+	}
+	if got.Checksum != want.Checksum {
+		return []Violation{{Invariant: "differential",
+			Detail: fmt.Sprintf("store checksum %#x, want %#x", got.Checksum, want.Checksum)}}
+	}
+	return nil
+}

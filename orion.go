@@ -245,8 +245,9 @@ func PlateauHeadroom(d *Device, cc CacheConfig, blockDim int, sweep []LevelResul
 }
 
 // Benchmarks returns the paper's evaluation kernels (Table 2 plus
-// heartwall and matrixMul).
-func Benchmarks() []*Kernel { return kernels.All() }
+// heartwall and matrixMul). The error reports a kernel-generator source
+// that fails to assemble.
+func Benchmarks() ([]*Kernel, error) { return kernels.All() }
 
 // Benchmark returns one evaluation kernel by name.
 func Benchmark(name string) (*Kernel, error) { return kernels.ByName(name) }

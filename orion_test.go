@@ -101,8 +101,12 @@ func TestPublicAPIOccupancy(t *testing.T) {
 }
 
 func TestPublicAPIBenchmarks(t *testing.T) {
-	if len(orion.Benchmarks()) != 14 {
-		t.Errorf("benchmarks = %d, want 14", len(orion.Benchmarks()))
+	ks, err := orion.Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 14 {
+		t.Errorf("benchmarks = %d, want 14", len(ks))
 	}
 	k, err := orion.Benchmark("cfd")
 	if err != nil {
