@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race test-race determinism fuzz-short bench fmt fmt-check
+.PHONY: check build vet test race test-race determinism fuzz-short bench bench-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, build, race-enabled tests,
-## the serial-vs-parallel determinism suite, and a short fuzz pass over
-## the binary decoder and the realization pipeline.
-check: fmt-check vet build test-race determinism fuzz-short
+## the serial-vs-parallel determinism suite, a short fuzz pass over the
+## binary decoder and the realization pipeline, and a one-shot run of the
+## cold-sweep benchmark so compile-path regressions fail loudly.
+check: fmt-check vet build test-race determinism fuzz-short bench-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +32,12 @@ determinism:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/isa/
 	$(GO) test -run '^$$' -fuzz FuzzRealize -fuzztime 10s ./internal/core/
+
+## bench-smoke: one iteration of the cold-sweep benchmark (the number
+## behind BENCH_ladder.json) — not a measurement, just proof the
+## benchmark path still compiles and runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench SweepCold -benchtime 1x ./internal/bench/
 
 ## bench: the end-to-end suite benchmark behind the wall-clock claim
 ## (cached vs uncached), plus a metrics-snapshot artifact of one suite

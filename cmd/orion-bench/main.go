@@ -59,7 +59,13 @@ type jsonReport struct {
 	CacheMisses uint64           `json:"realize_cache_misses"`
 	RunHits     uint64           `json:"run_cache_hits"`
 	RunMisses   uint64           `json:"run_cache_misses"`
-	Metrics     any              `json:"metrics,omitempty"`
+	// Ladder counters for the whole invocation: occupancy levels served
+	// from a shared allocation, per-function re-colorings, and
+	// realizations short-circuited by the monotonicity records.
+	LadderReuse   uint64 `json:"ladder_reuse"`
+	LadderRecolor uint64 `json:"ladder_recolor"`
+	LadderPruned  uint64 `json:"ladder_pruned"`
+	Metrics       any    `json:"metrics,omitempty"`
 }
 
 func run(args []string) error {
@@ -159,6 +165,8 @@ func run(args []string) error {
 	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
 	report.CacheHits, report.CacheMisses = core.RealizeCacheStats()
 	report.RunHits, report.RunMisses = core.RunCacheStats()
+	lad := core.LadderStats()
+	report.LadderReuse, report.LadderRecolor, report.LadderPruned = lad.Reuse, lad.Recolor, lad.Pruned
 	if col != nil {
 		orion.PublishCacheMetrics(col)
 		report.Metrics = col.Metrics().Snapshot()

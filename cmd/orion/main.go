@@ -44,6 +44,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	orion "repro"
 	"repro/internal/obs"
@@ -186,23 +187,28 @@ func run(args []string, out io.Writer) error {
 			return nil
 
 		case "sweep":
+			before := orion.SnapshotCacheCounters()
 			res, err := r.Sweep(prog, gridWarps)
 			if err != nil {
 				return err
 			}
+			lad := orion.SnapshotCacheCounters().Delta(before).Ladder
 			best := res[0].Stats.Cycles
 			for _, lr := range res {
 				if lr.Stats.Cycles < best {
 					best = lr.Stats.Cycles
 				}
 			}
-			fmt.Fprintf(out, "%-9s %-8s %-5s %-12s %-10s %-8s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy")
+			fmt.Fprintf(out, "%-9s %-8s %-5s %-12s %-10s %-8s %-10s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy", "realize")
 			for _, lr := range res {
-				fmt.Fprintf(out, "%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f\n",
+				fmt.Fprintf(out, "%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f %-10v\n",
 					lr.Occupancy(dev.MaxWarpsPerSM), lr.TargetWarps,
 					lr.Version.RegsPerThread, lr.Stats.Cycles,
-					float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy)
+					float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy,
+					lr.RealizeTime.Round(time.Microsecond))
 			}
+			fmt.Fprintf(out, "ladder: %d reused, %d recolored, %d pruned\n",
+				lad.Reuse, lad.Recolor, lad.Pruned)
 			return nil
 
 		case "run":

@@ -1,0 +1,45 @@
+package bench_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+)
+
+// BenchmarkSweepCold measures a cold occupancy sweep: every benchmark
+// kernel realized at every occupancy level with the process-wide realize
+// cache disabled, so each iteration pays the full middle-end cost. One
+// ladder per kernel per iteration — the configuration behind the
+// incremental-ladder PR's speedup claim (BENCH_ladder.json records the
+// before/after numbers).
+func BenchmarkSweepCold(b *testing.B) {
+	ks, err := kernels.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wasOn := core.RealizeCacheEnabled()
+	core.SetRealizeCacheEnabled(false)
+	defer core.SetRealizeCacheEnabled(wasOn)
+
+	d := device.GTX680()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range ks {
+			r := core.NewRealizer(d, device.SmallCache)
+			r.Verify = false
+			lad := r.NewLadder(k.Prog)
+			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+				if _, err := lad.Realize(lvl); err != nil {
+					var inf *core.ErrInfeasible
+					if !errors.As(err, &inf) {
+						b.Fatalf("%s level %d: %v", k.Name, lvl, err)
+					}
+				}
+			}
+		}
+	}
+}

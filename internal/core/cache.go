@@ -107,10 +107,22 @@ type CacheCounters struct {
 	Misses uint64 `json:"misses"`
 }
 
-// CacheSnapshot captures both process-wide memo caches at once.
+// LadderCounters is a point-in-time snapshot of the occupancy-ladder
+// realization counters: levels served from a shared allocation (reuse),
+// per-function colorings run against prepared analyses (recolor), and
+// realizations short-circuited by the monotonicity records (pruned).
+type LadderCounters struct {
+	Reuse   uint64 `json:"reuse"`
+	Recolor uint64 `json:"recolor"`
+	Pruned  uint64 `json:"pruned"`
+}
+
+// CacheSnapshot captures both process-wide memo caches and the ladder
+// counters at once.
 type CacheSnapshot struct {
-	Realize CacheCounters `json:"realize"`
-	Run     CacheCounters `json:"run"`
+	Realize CacheCounters  `json:"realize"`
+	Run     CacheCounters  `json:"run"`
+	Ladder  LadderCounters `json:"ladder"`
 }
 
 // SnapshotCacheCounters reads both caches' counters atomically enough for
@@ -120,6 +132,7 @@ func SnapshotCacheCounters() CacheSnapshot {
 	var s CacheSnapshot
 	s.Realize.Hits, s.Realize.Misses = realizeCache.Stats()
 	s.Run.Hits, s.Run.Misses = runCache.Stats()
+	s.Ladder = LadderStats()
 	return s
 }
 
@@ -134,6 +147,11 @@ func (s CacheSnapshot) Delta(earlier CacheSnapshot) CacheSnapshot {
 			Hits:   s.Run.Hits - earlier.Run.Hits,
 			Misses: s.Run.Misses - earlier.Run.Misses,
 		},
+		Ladder: LadderCounters{
+			Reuse:   s.Ladder.Reuse - earlier.Ladder.Reuse,
+			Recolor: s.Ladder.Recolor - earlier.Ladder.Recolor,
+			Pruned:  s.Ladder.Pruned - earlier.Ladder.Pruned,
+		},
 	}
 }
 
@@ -143,6 +161,7 @@ func (s CacheSnapshot) Delta(earlier CacheSnapshot) CacheSnapshot {
 func ResetCacheCounters() {
 	realizeCache.ResetStats()
 	runCache.ResetStats()
+	ResetLadderStats()
 }
 
 // PublishCacheMetrics copies the current memo-cache counters into a
@@ -154,4 +173,7 @@ func PublishCacheMetrics(m *obs.Registry) {
 	m.Counter("core.realize_cache.misses").Store(s.Realize.Misses)
 	m.Counter("core.run_cache.hits").Store(s.Run.Hits)
 	m.Counter("core.run_cache.misses").Store(s.Run.Misses)
+	m.Counter("core.ladder.reuse").Store(s.Ladder.Reuse)
+	m.Counter("core.ladder.recolor").Store(s.Ladder.Recolor)
+	m.Counter("core.ladder.pruned").Store(s.Ladder.Pruned)
 }

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/interproc"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/occupancy"
+	"repro/internal/regalloc"
+)
+
+// Ladder-wide counters (process-global, like the memo-cache counters):
+// how often a budget realization was served from a shared allocation
+// (reuse), how many per-function colorings ran against prepared analyses
+// (recolor), and how many realizations were short-circuited by the
+// monotonicity records (pruned).
+var (
+	ladderReuse   atomic.Uint64
+	ladderRecolor atomic.Uint64
+	ladderPruned  atomic.Uint64
+)
+
+// LadderStats reports the process-wide ladder counters.
+func LadderStats() LadderCounters {
+	return LadderCounters{
+		Reuse:   ladderReuse.Load(),
+		Recolor: ladderRecolor.Load(),
+		Pruned:  ladderPruned.Load(),
+	}
+}
+
+// ResetLadderStats zeroes the ladder counters.
+func ResetLadderStats() {
+	ladderReuse.Store(0)
+	ladderRecolor.Store(0)
+	ladderPruned.Store(0)
+}
+
+func countReuse(x obs.Ctx) {
+	ladderReuse.Add(1)
+	x.Metrics().Counter("ladder.reuse").Add(1)
+}
+
+func countPruned(x obs.Ctx) {
+	ladderPruned.Add(1)
+	x.Metrics().Counter("ladder.pruned").Add(1)
+}
+
+// budgetKey identifies one realizeWithBudget input pair. Distinct
+// occupancy targets frequently collapse onto the same pair (the occupancy
+// formulas round to allocation granules), so the ladder memoizes on the
+// budgets rather than the targets.
+type budgetKey struct {
+	reg    int
+	shared int
+}
+
+// ladderEntry is one realized budget pair: the shared proto version
+// (TargetWarps zero — per-level Versions are cloned from it), or the
+// error the realization produced.
+type ladderEntry struct {
+	once sync.Once
+	v    *Version
+	err  error
+	// reg is the register budget the entry was realized at; clean and
+	// floor describe the round-0 allocation (see canon below).
+	reg   int
+	clean bool
+	floor int
+}
+
+// hardFail records a non-infeasibility allocator failure at a register
+// budget: the same shared-slot configuration fails identically at every
+// smaller register budget (fewer registers only make coloring harder), so
+// queries below the recorded budget short-circuit.
+type hardFail struct {
+	reg int
+	err error
+}
+
+// Ladder is the shared realization context for one program on one
+// realizer: it realizes the program across all target occupancy levels
+// through a single set of middle-end analyses. Per-function web splitting,
+// liveness, interference graphs, and spill costs are computed once
+// (regalloc.Prep) and re-colored per register budget; whole allocations
+// are memoized per (register, shared-slot) budget pair; and a clean
+// round-0 allocation is reused verbatim across every budget its coloring
+// provably does not depend on (DESIGN.md §10).
+//
+// A Ladder is safe for concurrent use; Sweep and Compile fan levels out
+// over one ladder. Results flow through the process-wide realization
+// cache exactly as before, so warm-path behavior is unchanged.
+type Ladder struct {
+	r *Realizer
+	p *isa.Program
+
+	prepOnce []sync.Once
+	preps    []*regalloc.Prep
+	prepErr  []error
+
+	metaOnce sync.Once
+	metaErr  error
+	needs    []int // per-function register demand incl. worst callee chain
+	perLive  []int // per-function max-live (clamped >= 1)
+	order    []int // caller-first allocation order
+	hasCalls bool
+	maxLive0 int // entry function's unclamped chain max-live (Compile's metric)
+
+	mu      sync.Mutex
+	entries map[budgetKey]*ladderEntry
+	canon   *ladderEntry     // largest-budget clean call-free allocation
+	hard    map[int]hardFail // shared budget -> worst hard failure
+}
+
+// NewLadder returns a ladder realization context for p. Callers that
+// realize a program at several occupancy levels (sweeps, candidate
+// ladders) should share one ladder; single-level callers can keep using
+// Realize, which builds a throwaway ladder internally.
+func (r *Realizer) NewLadder(p *isa.Program) *Ladder {
+	n := len(p.Funcs)
+	return &Ladder{
+		r:        r,
+		p:        p,
+		prepOnce: make([]sync.Once, n),
+		preps:    make([]*regalloc.Prep, n),
+		prepErr:  make([]error, n),
+		entries:  map[budgetKey]*ladderEntry{},
+		hard:     map[int]hardFail{},
+	}
+}
+
+// Realize compiles the ladder's program for at least targetWarps resident
+// warps per SM, sharing analyses and allocations with every other level
+// realized through this ladder. See Realizer.Realize for the realization
+// contract; results are identical.
+func (l *Ladder) Realize(targetWarps int) (*Version, error) {
+	return l.RealizeCtx(targetWarps, l.r.Obs.Ctx())
+}
+
+// RealizeCtx is Realize with an explicit observability context. The
+// process-wide realization memo sits in front of the ladder, exactly as in
+// Realizer.RealizeCtx, and verified versions are verified per level.
+func (l *Ladder) RealizeCtx(targetWarps int, x obs.Ctx) (*Version, error) {
+	key, ok := l.r.cacheKey(l.p, targetWarps)
+	var v *Version
+	var err error
+	if !ok {
+		v, err = l.realize(targetWarps, x)
+	} else {
+		filled := false
+		v, err = realizeCache.Do(key, func() (*Version, error) {
+			filled = true
+			return l.realize(targetWarps, x)
+		})
+		if !filled && x.Enabled() {
+			sp := x.Span("realize.cached",
+				obs.String("kernel", l.p.Name),
+				obs.Int("target_warps", targetWarps))
+			if err != nil {
+				sp.SetAttr(obs.String("error", err.Error()))
+			}
+			sp.End()
+		}
+	}
+	if err == nil && l.r.Verify {
+		if verr := l.r.verifyVersion(l.p, v, x); verr != nil {
+			return nil, verr
+		}
+	}
+	return v, err
+}
+
+// realize wraps the uncached realization in a "realize" span.
+func (l *Ladder) realize(targetWarps int, x obs.Ctx) (*Version, error) {
+	sp := x.Span("realize",
+		obs.String("kernel", l.p.Name),
+		obs.Int("target_warps", targetWarps))
+	v, err := l.realizeUncached(targetWarps, sp.Ctx())
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(
+			obs.Int("regs_per_thread", v.RegsPerThread),
+			obs.Int("shared_per_block", v.SharedPerBlock),
+			obs.Int("local_slots", v.LocalSlots),
+			obs.Int("moves", v.Moves),
+			obs.Int("natural_warps", v.Natural.ActiveWarps))
+		x.Metrics().Counter("compile.realizations").Add(1)
+	}
+	sp.End()
+	return v, err
+}
+
+// prepFor returns function fi's budget-independent analyses, building them
+// on first use (once per ladder, shared by every level and budget).
+func (l *Ladder) prepFor(fi int, x obs.Ctx) (*regalloc.Prep, error) {
+	l.prepOnce[fi].Do(func() {
+		l.preps[fi], l.prepErr[fi] = regalloc.PrepareCtx(l.p.Funcs[fi], x)
+	})
+	return l.preps[fi], l.prepErr[fi]
+}
+
+// ensureMeta computes the program-level facts every budget realization
+// shares: per-function max-live, chain register demands (lazy
+// compression's CalleeNeed), the caller-first allocation order, and
+// whether the program contains calls at all (call-free programs qualify
+// for canonical cross-budget reuse).
+func (l *Ladder) ensureMeta(x obs.Ctx) error {
+	l.metaOnce.Do(func() {
+		n := len(l.p.Funcs)
+		perRaw := make([]int, n)
+		l.perLive = make([]int, n)
+		for fi := range l.p.Funcs {
+			pr, err := l.prepFor(fi, x)
+			if err != nil {
+				l.metaErr = err
+				return
+			}
+			perRaw[fi] = pr.MaxLive
+			l.perLive[fi] = pr.MaxLive
+			if l.perLive[fi] < 1 {
+				l.perLive[fi] = 1
+			}
+		}
+		for _, f := range l.p.Funcs {
+			for i := range f.Instrs {
+				if f.Instrs[i].Op == isa.OpCall {
+					l.hasCalls = true
+					break
+				}
+			}
+			if l.hasCalls {
+				break
+			}
+		}
+		// Worst chain sums over the acyclic call graph: clamped for the
+		// allocator's CalleeNeed, raw for Compile's max-live metric.
+		l.needs = chainSums(l.p, l.perLive)
+		l.maxLive0 = chainSums(l.p, perRaw)[0]
+		l.order, l.metaErr = topoOrder(l.p)
+	})
+	return l.metaErr
+}
+
+// chainSums computes, per function, the given per-function demand plus the
+// worst demand over any callee chain (the paper's max-live-along-chain).
+func chainSums(p *isa.Program, per []int) []int {
+	memo := make([]int, len(p.Funcs))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var chain func(fi int) int
+	chain = func(fi int) int {
+		if memo[fi] >= 0 {
+			return memo[fi]
+		}
+		best := 0
+		f := p.Funcs[fi]
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == isa.OpCall {
+				if c := chain(int(f.Instrs[i].Tgt)); c > best {
+					best = c
+				}
+			}
+		}
+		memo[fi] = per[fi] + best
+		return memo[fi]
+	}
+	for fi := range p.Funcs {
+		chain(fi)
+	}
+	return memo
+}
+
+// maxLive returns the program's compile-time max-live metric through the
+// ladder's shared analyses (equal to MaxLive(p), without re-running
+// webs/liveness per function).
+func (l *Ladder) maxLive(x obs.Ctx) (int, error) {
+	if err := l.ensureMeta(x); err != nil {
+		return 0, err
+	}
+	return l.maxLive0, nil
+}
+
+// canonFor returns the canonical shared proto version if regBudget falls
+// inside its validity window [floor, canonBudget], else nil.
+func (l *Ladder) canonFor(regBudget int) *Version {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c := l.canon; c != nil && c.floor <= regBudget && regBudget <= c.reg {
+		return c.v
+	}
+	return nil
+}
+
+// withBudget realizes the program at an exact (register, shared-slot)
+// budget pair through the ladder: canonical reuse first, then the
+// hard-failure record, then the per-pair memo; only a genuinely new pair
+// runs the allocator.
+func (l *Ladder) withBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (*Version, error) {
+	l.mu.Lock()
+	if c := l.canon; c != nil && c.floor <= regBudget && regBudget <= c.reg {
+		l.mu.Unlock()
+		countReuse(x)
+		return c.v, nil
+	}
+	if hf, ok := l.hard[sharedSlotBudget]; ok && regBudget <= hf.reg {
+		l.mu.Unlock()
+		countPruned(x)
+		return nil, hf.err
+	}
+	key := budgetKey{regBudget, sharedSlotBudget}
+	e, ok := l.entries[key]
+	if !ok {
+		e = &ladderEntry{reg: regBudget}
+		l.entries[key] = e
+	}
+	l.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.v, e.clean, e.floor, e.err = l.fillBudget(regBudget, sharedSlotBudget, x)
+		l.mu.Lock()
+		if e.err != nil {
+			// Monotone pruning, downward: a hard allocator failure at this
+			// register budget repeats at every smaller one (same shared-slot
+			// configuration), so record the highest failing budget.
+			if hf, ok := l.hard[sharedSlotBudget]; !ok || regBudget > hf.reg {
+				l.hard[sharedSlotBudget] = hardFail{reg: regBudget, err: e.err}
+			}
+		} else if !l.hasCalls && e.clean && e.floor <= regBudget {
+			// Monotone pruning, upward-from-floor: a clean call-free round-0
+			// allocation is byte-identical at every budget in [floor, reg].
+			// Keep the widest window (the largest establishing budget).
+			if l.canon == nil || e.reg > l.canon.reg {
+				l.canon = e
+			}
+		}
+		l.mu.Unlock()
+	})
+	if hit {
+		countReuse(x)
+	}
+	return e.v, e.err
+}
+
+// fillBudget allocates every function at the budget pair, walking the call
+// graph caller-first so that callee budgets subtract the caller's
+// compressed height (Bk) and spill-slot usage along the worst chain (the
+// body of the pre-ladder realizeWithBudget). clean and floor report the
+// round-0 state for canonical reuse: clean when every function colored in
+// one round, floor the smallest register budget at which each coloring is
+// provably budget-independent.
+func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Version, clean bool, floor int, err error) {
+	r, p := l.r, l.p
+	if err := l.ensureMeta(x); err != nil {
+		return nil, false, 0, err
+	}
+	needs, perMaxLive, order := l.needs, l.perLive, l.order
+
+	np := p.Clone()
+	n := len(np.Funcs)
+
+	// cumReg[f]/cumShared[f]: worst-case frame base / shared-slot base of f
+	// over all call chains, filled as callers are allocated.
+	cumReg := make([]int, n)
+	cumShared := make([]int, n)
+	for i := range cumReg {
+		cumReg[i], cumShared[i] = -1, -1
+	}
+	cumReg[0], cumShared[0] = 0, 0
+
+	clean = true
+	totalMoves := 0
+	for _, fi := range order {
+		if cumReg[fi] < 0 {
+			// Unreachable from entry; allocate standalone with full budget.
+			cumReg[fi], cumShared[fi] = 0, 0
+		}
+		c := regBudget - cumReg[fi]
+		if c < minFuncBudget {
+			c = minFuncBudget
+		}
+		if c > regBudget {
+			c = regBudget
+		}
+		shBudget := sharedSlotBudget - cumShared[fi]
+		if shBudget < 0 {
+			shBudget = 0
+		}
+		opt := r.Interproc
+		// Lazy compression and the compress-vs-spill choice below apply
+		// only to the fully optimized configuration; the Figure 5 ablations
+		// (SpaceMin or MoveMin off) reproduce the paper's naive variants
+		// (maximal compression, identity layout).
+		smart := opt.SpaceMin && opt.MoveMin && opt.Budget == 0
+		if smart {
+			// Compress only as far as each call's callee chain needs within
+			// this function's budget (paper Section 3.2).
+			opt.Budget = c
+			opt.CalleeNeed = func(callee int) int { return needs[callee] }
+		}
+		pr, err := l.prepFor(fi, x)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		allocOnce := func(budget int) (*isa.Function, *interproc.Stats, *regalloc.Alloc, error) {
+			a, err := pr.ReColorCtx(budget, shBudget, x)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ladderRecolor.Add(1)
+			x.Metrics().Counter("ladder.recolor").Add(1)
+			nf, st, err := interproc.OptimizeCtx(a, opt, x)
+			return nf, st, a, err
+		}
+		// variantCost scores an allocation: its own spill/move overhead
+		// (loop-weighted) plus the registers it squeezes out of callee
+		// chains (which turn into callee spills at every call).
+		variantCost := func(nf *isa.Function) int {
+			cost := addedCost(nf)
+			k := 0
+			for i := range nf.Instrs {
+				if nf.Instrs[i].Op != isa.OpCall {
+					continue
+				}
+				bk := nf.FrameSlots
+				if nf.CallBounds != nil {
+					bk = nf.CallBounds[k]
+				}
+				if squeeze := needs[int(nf.Instrs[i].Tgt)] - (c - bk); squeeze > 0 {
+					cost += 2 * loopWeight * squeeze
+				}
+				k++
+			}
+			return cost
+		}
+		nf, st, a, err := allocOnce(c)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		// Compress-vs-spill choice: compression movements are paid at every
+		// dynamic call, whereas allocating this function below the budget
+		// (reserving room for the callee chain) converts them into spills
+		// of the cheapest values. Pick whichever costs less.
+		if smart && st.Movements > 0 {
+			best := variantCost(nf)
+			worstNeed := 0
+			for i := range np.Funcs[fi].Instrs {
+				if np.Funcs[fi].Instrs[i].Op == isa.OpCall {
+					if nd := needs[np.Funcs[fi].Instrs[i].Tgt]; nd > worstNeed {
+						worstNeed = nd
+					}
+				}
+			}
+			for _, c2 := range []int{c - worstNeed, perMaxLive[fi]} {
+				if c2 < minFuncBudget {
+					c2 = minFuncBudget
+				}
+				if c2 >= c {
+					continue
+				}
+				nf2, st2, a2, err2 := allocOnce(c2)
+				if err2 != nil {
+					continue
+				}
+				if cost2 := variantCost(nf2); cost2 < best {
+					best = cost2
+					nf, st, a = nf2, st2, a2
+				}
+			}
+		}
+		if a.Rounds > 1 {
+			clean = false
+		} else {
+			// Budget-independence window of this function's round-0
+			// coloring: the stack order is fixed above TrivialBudget, and
+			// select's choices are fixed down to the frame height.
+			if pr.TrivialBudget > floor {
+				floor = pr.TrivialBudget
+			}
+			if nf.FrameSlots > floor {
+				floor = nf.FrameSlots
+			}
+		}
+		nf.Name = np.Funcs[fi].Name
+		if n := regalloc.ElideCoalescedMoves(nf); n > 0 { // coalesced copies are no-ops
+			x.Metrics().Counter("regalloc.coalesced_moves").Add(uint64(n))
+		}
+		np.Funcs[fi] = nf
+		totalMoves += st.Movements
+
+		// Propagate bases to callees.
+		k := 0
+		for i := range nf.Instrs {
+			if nf.Instrs[i].Op != isa.OpCall {
+				continue
+			}
+			callee := int(nf.Instrs[i].Tgt)
+			bk := nf.FrameSlots
+			if nf.CallBounds != nil {
+				bk = nf.CallBounds[k]
+			}
+			if v := cumReg[fi] + bk; v > cumReg[callee] {
+				cumReg[callee] = v
+			}
+			if v := cumShared[fi] + nf.SpillShared; v > cumShared[callee] {
+				cumShared[callee] = v
+			}
+			k++
+		}
+	}
+
+	v, err = assembleVersion(r, p, np, totalMoves)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return v, clean, floor, nil
+}
+
+// cloneForTarget stamps a shared proto version with a level's advertised
+// occupancy. The program and all realized resources are shared (they are
+// immutable); only the target differs, so reused levels cost one small
+// allocation instead of a compile.
+func cloneForTarget(proto *Version, targetWarps int) *Version {
+	return &Version{
+		Prog:           proto.Prog,
+		TargetWarps:    targetWarps,
+		RegsPerThread:  proto.RegsPerThread,
+		SharedPerBlock: proto.SharedPerBlock,
+		LocalSlots:     proto.LocalSlots,
+		Moves:          proto.Moves,
+		Natural:        proto.Natural,
+		fp:             proto.fingerprint(),
+		fpSet:          true,
+	}
+}
+
+// realizeUncached maps a target occupancy level onto budget pairs (with
+// the paper's tighten-and-retry loop for overflowing call chains) and
+// realizes them through the ladder.
+func (l *Ladder) realizeUncached(targetWarps int, x obs.Ctx) (*Version, error) {
+	r, p, d := l.r, l.p, l.r.Dev
+	regBudget := occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps)
+	if regBudget < minFuncBudget {
+		return nil, &ErrInfeasible{targetWarps, "register budget too small"}
+	}
+	sharedCap := occupancy.MaxSharedForWarps(d, r.Cache, p.BlockDim, targetWarps)
+	spillBytes := sharedCap - p.SharedBytes
+	sharedSlotBudget := 0
+	if spillBytes > 0 {
+		sharedSlotBudget = spillBytes / (4 * p.BlockDim)
+	}
+	if p.SharedBytes > sharedCap {
+		return nil, &ErrInfeasible{targetWarps, "user shared memory exceeds capacity"}
+	}
+
+	// Monotone pruning: when the canonical allocation covers this level's
+	// register budget, the realized binary is known without allocating —
+	// an infeasible verdict short-circuits the whole attempt loop.
+	if cv := l.canonFor(regBudget); cv != nil && cv.Natural.ActiveWarps < targetWarps {
+		countPruned(x)
+		if cv.Natural.ActiveBlocks == 0 {
+			return nil, &ErrInfeasible{targetWarps, "allocation admits no residency"}
+		}
+		return nil, &ErrInfeasible{targetWarps,
+			fmt.Sprintf("achieved only %d warps", cv.Natural.ActiveWarps)}
+	}
+
+	for attempt := 0; attempt < 4; attempt++ {
+		v, err := l.withBudget(regBudget, sharedSlotBudget, x)
+		if err != nil {
+			return nil, err
+		}
+		if v.RegsPerThread <= occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps) ||
+			v.Natural.ActiveWarps >= targetWarps {
+			if v.Natural.ActiveBlocks == 0 {
+				return nil, &ErrInfeasible{targetWarps, "allocation admits no residency"}
+			}
+			if v.Natural.ActiveWarps < targetWarps {
+				return nil, &ErrInfeasible{targetWarps,
+					fmt.Sprintf("achieved only %d warps", v.Natural.ActiveWarps)}
+			}
+			return cloneForTarget(v, targetWarps), nil
+		}
+		// Call chains overflowed the per-thread budget; tighten and retry.
+		over := v.RegsPerThread - regBudget
+		regBudget -= over
+		if regBudget < minFuncBudget {
+			return nil, &ErrInfeasible{targetWarps, "call chains exceed register budget"}
+		}
+	}
+	return nil, &ErrInfeasible{targetWarps, "budget iteration did not converge"}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+)
+
+// diffLadder realizes p at every occupancy level twice — once through one
+// shared ladder (the incremental path) and once through a fresh ladder per
+// level (no cross-level reuse) — and requires identical outcomes: the same
+// feasibility verdict per level and, for feasible levels, byte-identical
+// Versions (program fingerprint and every realized resource). The
+// process-wide realize cache is disabled by the caller, so both paths
+// actually compile.
+func diffLadder(t *testing.T, inc, scratch *Realizer, p *isa.Program) {
+	t.Helper()
+	lad := inc.NewLadder(p)
+	for _, lvl := range occupancy.Levels(inc.Dev, p.BlockDim) {
+		vi, errI := lad.Realize(lvl)
+		vs, errS := scratch.Realize(p, lvl)
+		if (errI == nil) != (errS == nil) {
+			t.Fatalf("level %d: incremental err=%v, scratch err=%v", lvl, errI, errS)
+		}
+		if errI != nil {
+			var infI, infS *ErrInfeasible
+			if errors.As(errI, &infI) != errors.As(errS, &infS) {
+				t.Fatalf("level %d: error class differs: incremental %v, scratch %v", lvl, errI, errS)
+			}
+			continue
+		}
+		if got, want := vi.fingerprint(), vs.fingerprint(); got != want {
+			t.Fatalf("level %d: fingerprint differs: incremental %x, scratch %x", lvl, got, want)
+		}
+		if vi.TargetWarps != vs.TargetWarps ||
+			vi.RegsPerThread != vs.RegsPerThread ||
+			vi.SharedPerBlock != vs.SharedPerBlock ||
+			vi.LocalSlots != vs.LocalSlots ||
+			vi.Moves != vs.Moves ||
+			vi.Natural != vs.Natural {
+			t.Fatalf("level %d: realized resources differ:\n incremental %+v\n scratch     %+v", lvl, vi, vs)
+		}
+	}
+}
+
+// TestLadderDifferentialKernels proves the incremental ladder produces
+// exactly the from-scratch realization for every benchmark kernel at every
+// feasible occupancy level, on both paper devices. The incremental path
+// runs with the allocation verifier and differential execution oracle on
+// (GTX680), so reused allocations are also semantically checked.
+func TestLadderDifferentialKernels(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatalf("kernels: %v", err)
+	}
+	wasOn := RealizeCacheEnabled()
+	SetRealizeCacheEnabled(false)
+	defer SetRealizeCacheEnabled(wasOn)
+
+	for _, dev := range []*device.Device{device.GTX680(), device.TeslaC2075()} {
+		for _, k := range ks {
+			t.Run(dev.Name+"/"+k.Name, func(t *testing.T) {
+				inc := NewRealizer(dev, device.SmallCache)
+				inc.Verify = dev.Name == device.GTX680().Name
+				scratch := NewRealizer(dev, device.SmallCache)
+				scratch.Verify = false
+				diffLadder(t, inc, scratch, k.Prog)
+			})
+		}
+	}
+}
+
+// corpusPrograms decodes every checked-in fuzz corpus entry (both the
+// realize corpus and the decoder corpus) that is a valid, realizable
+// program.
+func corpusPrograms(t *testing.T) []*isa.Program {
+	t.Helper()
+	var out []*isa.Program
+	seen := map[isa.Fingerprint]bool{}
+	for _, dir := range []string{
+		filepath.Join("testdata", "fuzz", "FuzzRealize"),
+		filepath.Join("..", "isa", "testdata", "fuzz", "FuzzDecode"),
+	} {
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("corpus %s: %v", dir, err)
+		}
+		for _, fe := range files {
+			if fe.IsDir() {
+				continue
+			}
+			data := corpusBytes(t, filepath.Join(dir, fe.Name()))
+			if data == nil {
+				continue
+			}
+			p, err := isa.Decode(data)
+			if err != nil || isa.Validate(p) != nil || !fuzzRealizable(p) {
+				continue
+			}
+			if fp := p.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// corpusBytes parses one Go fuzz corpus file ("go test fuzz v1" followed
+// by one quoted []byte literal per fuzz argument) and returns the first
+// byte argument, or nil if the file is not in that shape.
+func corpusBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "go test fuzz") {
+		return nil
+	}
+	if !sc.Scan() {
+		return nil
+	}
+	line := sc.Text()
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if !strings.HasPrefix(line, "[]byte(") || open < 0 || close <= open {
+		return nil
+	}
+	s, err := strconv.Unquote(line[open+1 : close])
+	if err != nil {
+		return nil
+	}
+	return []byte(s)
+}
+
+// TestLadderDifferentialCorpus replays the checked-in fuzz corpora through
+// the differential harness: every structurally valid corpus program must
+// realize identically with and without cross-level sharing.
+func TestLadderDifferentialCorpus(t *testing.T) {
+	progs := corpusPrograms(t)
+	if len(progs) == 0 {
+		t.Fatal("no realizable corpus programs found")
+	}
+	wasOn := RealizeCacheEnabled()
+	SetRealizeCacheEnabled(false)
+	defer SetRealizeCacheEnabled(wasOn)
+
+	d := device.GTX680()
+	for _, p := range progs {
+		inc := NewRealizer(d, device.SmallCache)
+		inc.Verify = false
+		scratch := NewRealizer(d, device.SmallCache)
+		scratch.Verify = false
+		diffLadder(t, inc, scratch, p)
+	}
+}
+
+// TestLadderCountersMove checks that a sweep through one shared ladder
+// actually exercises the reuse machinery (the counters the CLIs report).
+func TestLadderCountersMove(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatalf("kernels: %v", err)
+	}
+	wasOn := RealizeCacheEnabled()
+	SetRealizeCacheEnabled(false)
+	defer SetRealizeCacheEnabled(wasOn)
+
+	before := LadderStats()
+	d := device.GTX680()
+	r := NewRealizer(d, device.SmallCache)
+	r.Verify = false
+	lad := r.NewLadder(ks[0].Prog)
+	for _, lvl := range occupancy.Levels(d, ks[0].Prog.BlockDim) {
+		if _, err := lad.Realize(lvl); err != nil {
+			var inf *ErrInfeasible
+			if !errors.As(err, &inf) {
+				t.Fatalf("level %d: %v", lvl, err)
+			}
+		}
+	}
+	delta := LadderStats()
+	if delta.Recolor == before.Recolor {
+		t.Error("no re-colorings recorded across a full sweep")
+	}
+	if delta.Reuse == before.Reuse && delta.Pruned == before.Pruned {
+		t.Error("neither reuse nor pruning recorded across a full sweep")
+	}
+}

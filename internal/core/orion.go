@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/isa"
@@ -278,6 +279,9 @@ type LevelResult struct {
 	TargetWarps int
 	Version     *Version
 	Stats       *sim.Stats
+	// RealizeTime is how long this level's realization took (wall clock;
+	// near-zero for levels served from the ladder or the memo cache).
+	RealizeTime time.Duration
 }
 
 // Occupancy returns the level's occupancy fraction.
@@ -287,16 +291,18 @@ func (l *LevelResult) Occupancy(maxWarps int) float64 {
 
 // Sweep compiles and runs the kernel at every achievable occupancy level
 // (the paper's exhaustive-search comparison: Orion-Min is the slowest
-// level, Orion-Max the fastest). Each level gets its own binary, compiled
-// for that occupancy. Levels are independent, so they compile and
-// simulate concurrently; each level's simulation is deterministic, so the
-// results do not depend on scheduling.
+// level, Orion-Max the fastest). All levels realize through one shared
+// ladder context, so the middle-end analyses are built once and clean
+// allocations carry across register budgets. Levels are independent, so
+// they compile and simulate concurrently; each level's simulation is
+// deterministic, so the results do not depend on scheduling.
 func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 	x := r.Obs.Ctx()
 	sp := x.Span("sweep",
 		obs.String("kernel", p.Name),
 		obs.Int("grid_warps", gridWarps))
 	levels := occupancy.Levels(r.Dev, p.BlockDim)
+	lad := r.NewLadder(p)
 	type slot struct {
 		res LevelResult
 		err error
@@ -304,10 +310,28 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 	}
 	slots := make([]slot, len(levels))
 	fork := sp.Ctx().Fork("level", len(levels))
+	realized := make([]*Version, len(levels))
+	realizeErr := make([]error, len(levels))
+	realizeTime := make([]time.Duration, len(levels))
+	realize := func(i int, lx obs.Ctx) {
+		start := time.Now()
+		realized[i], realizeErr[i] = lad.RealizeCtx(levels[i], lx)
+		realizeTime[i] = time.Since(start)
+	}
+	// Levels[0] (the largest register budget) realizes serially first: it
+	// establishes the ladder's canonical allocation, so the fan-out below
+	// reuses it instead of racing to rediscover it, and the reuse/pruned
+	// counters do not depend on scheduling.
+	lx0 := fork.At(0)
+	realize(0, lx0)
 	par.ForEach(0, len(levels), func(i int) {
 		lvl := levels[i]
-		lx := fork.At(i)
-		v, err := r.RealizeCtx(p, lvl, lx)
+		lx := lx0
+		if i > 0 {
+			lx = fork.At(i)
+			realize(i, lx)
+		}
+		v, err := realized[i], realizeErr[i]
 		if err != nil {
 			var inf *ErrInfeasible
 			if !errors.As(err, &inf) {
@@ -320,7 +344,10 @@ func (r *Realizer) Sweep(p *isa.Program, gridWarps int) ([]LevelResult, error) {
 			slots[i].err = err
 			return
 		}
-		slots[i] = slot{res: LevelResult{TargetWarps: lvl, Version: v, Stats: st}, ok: true}
+		slots[i] = slot{
+			res: LevelResult{TargetWarps: lvl, Version: v, Stats: st, RealizeTime: realizeTime[i]},
+			ok:  true,
+		}
 	})
 	fork.Join()
 

@@ -139,7 +139,10 @@ func (r *Realizer) Compile(p *isa.Program, canTune bool) (*CompileResult, error)
 }
 
 // compile is the uninstrumented Figure 8 pipeline; x scopes its phase
-// spans under the caller's "compile" span.
+// spans under the caller's "compile" span. Every realization — max-live,
+// the original version, the candidate ladder, and the fail-safe — flows
+// through one shared ladder context, so the middle-end analyses are built
+// once per function and clean allocations carry across register budgets.
 func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileResult, error) {
 	vsp := x.Span("validate")
 	err := isa.Validate(p)
@@ -147,11 +150,12 @@ func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileRes
 	if err != nil {
 		return nil, err
 	}
+	lad := r.NewLadder(p)
 	msp := x.Span("maxlive")
-	ml, err := MaxLive(p)
+	ml, err := lad.maxLive(msp.Ctx())
 	if err != nil {
 		msp.End()
-		return nil, err
+		return nil, fmt.Errorf("maxlive %s: %w", p.Name, err)
 	}
 	msp.SetAttr(obs.Int("max_live", ml))
 	msp.End()
@@ -167,8 +171,10 @@ func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileRes
 
 	// Original version: everything lives in the minimal number of
 	// registers (target the lowest occupancy level, i.e., the largest
-	// register budget the hardware offers).
-	orig, err := r.RealizeCtx(p, minLevel, x)
+	// register budget the hardware offers). Realized serially before the
+	// candidate fan-out, this also establishes the ladder's canonical
+	// allocation, so candidate levels reuse it deterministically.
+	orig, err := lad.RealizeCtx(minLevel, x)
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: original version: %w", p.Name, err)
 	}
@@ -189,7 +195,7 @@ func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileRes
 		slots := make([]*Version, len(upper))
 		fork := x.Fork("candidate", len(upper))
 		par.ForEach(0, len(upper), func(i int) {
-			v, err := r.RealizeCtx(p, upper[i], fork.At(i))
+			v, err := lad.RealizeCtx(upper[i], fork.At(i))
 			if err != nil {
 				return // level not realizable
 			}
@@ -238,7 +244,7 @@ func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileRes
 			if lvl <= orig.Natural.ActiveWarps {
 				continue
 			}
-			v, err := r.RealizeCtx(p, lvl, x)
+			v, err := lad.RealizeCtx(lvl, x)
 			if err == nil {
 				res.FailSafe = append(res.FailSafe, &Candidate{Version: v, TargetWarps: lvl})
 				break

@@ -18,7 +18,6 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
-	"repro/internal/regalloc"
 	"repro/internal/sim"
 )
 
@@ -46,13 +45,20 @@ type Version struct {
 
 	// fp memoizes the program's content fingerprint (the simulation-cache
 	// key component); computed lazily because decoded or hand-built
-	// versions never pay for it unless they simulate.
+	// versions never pay for it unless they simulate. fpSet marks versions
+	// whose fingerprint was filled at construction (ladder clones copy the
+	// shared proto's hash); it is never written after a Version is
+	// published.
 	fp     isa.Fingerprint
+	fpSet  bool
 	fpOnce sync.Once
 }
 
 // fingerprint returns the version's program content hash, computed once.
 func (v *Version) fingerprint() isa.Fingerprint {
+	if v.fpSet {
+		return v.fp
+	}
 	v.fpOnce.Do(func() { v.fp = v.Prog.Fingerprint() })
 	return v.fp
 }
@@ -109,6 +115,10 @@ func (e *ErrInfeasible) Error() string {
 // same (program fingerprint, target, device, cache config, allocator
 // options) share one Version. The returned Version and its program are
 // immutable.
+//
+// Realize builds a throwaway ladder context per call; callers realizing a
+// program at several occupancy levels should share one via NewLadder so
+// the middle-end analyses and clean allocations carry across levels.
 func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
 	return r.RealizeCtx(p, targetWarps, r.Obs.Ctx())
 }
@@ -118,250 +128,12 @@ func (r *Realizer) Realize(p *isa.Program, targetWarps int) (*Version, error) {
 // deterministically). Cache hits emit a short "realize.cached" span so
 // traces stay complete; only fill paths carry the full compile spans.
 func (r *Realizer) RealizeCtx(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
-	key, ok := r.cacheKey(p, targetWarps)
-	var v *Version
-	var err error
-	if !ok {
-		v, err = r.realize(p, targetWarps, x)
-	} else {
-		filled := false
-		v, err = realizeCache.Do(key, func() (*Version, error) {
-			filled = true
-			return r.realize(p, targetWarps, x)
-		})
-		if !filled && x.Enabled() {
-			sp := x.Span("realize.cached",
-				obs.String("kernel", p.Name),
-				obs.Int("target_warps", targetWarps))
-			if err != nil {
-				sp.SetAttr(obs.String("error", err.Error()))
-			}
-			sp.End()
-		}
-	}
-	// Verification sits outside the realization cache (memoized per
-	// Version) so a version realized by a non-verifying caller is still
-	// checked the first time a verifying caller obtains it.
-	if err == nil && r.Verify {
-		if verr := r.verifyVersion(p, v, x); verr != nil {
-			return nil, verr
-		}
-	}
-	return v, err
+	return r.NewLadder(p).RealizeCtx(targetWarps, x)
 }
 
-// realize wraps the uncached realization in a "realize" span.
-func (r *Realizer) realize(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
-	sp := x.Span("realize",
-		obs.String("kernel", p.Name),
-		obs.Int("target_warps", targetWarps))
-	v, err := r.realizeUncached(p, targetWarps, sp.Ctx())
-	if err != nil {
-		sp.SetAttr(obs.String("error", err.Error()))
-	} else {
-		sp.SetAttr(
-			obs.Int("regs_per_thread", v.RegsPerThread),
-			obs.Int("shared_per_block", v.SharedPerBlock),
-			obs.Int("local_slots", v.LocalSlots),
-			obs.Int("moves", v.Moves),
-			obs.Int("natural_warps", v.Natural.ActiveWarps))
-		x.Metrics().Counter("compile.realizations").Add(1)
-	}
-	sp.End()
-	return v, err
-}
-
-// realizeUncached is the cache's fill path.
-func (r *Realizer) realizeUncached(p *isa.Program, targetWarps int, x obs.Ctx) (*Version, error) {
-	d := r.Dev
-	regBudget := occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps)
-	if regBudget < minFuncBudget {
-		return nil, &ErrInfeasible{targetWarps, "register budget too small"}
-	}
-	sharedCap := occupancy.MaxSharedForWarps(d, r.Cache, p.BlockDim, targetWarps)
-	spillBytes := sharedCap - p.SharedBytes
-	sharedSlotBudget := 0
-	if spillBytes > 0 {
-		sharedSlotBudget = spillBytes / (4 * p.BlockDim)
-	}
-	if p.SharedBytes > sharedCap {
-		return nil, &ErrInfeasible{targetWarps, "user shared memory exceeds capacity"}
-	}
-
-	for attempt := 0; attempt < 4; attempt++ {
-		v, err := r.realizeWithBudget(p, regBudget, sharedSlotBudget, x)
-		if err != nil {
-			return nil, err
-		}
-		if v.RegsPerThread <= occupancy.MaxRegsForWarps(d, p.BlockDim, targetWarps) ||
-			v.Natural.ActiveWarps >= targetWarps {
-			v.TargetWarps = targetWarps
-			if v.Natural.ActiveBlocks == 0 {
-				return nil, &ErrInfeasible{targetWarps, "allocation admits no residency"}
-			}
-			if v.Natural.ActiveWarps < targetWarps {
-				return nil, &ErrInfeasible{targetWarps,
-					fmt.Sprintf("achieved only %d warps", v.Natural.ActiveWarps)}
-			}
-			return v, nil
-		}
-		// Call chains overflowed the per-thread budget; tighten and retry.
-		over := v.RegsPerThread - regBudget
-		regBudget -= over
-		if regBudget < minFuncBudget {
-			return nil, &ErrInfeasible{targetWarps, "call chains exceed register budget"}
-		}
-	}
-	return nil, &ErrInfeasible{targetWarps, "budget iteration did not converge"}
-}
-
-// realizeWithBudget allocates every function, walking the call graph
-// caller-first so that callee budgets subtract the caller's compressed
-// height (Bk) and spill-slot usage along the worst chain.
-func (r *Realizer) realizeWithBudget(p *isa.Program, regBudget, sharedSlotBudget int, x obs.Ctx) (*Version, error) {
-	np := p.Clone()
-	n := len(np.Funcs)
-	needs, perMaxLive, err := chainNeeds(p)
-	if err != nil {
-		return nil, err
-	}
-
-	// cumReg[f]/cumShared[f]: worst-case frame base / shared-slot base of f
-	// over all call chains, filled as callers are allocated.
-	cumReg := make([]int, n)
-	cumShared := make([]int, n)
-	allocated := make([]bool, n)
-	for i := range cumReg {
-		cumReg[i], cumShared[i] = -1, -1
-	}
-	cumReg[0], cumShared[0] = 0, 0
-
-	order, err := topoOrder(p)
-	if err != nil {
-		return nil, err
-	}
-
-	totalMoves := 0
-	for _, fi := range order {
-		if cumReg[fi] < 0 {
-			// Unreachable from entry; allocate standalone with full budget.
-			cumReg[fi], cumShared[fi] = 0, 0
-		}
-		c := regBudget - cumReg[fi]
-		if c < minFuncBudget {
-			c = minFuncBudget
-		}
-		if c > regBudget {
-			c = regBudget
-		}
-		shBudget := sharedSlotBudget - cumShared[fi]
-		if shBudget < 0 {
-			shBudget = 0
-		}
-		opt := r.Interproc
-		// Lazy compression and the compress-vs-spill choice below apply
-		// only to the fully optimized configuration; the Figure 5 ablations
-		// (SpaceMin or MoveMin off) reproduce the paper's naive variants
-		// (maximal compression, identity layout).
-		smart := opt.SpaceMin && opt.MoveMin && opt.Budget == 0
-		if smart {
-			// Compress only as far as each call's callee chain needs within
-			// this function's budget (paper Section 3.2).
-			opt.Budget = c
-			opt.CalleeNeed = func(callee int) int { return needs[callee] }
-		}
-		allocOnce := func(budget int) (*isa.Function, *interproc.Stats, error) {
-			a, err := regalloc.RunCtx(np.Funcs[fi], budget, shBudget, x)
-			if err != nil {
-				return nil, nil, err
-			}
-			return interproc.OptimizeCtx(a, opt, x)
-		}
-		// variantCost scores an allocation: its own spill/move overhead
-		// (loop-weighted) plus the registers it squeezes out of callee
-		// chains (which turn into callee spills at every call).
-		variantCost := func(nf *isa.Function) int {
-			cost := addedCost(nf)
-			k := 0
-			for i := range nf.Instrs {
-				if nf.Instrs[i].Op != isa.OpCall {
-					continue
-				}
-				bk := nf.FrameSlots
-				if nf.CallBounds != nil {
-					bk = nf.CallBounds[k]
-				}
-				if squeeze := needs[int(nf.Instrs[i].Tgt)] - (c - bk); squeeze > 0 {
-					cost += 2 * loopWeight * squeeze
-				}
-				k++
-			}
-			return cost
-		}
-		nf, st, err := allocOnce(c)
-		if err != nil {
-			return nil, err
-		}
-		// Compress-vs-spill choice: compression movements are paid at every
-		// dynamic call, whereas allocating this function below the budget
-		// (reserving room for the callee chain) converts them into spills
-		// of the cheapest values. Pick whichever costs less.
-		if smart && st.Movements > 0 {
-			best := variantCost(nf)
-			worstNeed := 0
-			for i := range np.Funcs[fi].Instrs {
-				if np.Funcs[fi].Instrs[i].Op == isa.OpCall {
-					if nd := needs[np.Funcs[fi].Instrs[i].Tgt]; nd > worstNeed {
-						worstNeed = nd
-					}
-				}
-			}
-			for _, c2 := range []int{c - worstNeed, perMaxLive[fi]} {
-				if c2 < minFuncBudget {
-					c2 = minFuncBudget
-				}
-				if c2 >= c {
-					continue
-				}
-				nf2, st2, err2 := allocOnce(c2)
-				if err2 != nil {
-					continue
-				}
-				if cost2 := variantCost(nf2); cost2 < best {
-					best = cost2
-					nf, st = nf2, st2
-				}
-			}
-		}
-		nf.Name = np.Funcs[fi].Name
-		if n := regalloc.ElideCoalescedMoves(nf); n > 0 { // coalesced copies are no-ops
-			x.Metrics().Counter("regalloc.coalesced_moves").Add(uint64(n))
-		}
-		np.Funcs[fi] = nf
-		allocated[fi] = true
-		totalMoves += st.Movements
-
-		// Propagate bases to callees.
-		k := 0
-		for i := range nf.Instrs {
-			if nf.Instrs[i].Op != isa.OpCall {
-				continue
-			}
-			callee := int(nf.Instrs[i].Tgt)
-			bk := nf.FrameSlots
-			if nf.CallBounds != nil {
-				bk = nf.CallBounds[k]
-			}
-			if v := cumReg[fi] + bk; v > cumReg[callee] {
-				cumReg[callee] = v
-			}
-			if v := cumShared[fi] + nf.SpillShared; v > cumShared[callee] {
-				cumShared[callee] = v
-			}
-			k++
-		}
-	}
-
+// assembleVersion lays out the allocated program and derives its natural
+// residency — the budget-independent tail of a budget realization.
+func assembleVersion(r *Realizer, p, np *isa.Program, totalMoves int) (*Version, error) {
 	layout, err := interp.NewLayout(np)
 	if err != nil {
 		return nil, err
@@ -438,50 +210,6 @@ func addedCost(f *isa.Function) int {
 		cost += w
 	}
 	return cost
-}
-
-// chainNeeds estimates each function's register demand including its
-// worst callee chain (per-function max-live summed along the chain); used
-// by lazy compression to decide how far a caller's stack must compress.
-// The second result is each function's own max-live.
-func chainNeeds(p *isa.Program) ([]int, []int, error) {
-	per := make([]int, len(p.Funcs))
-	for fi, f := range p.Funcs {
-		v, err := ir.SplitWebs(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		live := ir.ComputeLiveness(v)
-		per[fi] = live.MaxLive(v)
-		if per[fi] < 1 {
-			per[fi] = 1
-		}
-	}
-	memo := make([]int, len(p.Funcs))
-	for i := range memo {
-		memo[i] = -1
-	}
-	var chain func(fi int) int
-	chain = func(fi int) int {
-		if memo[fi] >= 0 {
-			return memo[fi]
-		}
-		best := 0
-		f := p.Funcs[fi]
-		for i := range f.Instrs {
-			if f.Instrs[i].Op == isa.OpCall {
-				if c := chain(int(f.Instrs[i].Tgt)); c > best {
-					best = c
-				}
-			}
-		}
-		memo[fi] = per[fi] + best
-		return memo[fi]
-	}
-	for fi := range p.Funcs {
-		chain(fi)
-	}
-	return memo, per, nil
 }
 
 // topoOrder returns function indices with callers before callees.

@@ -126,15 +126,18 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 
 	// The paper's SSi: non-pinned variables grouped by the slot they were
 	// colored into. The matching permutes slot sets over free positions.
-	slotVars := map[int][]int{}
+	slotVars := make([][]int, m)
 	for id := range v.Defs {
 		if !pinned[id] {
 			slotVars[res.Color[id]] = append(slotVars[res.Color[id]], id)
 		}
 	}
-	var slots []int // occupied movable positions, ascending
+	var slots []int             // occupied movable positions, ascending
+	slotIndex := make([]int, m) // position -> index in slots, or -1
 	for p := 0; p < m; p++ {
+		slotIndex[p] = -1
 		if len(slotVars[p]) > 0 {
+			slotIndex[p] = len(slots)
 			slots = append(slots, p)
 		}
 	}
@@ -157,21 +160,26 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 		return nil, nil, fmt.Errorf("interproc: %s: call count mismatch", v.F.Name)
 	}
 
-	// Per-call bounds Bk (paper: desired compressed stack height) and
-	// per-call live sets.
+	// Per-call bounds Bk (paper: desired compressed stack height) and the
+	// live slot-set/call incidence liveSK[si][k] (whether slot set SSi
+	// holds a value live across call k) — computed once here so the Wij
+	// matrix below never re-derives liveness per candidate position.
 	bounds := make([]int, len(callLive))
-	liveAt := make([]map[int]bool, len(callLive))
+	liveSK := make([][]bool, len(slots))
+	for si := range liveSK {
+		liveSK[si] = make([]bool, len(callLive))
+	}
 	for k, vars := range callLive {
-		liveAt[k] = make(map[int]bool, len(vars))
 		liveWidth := 0
 		pinnedEnd := 0
 		for _, id := range vars {
-			liveAt[k][id] = true
 			liveWidth += v.Defs[id].Width
 			if pinned[id] {
 				if end := res.Color[id] + v.Defs[id].Width; end > pinnedEnd {
 					pinnedEnd = end
 				}
+			} else if si := slotIndex[res.Color[id]]; si >= 0 {
+				liveSK[si][k] = true
 			}
 		}
 		bk := liveWidth
@@ -193,33 +201,34 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 		}
 		bounds[k] = bk
 	}
-	slotLive := func(pos, k int) bool {
-		for _, id := range slotVars[pos] {
-			if liveAt[k][id] {
-				return true
-			}
-		}
-		return false
-	}
 
 	// Movement-minimizing layout (Theorem 1 + Kuhn-Munkres). Wij = number
-	// of calls where slot set SSi is live and position j >= Bk.
+	// of calls where slot set SSi is live and position j >= Bk; since Wij
+	// only depends on j through the comparison against Bk, each row is a
+	// prefix sum over the bound histogram of SSi's live calls.
 	if opt.MoveMin && opt.SpaceMin && len(slots) > 0 {
 		ksp := x.Span("km-matching",
 			obs.Int("slots", len(slots)),
 			obs.Int("free_positions", len(freePos)))
 		x.Metrics().Counter("interproc.km_matchings").Add(1)
 		w := make([][]float64, len(slots))
-		for si, pos := range slots {
-			w[si] = make([]float64, len(freePos))
-			for pi, newPos := range freePos {
-				wij := 0
-				for k := range callLive {
-					if slotLive(pos, k) && newPos >= bounds[k] {
-						wij++
-					}
+		cnt := make([]int, m+1)
+		for si := range slots {
+			clear(cnt)
+			for k := range callLive {
+				if liveSK[si][k] {
+					cnt[bounds[k]]++ // contributes to every position >= Bk
 				}
-				w[si][pi] = -float64(wij)
+			}
+			run := 0
+			w[si] = make([]float64, len(freePos))
+			pi := 0
+			for p := 0; p < m && pi < len(freePos); p++ {
+				run += cnt[p]
+				for pi < len(freePos) && freePos[pi] == p {
+					w[si][pi] = -float64(run)
+					pi++
+				}
 			}
 		}
 		match := assign.MaxWeight(w)
@@ -242,7 +251,7 @@ func optimize(a *regalloc.Alloc, opt Options, x obs.Ctx) (*isa.Function, *Stats,
 	if err != nil {
 		return nil, nil, err
 	}
-	moved, err := insertMoves(f, v, res, pinned, callLive, liveAt, bounds, opt)
+	moved, err := insertMoves(f, v, res, pinned, callLive, bounds, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -270,7 +279,7 @@ func checkMatching(match []int, cols int) error {
 // before each call and restore moves after it, and records the final
 // per-call bounds in f.CallBounds. Returns the total move count.
 func insertMoves(f *isa.Function, v *ir.Vars, res *regalloc.Result, pinned []bool,
-	callLive [][]int, liveAt []map[int]bool, bounds []int, opt Options) (int, error) {
+	callLive [][]int, bounds []int, opt Options) (int, error) {
 
 	m := res.FrameSlots
 	totalMoves := 0

@@ -26,11 +26,21 @@ func ComputeLiveness(v *Vars) *Live {
 	l.Out = make([]BitSet, nb)
 	gen := make([]BitSet, nb)
 	kill := make([]BitSet, nb)
+	// All 4·nb per-block sets come from one slab: a single allocation, and
+	// the dataflow iteration walks adjacent memory instead of nb scattered
+	// heap objects.
+	wpr := (n + 63) / 64
+	slab := make([]uint64, 4*nb*wpr)
+	next := func() BitSet {
+		s := BitSet(slab[:wpr:wpr])
+		slab = slab[wpr:]
+		return s
+	}
 	for bi := 0; bi < nb; bi++ {
-		l.In[bi] = NewBitSet(n)
-		l.Out[bi] = NewBitSet(n)
-		gen[bi] = NewBitSet(n)
-		kill[bi] = NewBitSet(n)
+		l.In[bi] = next()
+		l.Out[bi] = next()
+		gen[bi] = next()
+		kill[bi] = next()
 	}
 	for bi := range cfg.Blocks {
 		if !cfg.Reachable(bi) {

@@ -26,6 +26,13 @@ type Result struct {
 // a variable that cannot be colored is spilled and coloring restarts
 // without it. Argument variables are precolored to their ABI positions.
 func Allocate(v *ir.Vars, g *Graph, c int) (*Result, error) {
+	return allocate(v, g, BuildCostModel(v), c, nil)
+}
+
+// allocate is Allocate with the budget-independent inputs supplied by the
+// caller: the cost model (shared across budgets by a Prep) and optional
+// scratch buffers (shared across the rounds of one Chaitin loop).
+func allocate(v *ir.Vars, g *Graph, cm *CostModel, c int, sc *Scratch) (*Result, error) {
 	n := v.NumVars()
 	res := &Result{Color: make([]int, n)}
 	for i := range res.Color {
@@ -35,7 +42,17 @@ func Allocate(v *ir.Vars, g *Graph, c int) (*Result, error) {
 		return res, nil
 	}
 
-	precolored := make([]bool, n)
+	var precolored, inG, removed []bool
+	var deg []int
+	if sc != nil {
+		precolored, inG, removed = sc.boolRows3(n)
+		deg = sc.intRow(n)
+	} else {
+		precolored = make([]bool, n)
+		inG = make([]bool, n)
+		removed = make([]bool, n)
+		deg = make([]int, n)
+	}
 	for id, d := range v.Defs {
 		if d.IsArg {
 			if int(d.Base) >= c {
@@ -48,10 +65,9 @@ func Allocate(v *ir.Vars, g *Graph, c int) (*Result, error) {
 
 	// Stack-order phase (Figure 4b). Weighted degrees are maintained
 	// incrementally so each selection costs O(n) instead of O(n·deg).
-	inG := make([]bool, n)
+	// deg[i] is the total width of i's neighbors still in G or precolored.
 	remaining := 0
 	width := func(id int) int { return v.Defs[id].Width }
-	deg := make([]int, n) // total width of neighbors still in G or precolored
 	for i := 0; i < n; i++ {
 		if !precolored[i] {
 			inG[i] = true
@@ -107,32 +123,21 @@ func Allocate(v *ir.Vars, g *Graph, c int) (*Result, error) {
 
 	// Spill costs (Briggs [3], which the paper's allocator builds on):
 	// occurrence counts weighted against degree, so rarely-touched long
-	// live ranges are evicted before hot values.
-	occurrences := make([]int, n)
-	for i := range v.F.Instrs {
-		in := &v.F.Instrs[i]
-		if d, _ := v.DefOf(in); d >= 0 {
-			occurrences[d]++
-		}
-		for s := 0; s < in.NumSrcs(); s++ {
-			occurrences[v.VarAt(in.Src[s])]++
-		}
-	}
+	// live ranges are evicted before hot values. The counts and the
+	// move-related pairs for coalescing-biased color choice ([9]) come
+	// precomputed in the cost model — they are budget-independent.
 	spillScore := func(id int) float64 {
 		deg := g.Degree(id)
 		if deg == 0 {
 			deg = 1
 		}
-		return float64(occurrences[id]) / float64(deg)
+		return float64(cm.Occurrences[id]) / float64(deg)
 	}
-
-	// Move-related pairs for coalescing-biased color choice ([9]).
-	pairs := movePairs(v)
+	pairs := cm.Pairs
 
 	// Coloring phase (Figure 4c): pop from the top; on failure remove the
 	// cheapest conflicting live range from the stack, spill it, and
 	// restart.
-	removed := make([]bool, n)
 	for {
 		ok := true
 		// Reset non-precolored colors for this attempt.

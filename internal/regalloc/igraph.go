@@ -16,11 +16,15 @@ type Graph struct {
 	adj []ir.BitSet
 }
 
-// NewGraph returns an empty interference graph over n variables.
+// NewGraph returns an empty interference graph over n variables. The
+// adjacency rows are carved from a single pre-sized slab: one allocation
+// instead of n, and the rows stay cache-adjacent during edge insertion.
 func NewGraph(n int) *Graph {
 	g := &Graph{N: n, adj: make([]ir.BitSet, n)}
+	wpr := (n + 63) / 64
+	slab := make([]uint64, n*wpr)
 	for i := range g.adj {
-		g.adj[i] = ir.NewBitSet(n)
+		g.adj[i] = ir.BitSet(slab[i*wpr : (i+1)*wpr : (i+1)*wpr])
 	}
 	return g
 }
@@ -58,7 +62,20 @@ func (g *Graph) WeightedDegree(v int, vars *ir.Vars) int {
 // function entry (arguments and implicitly-defined values) pairwise
 // interfere.
 func BuildInterference(v *ir.Vars, live *ir.Live) *Graph {
-	g := NewGraph(v.NumVars())
+	return buildInterferenceInto(v, live, nil)
+}
+
+// buildInterferenceInto is BuildInterference with optional scratch-backed
+// storage: with sc non-nil the graph reuses the scratch adjacency slab and
+// is only valid until the scratch's next round (callers that retain the
+// graph — Prepare — pass nil).
+func buildInterferenceInto(v *ir.Vars, live *ir.Live, sc *Scratch) *Graph {
+	var g *Graph
+	if sc != nil {
+		g = sc.graph(v.NumVars())
+	} else {
+		g = NewGraph(v.NumVars())
+	}
 	for bi := range live.CFG.Blocks {
 		if !live.CFG.Reachable(bi) {
 			continue

@@ -1,0 +1,135 @@
+package regalloc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// prepSources cover the shapes that matter for prepared re-coloring:
+// plain pressure, wide variables, and a spill-forcing mix with shared
+// headroom.
+var prepSources = []string{
+	pressureSrc,
+	`
+.kernel wide
+.blockdim 32
+.func main
+  MOVI v0, 64
+  LDG.64 v2, [v0]
+  FADD v4, v2, v2
+  MOV.64 v6, v4
+  STG.64 [v0+8], v6
+  EXIT
+`,
+	`
+.kernel spilly
+.blockdim 32
+.shared 64
+.func main
+  MOVI v0, 1
+  MOVI v1, 2
+  MOVI v2, 3
+  MOVI v3, 4
+  MOVI v4, 5
+  MOVI v5, 6
+  MOVI v6, 7
+  IADD v7, v0, v1
+  IADD v8, v7, v2
+  IADD v9, v8, v3
+  IADD v10, v9, v4
+  IADD v11, v10, v5
+  IADD v12, v11, v6
+  STG [v12], v12
+  EXIT
+`,
+}
+
+// sameAlloc asserts two Chaitin-loop results are byte-identical: same
+// rewritten function, same round count, same web count and colors.
+func sameAlloc(t *testing.T, want, got *Alloc) {
+	t.Helper()
+	if want.Rounds != got.Rounds {
+		t.Fatalf("Rounds = %d, want %d", got.Rounds, want.Rounds)
+	}
+	if !reflect.DeepEqual(want.Res.Color, got.Res.Color) {
+		t.Fatalf("colors differ:\n got %v\nwant %v", got.Res.Color, want.Res.Color)
+	}
+	wf, err := Rewrite(want.Vars, want.Res)
+	if err != nil {
+		t.Fatalf("Rewrite(want): %v", err)
+	}
+	gf, err := Rewrite(got.Vars, got.Res)
+	if err != nil {
+		t.Fatalf("Rewrite(got): %v", err)
+	}
+	if !reflect.DeepEqual(wf, gf) {
+		t.Fatalf("rewritten functions differ:\n got %+v\nwant %+v", gf, wf)
+	}
+}
+
+// TestReColorMatchesRun checks that Prepare + ReColor produces exactly
+// the allocation the monolithic Run produces, at every budget from
+// spill-heavy to roomy, including repeated ReColor calls on one Prep
+// (the ladder's usage pattern: shared analyses, per-budget coloring).
+func TestReColorMatchesRun(t *testing.T) {
+	for _, src := range prepSources {
+		p, err := isa.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		f := p.Entry()
+		pr, err := Prepare(f)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		for c := 3; c <= 16; c++ {
+			for _, sb := range []int{0, 4} {
+				want, errRun := Run(f, c, sb)
+				got, errRC := pr.ReColor(c, sb)
+				if (errRun == nil) != (errRC == nil) {
+					t.Fatalf("%s c=%d sb=%d: Run err=%v, ReColor err=%v", f.Name, c, sb, errRun, errRC)
+				}
+				if errRun != nil {
+					continue
+				}
+				sameAlloc(t, want, got)
+				// A second ReColor on the same Prep must not be perturbed by
+				// scratch-buffer reuse from the first.
+				again, err := pr.ReColor(c, sb)
+				if err != nil {
+					t.Fatalf("%s c=%d sb=%d: second ReColor: %v", f.Name, c, sb, err)
+				}
+				sameAlloc(t, want, again)
+			}
+		}
+	}
+}
+
+// TestPrepareSharesAnalyses checks the Prep invariant the ladder relies
+// on: ReColor at a spill-forcing budget must not corrupt the prepared
+// round-0 state for a later roomy budget.
+func TestPrepareSharesAnalyses(t *testing.T) {
+	p, err := isa.Parse(pressureSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := p.Entry()
+	pr, err := Prepare(f)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	roomy, err := pr.ReColor(16, 0)
+	if err != nil {
+		t.Fatalf("ReColor(16): %v", err)
+	}
+	if _, err := pr.ReColor(3, 8); err != nil { // forces spill rounds
+		t.Fatalf("ReColor(3): %v", err)
+	}
+	after, err := pr.ReColor(16, 0)
+	if err != nil {
+		t.Fatalf("ReColor(16) after spilling: %v", err)
+	}
+	sameAlloc(t, roomy, after)
+}

@@ -1,0 +1,68 @@
+package regalloc
+
+import "repro/internal/ir"
+
+// Scratch holds grow-only buffers reused across the rounds of one Chaitin
+// loop: the interference graph's adjacency slab and the coloring phase's
+// per-variable work arrays. Rounds of the same run have similar variable
+// counts, so reusing the buffers removes the per-round reallocation the
+// loop otherwise pays. A zero Scratch is ready to use; a Scratch must not
+// be shared between concurrent runs, and graphs built through it are only
+// valid until the next round (retained graphs — a Prep's — use NewGraph).
+type Scratch struct {
+	words []uint64
+	adj   []ir.BitSet
+	bools []bool
+	ints  []int
+}
+
+// graph carves an n-variable interference graph out of the scratch slab,
+// clearing whatever the previous round left behind.
+func (sc *Scratch) graph(n int) *Graph {
+	wpr := (n + 63) / 64 // words per row
+	need := n * wpr
+	if cap(sc.words) < need {
+		sc.words = make([]uint64, need)
+	} else {
+		sc.words = sc.words[:need]
+		clear(sc.words)
+	}
+	if cap(sc.adj) < n {
+		sc.adj = make([]ir.BitSet, n)
+	} else {
+		sc.adj = sc.adj[:n]
+	}
+	for i := 0; i < n; i++ {
+		sc.adj[i] = ir.BitSet(sc.words[i*wpr : (i+1)*wpr : (i+1)*wpr])
+	}
+	return &Graph{N: n, adj: sc.adj}
+}
+
+// boolRows3 returns three cleared bool slices of length n each, backed by
+// one grow-only buffer (the coloring phase's precolored/inG/removed sets).
+func (sc *Scratch) boolRows3(n int) (a, b, c []bool) {
+	need := 3 * n
+	if cap(sc.bools) < need {
+		sc.bools = make([]bool, need)
+	} else {
+		sc.bools = sc.bools[:need]
+		for i := range sc.bools {
+			sc.bools[i] = false
+		}
+	}
+	return sc.bools[0:n:n], sc.bools[n : 2*n : 2*n], sc.bools[2*n : 3*n : 3*n]
+}
+
+// intRow returns one zeroed int slice of length n, backed by a grow-only
+// buffer.
+func (sc *Scratch) intRow(n int) []int {
+	if cap(sc.ints) < n {
+		sc.ints = make([]int, n)
+	} else {
+		sc.ints = sc.ints[:n]
+		for i := range sc.ints {
+			sc.ints[i] = 0
+		}
+	}
+	return sc.ints
+}

@@ -152,6 +152,12 @@ type Alloc struct {
 	Vars *ir.Vars
 	Live *ir.Live
 	Res  *Result
+	// Rounds is how many Chaitin rounds the loop took. 1 means the
+	// round-0 coloring succeeded without spilling — the precondition for
+	// the occupancy ladder's cross-budget reuse (the allocation then never
+	// touched the shared-slot budget and, above the Prep's trivial
+	// threshold, never depended on the register budget's headroom).
+	Rounds int
 }
 
 // Run performs the full Chaitin loop on a function: split webs, color with
@@ -170,7 +176,7 @@ func RunCtx(f *isa.Function, c, sharedBudget int, x obs.Ctx) (*Alloc, error) {
 		obs.String("func", f.Name),
 		obs.Int("reg_budget", c),
 		obs.Int("shared_budget", sharedBudget))
-	a, rounds, spilled, err := run(f, c, sharedBudget, sp.Ctx())
+	a, rounds, spilled, err := run(f, nil, c, sharedBudget, sp.Ctx())
 	if err != nil {
 		sp.SetAttr(obs.String("error", err.Error()))
 	} else {
@@ -184,23 +190,38 @@ func RunCtx(f *isa.Function, c, sharedBudget int, x obs.Ctx) (*Alloc, error) {
 	return a, err
 }
 
-func run(f *isa.Function, c, sharedBudget int, x obs.Ctx) (a *Alloc, rounds, spilled int, err error) {
+// run is the Chaitin loop shared by RunCtx and Prep.ReColorCtx. With a
+// non-nil prep, round 0 consumes the prepared (budget-independent)
+// webs/liveness/graph/costs instead of rebuilding them; spill rounds
+// always re-derive them, since inserted spill code changes the function.
+// Scratch buffers are reused across rounds within one call.
+func run(f *isa.Function, pr *Prep, c, sharedBudget int, x obs.Ctx) (a *Alloc, rounds, spilled int, err error) {
 	cur := f
+	var sc Scratch
 	const maxRounds = 32
 	for round := 0; round < maxRounds; round++ {
 		rounds = round + 1
-		wsp := x.Span("webs", obs.Int("round", round))
-		v, err := ir.SplitWebs(cur)
-		wsp.End()
-		if err != nil {
-			return nil, rounds, spilled, err
+		var v *ir.Vars
+		var live *ir.Live
+		var g *Graph
+		var cm *CostModel
+		if round == 0 && pr != nil {
+			v, live, g, cm = pr.Vars, pr.Live, pr.Graph, pr.Costs
+		} else {
+			wsp := x.Span("webs", obs.Int("round", round))
+			v, err = ir.SplitWebs(cur)
+			wsp.End()
+			if err != nil {
+				return nil, rounds, spilled, err
+			}
+			lsp := x.Span("liveness", obs.Int("round", round))
+			live = ir.ComputeLiveness(v)
+			lsp.End()
+			g = buildInterferenceInto(v, live, &sc)
+			cm = BuildCostModel(v)
 		}
-		lsp := x.Span("liveness", obs.Int("round", round))
-		live := ir.ComputeLiveness(v)
-		lsp.End()
 		csp := x.Span("color", obs.Int("round", round), obs.Int("webs", len(v.Defs)))
-		g := BuildInterference(v, live)
-		res, err := Allocate(v, g, c)
+		res, err := allocate(v, g, cm, c, &sc)
 		if err != nil {
 			csp.End()
 			return nil, rounds, spilled, err
@@ -208,7 +229,7 @@ func run(f *isa.Function, c, sharedBudget int, x obs.Ctx) (a *Alloc, rounds, spi
 		csp.SetAttr(obs.Int("spilled", len(res.Spilled)))
 		csp.End()
 		if len(res.Spilled) == 0 {
-			return &Alloc{Vars: v, Live: live, Res: res}, rounds, spilled, nil
+			return &Alloc{Vars: v, Live: live, Res: res, Rounds: rounds}, rounds, spilled, nil
 		}
 		spilled += len(res.Spilled)
 		budget := sharedBudget - (cur.SpillShared - f.SpillShared)

@@ -98,6 +98,12 @@ type (
 	// CacheSnapshot reports the process-wide memo caches' hit/miss
 	// counters.
 	CacheSnapshot = core.CacheSnapshot
+	// LadderCounters reports the occupancy-ladder realization counters
+	// (levels reused, colorings re-run, realizations pruned).
+	LadderCounters = core.LadderCounters
+	// Ladder realizes one program across all occupancy levels through a
+	// shared set of middle-end analyses (Realizer.NewLadder).
+	Ladder = core.Ladder
 )
 
 // Cache configurations (paper Table 3).
@@ -264,6 +270,9 @@ func NewCollector() *Collector { return obs.New() }
 // SnapshotCacheCounters reads the process-wide realize/run memo-cache
 // counters.
 func SnapshotCacheCounters() CacheSnapshot { return core.SnapshotCacheCounters() }
+
+// LadderStats reads the process-wide occupancy-ladder counters.
+func LadderStats() LadderCounters { return core.LadderStats() }
 
 // ResetCacheCounters zeroes the memo-cache counters without dropping
 // entries, so a warm process can report per-invocation numbers.
