@@ -77,6 +77,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	noCache := fs.Bool("nocache", false, "disable the realization cache (recompile every version)")
 	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
+	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
@@ -107,9 +108,14 @@ func run(args []string) error {
 	// invocation, even when the process (or a test binary) is warm.
 	core.ResetCacheCounters()
 
+	lintMode, err := orion.ParseLintMode(*lintFlag)
+	if err != nil {
+		return err
+	}
 	s := orion.NewSuite(*scale)
 	s.Parallel = *parallel
 	s.Verify = *verify
+	s.Lint = lintMode
 	if *progress {
 		s.Progress = os.Stderr
 	}

@@ -25,8 +25,17 @@
 //	orion predict  -kernel ...
 //	    Compare the MWP-CWP analytical model (Hong & Kim, the paper's
 //	    references [12]/[13]) against the simulator per occupancy level.
+//	orion lint     -kernel ... [-realized]
+//	    Run the SIMT static analyzer (divergent barriers, shared-memory
+//	    races, definite-use checks) on the input program and, with
+//	    -realized, on every realized occupancy level. Exits nonzero when
+//	    error-severity findings exist.
 //	orion list
 //	    List the built-in benchmark kernels.
+//
+// All compiling subcommands accept -lint strict|warn|off (default
+// strict): strict rejects programs whose analysis has error-severity
+// findings before compiling them.
 //
 // Observability (compile, tune, sweep, run):
 //
@@ -77,6 +86,8 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
 	explain := fs.Bool("explain", false, "for 'tune': print one line per tuning iteration explaining the decision")
 	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
+	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
+	realized := fs.Bool("realized", false, "for 'lint': also analyze every realized occupancy level")
 
 	if cmd == "list" {
 		ks, err := orion.Benchmarks()
@@ -122,12 +133,20 @@ func run(args []string, out io.Writer) error {
 	if *iters > 0 {
 		iterations = *iters
 	}
+	lintMode, err := orion.ParseLintMode(*lintFlag)
+	if err != nil {
+		return err
+	}
 	r := orion.NewRealizer(dev, cc)
 	r.Obs = col
 	r.Verify = *verify
+	r.Lint = lintMode
 
 	dispatch := func() error {
 		switch cmd {
+		case "lint":
+			return runLint(out, r, prog, dev, *realized)
+
 		case "compile":
 			cr, err := r.Compile(prog, iterations > 1)
 			if err != nil {
@@ -302,6 +321,57 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return writeObsOutputs(col, *traceOut, *metricsOut)
+}
+
+// runLint implements the lint subcommand: analyze the input program and,
+// when realized is set, every realized occupancy level; print findings in
+// deterministic order and fail when any error-severity finding exists.
+func runLint(out io.Writer, r *orion.Realizer, prog *orion.Program, dev *orion.Device, realized bool) error {
+	total, nerr := 0, 0
+	report := func(scope string, diags []orion.Diagnostic) {
+		if len(diags) == 0 {
+			fmt.Fprintf(out, "%s: clean\n", scope)
+			return
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s\n", scope, d.String())
+			total++
+			if d.Sev == orion.SevError {
+				nerr++
+			}
+		}
+	}
+	report("lint "+prog.Name, orion.AnalyzeKernel(prog))
+	if realized {
+		// Realize with the gate off — the point is to report findings, not
+		// to abort on the first bad level.
+		rr := *r
+		rr.Lint = orion.LintOff
+		lad := rr.NewLadder(prog)
+		for _, lvl := range orion.OccupancyLevels(dev, prog.BlockDim) {
+			v, err := lad.Realize(lvl)
+			if err != nil {
+				fmt.Fprintf(out, "lint %s@%d: not realizable (%v)\n", prog.Name, lvl, err)
+				continue
+			}
+			report(fmt.Sprintf("lint %s@%d", prog.Name, lvl), orion.AnalyzeKernel(v.Prog))
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(out, "%d finding", total)
+		if total != 1 {
+			fmt.Fprint(out, "s")
+		}
+		fmt.Fprintf(out, " (%d error", nerr)
+		if nerr != 1 {
+			fmt.Fprint(out, "s")
+		}
+		fmt.Fprintln(out, ")")
+	}
+	if nerr > 0 {
+		return fmt.Errorf("lint: %d error-severity finding(s)", nerr)
+	}
+	return nil
 }
 
 // printDecisions renders the tuner's per-iteration decision log (the

@@ -161,3 +161,67 @@ func TestListAndUnknownSubcommand(t *testing.T) {
 		t.Error("unknown subcommand did not error")
 	}
 }
+
+// TestLintCleanKernel is the golden test for `orion lint` on a clean
+// kernel: exactly the clean line, exit success.
+func TestLintCleanKernel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"lint", "-kernel", "FDTD3d"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "lint FDTD3d: clean\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+// TestLintRealizedLadder checks the -realized walk: one clean line for
+// the input plus one per realizable occupancy level.
+func TestLintRealizedLadder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"lint", "-kernel", "matrixMul", "-realized"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "lint matrixMul: clean\n") {
+		t.Errorf("missing input clean line in:\n%s", got)
+	}
+	levels := regexp.MustCompile(`(?m)^lint matrixMul@(\d+): clean$`).FindAllString(got, -1)
+	if len(levels) < 2 {
+		t.Errorf("expected clean lines for multiple realized levels, got:\n%s", got)
+	}
+	if strings.Contains(got, "finding") {
+		t.Errorf("clean ladder reported findings:\n%s", got)
+	}
+}
+
+// TestLintDefectKernel is the golden test for the failure side: the
+// diagnostic line with its code, the summary, and a nonzero exit.
+func TestLintDefectKernel(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"lint", "-file", filepath.Join("..", "..", "internal", "kernels", "testdata", "defects", "shared_race.oasm")}, &buf)
+	if err == nil {
+		t.Fatal("lint of a racing kernel did not fail")
+	}
+	got := buf.String()
+	if !regexp.MustCompile(`(?m)^lint shared_race: SA-RACE error main\[\d+\] block \d+: .+$`).MatchString(got) {
+		t.Errorf("missing SA-RACE diagnostic line in:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^1 finding \(1 error\)$`).MatchString(got) {
+		t.Errorf("missing summary line in:\n%s", got)
+	}
+}
+
+// TestCompileLintGate: `orion compile` on a defect kernel must fail under
+// the default strict gate and pass with -lint=off.
+func TestCompileLintGate(t *testing.T) {
+	defect := filepath.Join("..", "..", "internal", "kernels", "testdata", "defects", "divergent_barrier.oasm")
+	var buf bytes.Buffer
+	err := run([]string{"compile", "-file", defect}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "SA-BAR-DIV") {
+		t.Errorf("strict compile error = %v, want SA-BAR-DIV rejection", err)
+	}
+	buf.Reset()
+	if err := run([]string{"compile", "-file", defect, "-lint", "off", "-verify=false"}, &buf); err != nil {
+		t.Errorf("compile -lint=off = %v, want success", err)
+	}
+}

@@ -38,6 +38,10 @@ type Suite struct {
 	// realized version (see internal/verify). On by default; orion-bench
 	// exposes -verify=false to opt out.
 	Verify bool
+	// Lint gates compilation on the static analyzer (internal/sa): strict
+	// (the default) rejects kernels with error-severity findings, warn
+	// records them, off skips analysis. orion-bench exposes -lint.
+	Lint core.LintMode
 
 	mu sync.Mutex // serializes Progress writes from workers
 }
@@ -47,7 +51,7 @@ func New(scale float64) *Suite {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Suite{Scale: scale, Verify: true}
+	return &Suite{Scale: scale, Verify: true, Lint: core.LintStrict}
 }
 
 func (s *Suite) logf(format string, args ...interface{}) {
@@ -148,6 +152,7 @@ func (s *Suite) realizer(d *device.Device, cc device.CacheConfig) *core.Realizer
 	r := core.NewRealizer(d, cc)
 	r.Obs = s.Obs
 	r.Verify = s.Verify
+	r.Lint = s.Lint
 	return r
 }
 

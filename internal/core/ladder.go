@@ -170,6 +170,11 @@ func (l *Ladder) RealizeCtx(targetWarps int, x obs.Ctx) (*Version, error) {
 			return nil, verr
 		}
 	}
+	if err == nil {
+		if lerr := l.r.lintProgram(v.Prog, targetWarps, x); lerr != nil {
+			return nil, lerr
+		}
+	}
 	return v, err
 }
 

@@ -150,6 +150,9 @@ func (r *Realizer) compile(p *isa.Program, canTune bool, x obs.Ctx) (*CompileRes
 	if err != nil {
 		return nil, err
 	}
+	if err := r.lintProgram(p, 0, x); err != nil {
+		return nil, err
+	}
 	lad := r.NewLadder(p)
 	msp := x.Span("maxlive")
 	ml, err := lad.maxLive(msp.Ctx())

@@ -86,11 +86,17 @@ type Realizer struct {
 	// compile with a *VerifyError instead of shipping a bad binary.
 	// NewRealizer turns it on; pass -verify=false to the CLIs to opt out.
 	Verify bool
+	// Lint selects how the static analyzer (internal/sa) gates
+	// compilation: strict rejects input programs and realized versions
+	// with error-severity findings (divergent barriers, shared races) via
+	// *AnalysisError, warn only records diagnostics, off skips analysis.
+	// NewRealizer defaults to LintStrict; the CLIs expose -lint.
+	Lint LintMode
 }
 
 // NewRealizer returns a Realizer with the full optimization set.
 func NewRealizer(d *device.Device, cc device.CacheConfig) *Realizer {
-	return &Realizer{Dev: d, Cache: cc, Interproc: interproc.DefaultOptions(), Verify: true}
+	return &Realizer{Dev: d, Cache: cc, Interproc: interproc.DefaultOptions(), Verify: true, Lint: LintStrict}
 }
 
 // ErrInfeasible reports that a target occupancy cannot be realized.

@@ -29,6 +29,18 @@ func (b BitSet) OrWith(src BitSet) bool {
 	return changed
 }
 
+// AndWith intersects src into b and reports whether b changed.
+func (b BitSet) AndWith(src BitSet) bool {
+	changed := false
+	for i, w := range src {
+		if nw := b[i] & w; nw != b[i] {
+			b[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
 // CopyFrom overwrites b with src.
 func (b BitSet) CopyFrom(src BitSet) { copy(b, src) }
 

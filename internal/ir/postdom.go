@@ -1,0 +1,147 @@
+package ir
+
+// Post-dominance and control dependence over the CFG, used by the static
+// SIMT analyzer (internal/sa) to decide which branches govern a barrier.
+//
+// The CFG is augmented with a virtual exit node (index len(cfg.Blocks))
+// that every terminating block edges to, so functions with several EXIT/
+// RET blocks still have a single post-dominator tree root.
+
+// PostDominators computes the immediate post-dominator of every block
+// with the Cooper-Harvey-Kennedy iteration on the reversed graph. The
+// returned slice has len(cfg.Blocks)+1 entries; the last is the virtual
+// exit, which post-dominates itself. Blocks that cannot reach any
+// terminating block (regions that loop forever) and blocks unreachable
+// from the entry get -1: post-dominance is undefined for them and
+// callers must treat them conservatively.
+func PostDominators(cfg *CFG) []int {
+	n := len(cfg.Blocks)
+	exit := n
+
+	// Terminating blocks: reachable blocks with no successors.
+	var term []int
+	for _, bi := range cfg.RPO {
+		if len(cfg.Blocks[bi].Succs) == 0 {
+			term = append(term, bi)
+		}
+	}
+
+	// Postorder of the reversed graph from the virtual exit. Reversed
+	// edges run exit -> terminators and block -> its forward predecessors.
+	visited := make([]bool, n+1)
+	post := make([]int, 0, n+1)
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		if b == exit {
+			for _, t := range term {
+				if !visited[t] {
+					dfs(t)
+				}
+			}
+		} else {
+			for _, p := range cfg.Blocks[b].Preds {
+				if !visited[p] {
+					dfs(p)
+				}
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(exit)
+
+	order := make([]int, n+1)
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range post {
+		order[b] = i
+	}
+
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] < order[b] {
+				a = ipdom[a]
+			}
+			for order[b] < order[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder of the reversed graph: walk post backwards.
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i]
+			if b == exit {
+				continue
+			}
+			newIdom := -1
+			consider := func(p int) {
+				if ipdom[p] == -1 {
+					return
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			// Reversed-graph predecessors of b: its forward successors,
+			// plus the virtual exit when b terminates.
+			for _, s := range cfg.Blocks[b].Succs {
+				consider(s)
+			}
+			if len(cfg.Blocks[b].Succs) == 0 {
+				consider(exit)
+			}
+			if newIdom != -1 && ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// ControlDeps returns, per block, the branch blocks it is directly
+// control-dependent on (Ferrante–Ottenstein–Warren over the
+// post-dominator tree): block B depends on branch block A when A has a
+// successor S such that B post-dominates S (or B == S) but B does not
+// strictly post-dominate A. ipdom must come from PostDominators on the
+// same CFG. Blocks whose post-dominator chain is undefined (-1) collect
+// the dependencies discovered before the chain breaks; callers needing
+// soundness there must additionally treat ipdom[B] == -1 blocks as
+// dependent on every branch.
+func ControlDeps(cfg *CFG, ipdom []int) [][]int {
+	n := len(cfg.Blocks)
+	exit := n
+	cd := make([][]int, n)
+	seen := make([]int, n) // last branch recorded per block, to dedupe
+	for i := range seen {
+		seen[i] = -1
+	}
+	for _, a := range cfg.RPO {
+		if len(cfg.Blocks[a].Succs) < 2 {
+			continue
+		}
+		stop := ipdom[a]
+		for _, s := range cfg.Blocks[a].Succs {
+			for r := s; r != -1 && r != exit && r != stop; r = ipdom[r] {
+				if seen[r] != a {
+					seen[r] = a
+					cd[r] = append(cd[r], a)
+				}
+			}
+		}
+	}
+	return cd
+}

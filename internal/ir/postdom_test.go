@@ -1,0 +1,83 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestPostDominatorsDiamond checks the classic diamond: both arms are
+// post-dominated by the join, the join by the virtual exit, and neither
+// arm post-dominates the branch block.
+func TestPostDominatorsDiamond(t *testing.T) {
+	p := isa.MustParse(`
+.kernel diamond
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, a
+  MOVI v3, 1
+  BRA join
+a:
+  MOVI v3, 2
+join:
+  STG [v0], v3
+  EXIT
+`)
+	cfg := BuildCFG(p.Entry())
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(cfg.Blocks))
+	}
+	ipdom := PostDominators(cfg)
+	exit := len(cfg.Blocks)
+	// Block 0 branches, 1 is the fallthrough arm, 2 the taken arm, 3 the join.
+	want := []int{3, 3, 3, exit}
+	for b, w := range want {
+		if ipdom[b] != w {
+			t.Errorf("ipdom[%d] = %d, want %d", b, ipdom[b], w)
+		}
+	}
+	if ipdom[exit] != exit {
+		t.Errorf("ipdom[exit] = %d, want %d (itself)", ipdom[exit], exit)
+	}
+
+	cd := ControlDeps(cfg, ipdom)
+	for _, arm := range []int{1, 2} {
+		if len(cd[arm]) != 1 || cd[arm][0] != 0 {
+			t.Errorf("control deps of block %d = %v, want [0]", arm, cd[arm])
+		}
+	}
+	if len(cd[3]) != 0 {
+		t.Errorf("join block has control deps %v, want none", cd[3])
+	}
+}
+
+// TestPostDominatorsInfiniteLoop checks that a block which can never
+// reach the exit reports no post-dominator (-1), while the path that can
+// is post-dominated normally.
+func TestPostDominatorsInfiniteLoop(t *testing.T) {
+	p := isa.MustParse(`
+.kernel spin
+.blockdim 32
+.func main
+  MOVI v0, 1
+  CBR v0, spin
+  EXIT
+spin:
+  BRA spin
+`)
+	cfg := BuildCFG(p.Entry())
+	ipdom := PostDominators(cfg)
+	exit := len(cfg.Blocks)
+	if ipdom[0] != 1 {
+		t.Errorf("ipdom[0] = %d, want 1 (the EXIT block)", ipdom[0])
+	}
+	if ipdom[1] != exit {
+		t.Errorf("ipdom[1] = %d, want exit %d", ipdom[1], exit)
+	}
+	if ipdom[2] != -1 {
+		t.Errorf("ipdom[2] = %d, want -1 (never reaches exit)", ipdom[2])
+	}
+}

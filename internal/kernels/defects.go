@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+//go:embed testdata/defects/*.oasm
+var defectFS embed.FS
+
+// Defect is one seeded-defect kernel from testdata/defects: a minimal
+// program exhibiting one class of static-analysis finding. The expected
+// diagnostic code is declared in the source on a "; expect: CODE" line.
+type Defect struct {
+	Name   string
+	Source string
+	Prog   *isa.Program
+	Expect string // expected diagnostic code, e.g. "SA-RACE"
+}
+
+// Defects loads the seeded defect corpus, sorted by name. Every program
+// parses and validates: the defects are semantic (deadlocks, races,
+// uninitialized reads), not structural.
+func Defects() ([]Defect, error) {
+	entries, err := defectFS.ReadDir("testdata/defects")
+	if err != nil {
+		return nil, err
+	}
+	var out []Defect
+	for _, e := range entries {
+		data, err := defectFS.ReadFile("testdata/defects/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		src := string(data)
+		expect := ""
+		for _, line := range strings.Split(src, "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "; expect:"); ok {
+				expect = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if expect == "" {
+			return nil, fmt.Errorf("kernels: defect %s has no \"; expect:\" line", e.Name())
+		}
+		p, err := isa.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: defect %s: %w", e.Name(), err)
+		}
+		if err := isa.Validate(p); err != nil {
+			return nil, fmt.Errorf("kernels: defect %s: %w", e.Name(), err)
+		}
+		out = append(out, Defect{
+			Name:   strings.TrimSuffix(e.Name(), ".oasm"),
+			Source: src,
+			Prog:   p,
+			Expect: expect,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package sa
+
+// Barrier-divergence check: a BAR synchronizes the threads of a block,
+// so every thread must reach it the same number of times. A barrier
+// point (an OpBar, or a call that can execute one) that is transitively
+// control-dependent on a divergent branch can be reached by only part of
+// the block — a potential deadlock on real hardware. Control dependence
+// comes from the post-dominator tree (ir.PostDominators/ir.ControlDeps);
+// the closure is transitive because a divergent branch anywhere up the
+// control-dependence chain already splits the set of threads that
+// arrive.
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func (fa *funcAnalysis) checkBarriers(divergent []bool, barrierPCs []int) {
+	if len(barrierPCs) == 0 {
+		return
+	}
+	anyDiv := false
+	for _, d := range divergent {
+		if d {
+			anyDiv = true
+			break
+		}
+	}
+	if !anyDiv {
+		return
+	}
+	ipdom := ir.PostDominators(fa.cfg)
+	cd := ir.ControlDeps(fa.cfg, ipdom)
+	n := len(fa.cfg.Blocks)
+
+	for _, pc := range barrierPCs {
+		bi := fa.cfg.BlockOf[pc]
+		if bi < 0 {
+			continue // unreachable; reported separately
+		}
+		bad := -1
+		if ipdom[bi] == -1 {
+			// The barrier sits in a region that cannot reach the function
+			// exit; post-dominance is undefined there, so conservatively
+			// any divergent branch is assumed to control it.
+			for b, d := range divergent {
+				if d {
+					bad = b
+					break
+				}
+			}
+		}
+		// Transitive control-dependence closure from the barrier's block.
+		seen := make([]bool, n)
+		seen[bi] = true
+		stack := []int{bi}
+		for len(stack) > 0 && bad < 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range cd[b] {
+				if divergent[a] {
+					bad = a
+					break
+				}
+				if !seen[a] {
+					seen[a] = true
+					stack = append(stack, a)
+				}
+			}
+		}
+		if bad < 0 {
+			continue
+		}
+		what := "BAR"
+		if in := &fa.f.Instrs[pc]; in.Op == isa.OpCall {
+			callee := "?"
+			if t := int(in.Tgt); t >= 0 && t < len(fa.p.Funcs) {
+				callee = fa.p.Funcs[t].Name
+			}
+			what = fmt.Sprintf("call to %q (which executes BAR)", callee)
+		}
+		branchPC := fa.cfg.Blocks[bad].End - 1
+		fa.addDiag(CodeBarDiv, bi, pc, fmt.Sprintf(
+			"%s is control-dependent on the divergent branch at [%d] (block %d): part of the block may never arrive",
+			what, branchPC, bad))
+	}
+}

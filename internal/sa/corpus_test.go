@@ -1,0 +1,131 @@
+package sa_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+	"repro/internal/sa"
+)
+
+// TestPaperKernelsClean: every paper-suite kernel must analyze with zero
+// findings of any severity — the suite is the analyzer's "no false
+// positives" corpus.
+func TestPaperKernelsClean(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		if diags := sa.Analyze(k.Prog); len(diags) != 0 {
+			t.Errorf("%s: %d findings on a clean kernel:", k.Name, len(diags))
+			for _, d := range diags {
+				t.Errorf("  %s", d)
+			}
+		}
+	}
+}
+
+// TestRealizedVersionsClean: every realized version of every paper
+// kernel, at every occupancy level on both devices, must also analyze
+// clean — realization (spill code, compressed stacks, rematerialized
+// constants, coalesced copies) must not manufacture findings.
+func TestRealizedVersionsClean(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := []device.CacheConfig{device.SmallCache}
+	if !testing.Short() {
+		caches = append(caches, device.LargeCache)
+	}
+	for _, d := range device.Both() {
+		for _, cc := range caches {
+			r := core.NewRealizer(d, cc)
+			r.Verify = false
+			r.Lint = core.LintOff // analyze explicitly below
+			for _, k := range ks {
+				lad := r.NewLadder(k.Prog)
+				for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+					v, err := lad.Realize(lvl)
+					if err != nil {
+						continue // infeasible level
+					}
+					if diags := sa.Analyze(v.Prog); len(diags) != 0 {
+						t.Errorf("%s/%v %s@%d: %d findings on a realized version:",
+							d.Name, cc, k.Name, lvl, len(diags))
+						for _, diag := range diags {
+							t.Errorf("  %s", diag)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDefectsCaught: each seeded defect kernel must produce its declared
+// diagnostic code; the defect corpus is the analyzer's "no false
+// negatives" side.
+func TestDefectsCaught(t *testing.T) {
+	defects, err := kernels.Defects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defects) < 6 {
+		t.Fatalf("defect corpus has %d kernels, want at least 6", len(defects))
+	}
+	seen := map[string]bool{}
+	for _, d := range defects {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			diags := sa.Analyze(d.Prog)
+			found := false
+			for _, diag := range diags {
+				if diag.Code == d.Expect {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("expected %s, got %d findings:", d.Expect, len(diags))
+				for _, diag := range diags {
+					t.Errorf("  %s", diag)
+				}
+			}
+			seen[d.Expect] = true
+		})
+	}
+	// The corpus must cover every diagnostic code the analyzer can emit.
+	for _, code := range []string{
+		sa.CodeBarDiv, sa.CodeRace, sa.CodeAddrUnknown,
+		sa.CodeUninit, sa.CodeDeadStore, sa.CodeUnreachable,
+	} {
+		if !seen[code] {
+			t.Errorf("no defect kernel exercises %s", code)
+		}
+	}
+}
+
+// TestDefectDiagnosticShape: diagnostics carry printable locations (the
+// CLI and obs exports render them verbatim).
+func TestDefectDiagnosticShape(t *testing.T) {
+	defects, err := kernels.Defects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range defects {
+		for _, diag := range sa.Analyze(d.Prog) {
+			if diag.Func == "" || diag.PC < 0 || diag.Block < 0 || diag.Detail == "" {
+				t.Errorf("%s: malformed diagnostic %+v", d.Name, diag)
+			}
+			if s := diag.String(); s == "" {
+				t.Errorf("%s: empty rendering for %+v", d.Name, diag)
+			}
+			_ = fmt.Sprintf("%v", diag)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sa_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/sa"
+	"repro/internal/verify"
+)
+
+const oracleStepLimit = 4_000_000
+
+// TestOracleAgreesOnCleanKernels cross-checks the analyzer against the
+// dynamic block oracle: a kernel the analyzer passes with no findings
+// must execute one block without a dynamic barrier divergence or shared
+// race on the executed path. This catches analyzer unsoundness the unit
+// tests cannot (a missed race class would eventually surface here).
+func TestOracleAgreesOnCleanKernels(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		if len(sa.Analyze(k.Prog)) != 0 {
+			continue // only diagnostic-free kernels carry the guarantee
+		}
+		vs, err := verify.BlockOracle(k.Prog, oracleStepLimit)
+		if err != nil {
+			t.Errorf("%s: oracle failed: %v", k.Name, err)
+			continue
+		}
+		for _, v := range vs {
+			t.Errorf("%s: analyzer found nothing but the oracle observed: %s", k.Name, v)
+		}
+	}
+}
+
+// TestOracleAgreesOnRealizedVersions runs the same cross-check on a
+// realized binary per device (the lowest occupancy level, the version
+// with the richest spill/compress code).
+func TestOracleAgreesOnRealizedVersions(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range device.Both() {
+		r := core.NewRealizer(d, device.SmallCache)
+		r.Verify = false
+		r.Lint = core.LintOff
+		for _, k := range ks {
+			v, err := r.Realize(k.Prog, 8) // level 8: the densest spill code
+			if err != nil {
+				continue
+			}
+			if len(sa.Analyze(v.Prog)) != 0 {
+				continue
+			}
+			vs, err := verify.BlockOracle(v.Prog, oracleStepLimit)
+			if err != nil {
+				t.Errorf("%s %s@8: oracle failed: %v", d.Name, k.Name, err)
+				continue
+			}
+			for _, viol := range vs {
+				t.Errorf("%s %s@8: clean analysis but dynamic violation: %s", d.Name, k.Name, viol)
+			}
+		}
+	}
+}
+
+// TestOracleCoveredByStaticFindings: for each seeded defect kernel, any
+// corruption the oracle actually observes must be covered by a static
+// finding — the analyzer may warn more (it sees all paths), but never
+// less than what demonstrably happens.
+func TestOracleCoveredByStaticFindings(t *testing.T) {
+	defects, err := kernels.Defects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDynamic := 0
+	for _, dk := range defects {
+		diags := sa.Analyze(dk.Prog)
+		has := func(code string) bool {
+			for _, d := range diags {
+				if d.Code == code {
+					return true
+				}
+			}
+			return false
+		}
+		vs, err := verify.BlockOracle(dk.Prog, oracleStepLimit)
+		if err != nil {
+			t.Errorf("%s: oracle failed: %v", dk.Name, err)
+			continue
+		}
+		for _, v := range vs {
+			sawDynamic++
+			switch v.Invariant {
+			case "dyn-barrier-divergence":
+				if !has(sa.CodeBarDiv) {
+					t.Errorf("%s: oracle saw %s but no %s finding", dk.Name, v.Invariant, sa.CodeBarDiv)
+				}
+			case "dyn-shared-race":
+				// An abstention (unknown address) covers a race the
+				// analyzer could not decide statically.
+				if !has(sa.CodeRace) && !has(sa.CodeAddrUnknown) {
+					t.Errorf("%s: oracle saw %s but neither %s nor %s findings",
+						dk.Name, v.Invariant, sa.CodeRace, sa.CodeAddrUnknown)
+				}
+			default:
+				t.Errorf("%s: unexpected oracle invariant %q", dk.Name, v.Invariant)
+			}
+		}
+	}
+	// The barrier and race defects are constructed to corrupt dynamically,
+	// not just statically; the oracle must actually see them.
+	if sawDynamic < 3 {
+		t.Errorf("oracle observed only %d dynamic violations across the defect corpus, want >= 3", sawDynamic)
+	}
+}

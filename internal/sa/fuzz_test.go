@@ -1,0 +1,122 @@
+package sa_test
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sa"
+)
+
+// fuzzAnalyzable mirrors core's fuzzRealizable gate: inputs past these
+// sizes only burn fuzz budget without exercising new analyzer paths.
+func fuzzAnalyzable(p *isa.Program) bool {
+	if len(p.Funcs) > 8 || p.BlockDim > 1024 {
+		return false
+	}
+	total := 0
+	for _, f := range p.Funcs {
+		total += len(f.Instrs)
+		if f.NumVRegs > 512 {
+			return false
+		}
+	}
+	return total <= 512
+}
+
+// analyzeChecked runs the analyzer twice and asserts the contract fuzzing
+// protects: no panic, termination, and deterministic output.
+func analyzeChecked(t *testing.T, p *isa.Program) {
+	t.Helper()
+	first := sa.Analyze(p)
+	again := sa.Analyze(p)
+	if len(first) != len(again) {
+		t.Fatalf("analysis not deterministic: %d vs %d findings", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("analysis not deterministic at %d: %v vs %v", i, first[i], again[i])
+		}
+	}
+}
+
+// FuzzAnalyze feeds arbitrary decoded binaries to the analyzer. The
+// property is purely defensive: for every structurally valid program the
+// analyzer must terminate without panicking and produce deterministic
+// diagnostics — soundness is covered by the corpus and oracle tests.
+func FuzzAnalyze(f *testing.F) {
+	defects, err := kernels.Defects()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, d := range defects {
+		f.Add(isa.Encode(d.Prog))
+	}
+	if ks, err := kernels.All(); err == nil && len(ks) > 0 {
+		f.Add(isa.Encode(ks[0].Prog))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := isa.Decode(data)
+		if err != nil {
+			return
+		}
+		if isa.Validate(p) != nil {
+			return
+		}
+		if !fuzzAnalyzable(p) {
+			return
+		}
+		analyzeChecked(t, p)
+	})
+}
+
+// TestAnalyzeOnDecodeCorpus replays the decoder's checked-in fuzz corpus
+// through the analyzer: every program the decoder has ever tripped over
+// must also analyze without panicking.
+func TestAnalyzeOnDecodeCorpus(t *testing.T) {
+	dir := filepath.Join("..", "isa", "testdata", "fuzz", "FuzzDecode")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no decoder corpus: %v", err)
+	}
+	replayed := 0
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		input, ok := parseCorpusEntry(string(data))
+		if !ok {
+			t.Errorf("%s: cannot parse corpus entry", e.Name())
+			continue
+		}
+		p, err := isa.Decode(input)
+		if err != nil || isa.Validate(p) != nil || !fuzzAnalyzable(p) {
+			continue
+		}
+		analyzeChecked(t, p)
+		replayed++
+	}
+	t.Logf("replayed %d valid programs from %d corpus entries", replayed, len(entries))
+}
+
+// parseCorpusEntry extracts the []byte argument from a "go test fuzz v1"
+// corpus file.
+func parseCorpusEntry(s string) ([]byte, bool) {
+	lines := strings.Split(s, "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, false
+	}
+	arg := strings.TrimSpace(lines[1])
+	arg = strings.TrimPrefix(arg, "[]byte(")
+	arg = strings.TrimSuffix(arg, ")")
+	unq, err := strconv.Unquote(arg)
+	if err != nil {
+		return nil, false
+	}
+	return []byte(unq), true
+}

@@ -1,0 +1,200 @@
+package sa
+
+// Shared-memory race detection. Barriers partition execution into
+// intervals; two accesses to user shared memory conflict when some pair
+// of distinct threads can issue them inside the same interval with
+// overlapping byte ranges and at least one store.
+//
+// Interval co-occurrence is computed on instructions, not blocks: from
+// every interval start (function entry and the successor of every
+// barrier point) a DFS collects the accesses reachable without crossing
+// another barrier point; any two accesses in one such set can co-occur.
+// A barrier point is an OpBar or a call that can execute one.
+//
+// Address ranges come from the variance lattice. Constant and affine
+// addresses are analyzable; uniform and variant addresses are not, and
+// each such access gets one SA-ADDR-UNKNOWN abstention instead of
+// entering the pair analysis. Spill traffic (OpSpillSS/OpSpillSL) is
+// intentionally excluded: the hardware partitions spill slots
+// per-thread, so cross-thread disjointness holds by construction (the
+// dynamic verifier checks the per-thread slot layout separately).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// sharedAccess is one OpLdS/OpStS with its derived abstract address.
+type sharedAccess struct {
+	pc    int
+	block int
+	write bool
+	addr  val
+	bytes int64
+}
+
+func (fa *funcAnalysis) checkRaces(accesses []sharedAccess, barrierPCs []int) {
+	if len(accesses) == 0 {
+		return
+	}
+	// Split analyzable accesses from abstentions.
+	analyzable := make([]sharedAccess, 0, len(accesses))
+	accAt := make(map[int]int) // pc -> index into analyzable
+	for _, a := range accesses {
+		if a.addr.k == kConst || a.addr.k == kAffine {
+			accAt[a.pc] = len(analyzable)
+			analyzable = append(analyzable, a)
+			continue
+		}
+		op := "LDS"
+		if a.write {
+			op = "STS"
+		}
+		fa.addDiag(CodeAddrUnknown, a.block, a.pc, fmt.Sprintf(
+			"%s address is not statically analyzable (%s); abstaining from race checking this access",
+			op, a.addr))
+	}
+	if len(analyzable) == 0 {
+		return
+	}
+
+	isBarrier := make(map[int]bool, len(barrierPCs))
+	for _, pc := range barrierPCs {
+		isBarrier[pc] = true
+	}
+	starts := []int{0}
+	for _, pc := range barrierPCs {
+		if pc+1 < len(fa.f.Instrs) && !fa.f.Instrs[pc].Terminates() {
+			starts = append(starts, pc+1)
+		}
+	}
+
+	checked := make(map[[2]int]bool)
+	for _, s := range starts {
+		if fa.cfg.BlockOf[s] < 0 {
+			continue
+		}
+		members := fa.intervalMembers(s, isBarrier, accAt)
+		for i := 0; i < len(members); i++ {
+			for j := i; j < len(members); j++ {
+				a, b := analyzable[members[i]], analyzable[members[j]]
+				if !a.write && !b.write {
+					continue
+				}
+				key := [2]int{a.pc, b.pc}
+				if checked[key] {
+					continue
+				}
+				checked[key] = true
+				if reason, racy := fa.mayOverlapAcrossThreads(a, b); racy {
+					fa.addDiag(CodeRace, a.block, a.pc, fmt.Sprintf(
+						"shared access at [%d] (%s, %d bytes) may overlap access at [%d] (%s, %d bytes) from another thread in the same barrier interval: %s",
+						a.pc, a.addr, a.bytes, b.pc, b.addr, b.bytes, reason))
+				}
+			}
+		}
+	}
+}
+
+// intervalMembers collects analyzable accesses reachable from start
+// without executing another barrier point, as sorted indices into the
+// analyzable slice.
+func (fa *funcAnalysis) intervalMembers(start int, isBarrier map[int]bool, accAt map[int]int) []int {
+	n := len(fa.f.Instrs)
+	visited := make([]bool, n)
+	stack := []int{start}
+	var members []int
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pc < 0 || pc >= n || visited[pc] {
+			continue
+		}
+		visited[pc] = true
+		if idx, ok := accAt[pc]; ok {
+			members = append(members, idx)
+		}
+		if isBarrier[pc] {
+			continue // the interval ends here
+		}
+		in := &fa.f.Instrs[pc]
+		switch {
+		case in.Op == isa.OpBra:
+			stack = append(stack, int(in.Tgt))
+		case in.Op == isa.OpCbr:
+			stack = append(stack, int(in.Tgt))
+			if pc+1 < n {
+				stack = append(stack, pc+1)
+			}
+		case in.Terminates():
+			// RET/EXIT: no successors.
+		default:
+			if pc+1 < n {
+				stack = append(stack, pc+1)
+			}
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+// mayOverlapAcrossThreads decides whether two analyzable accesses can
+// touch a common byte from two distinct threads of one block.
+func (fa *funcAnalysis) mayOverlapAcrossThreads(a, b sharedAccess) (string, bool) {
+	overlap := func(l1, h1, l2, h2 int64) bool { return l1 <= h2 && l2 <= h1 }
+	av, bv := a.addr, b.addr
+	aLo, aHi := av.lo, av.hi+a.bytes-1
+	bLo, bHi := bv.lo, bv.hi+b.bytes-1
+	aCoef, bCoef := int64(0), int64(0)
+	aSym, bSym := symNone, symNone
+	if av.k == kAffine {
+		aCoef, aSym = av.coef, av.sym
+	}
+	if bv.k == kAffine {
+		bCoef, bSym = bv.coef, bv.sym
+	}
+
+	if aCoef == 0 && bCoef == 0 {
+		// Constant addresses: every thread touches the same range, so any
+		// overlap involving a write races once the block holds more than
+		// one thread.
+		if fa.blockThreads() > 1 && overlap(aLo, aHi, bLo, bHi) {
+			return "both ranges are thread-invariant and every thread executes both", true
+		}
+		return "", false
+	}
+
+	if aSym == bSym && aCoef == bCoef {
+		// Same stride along the same thread axis: the inter-thread
+		// distance is a nonzero multiple of the stride, bounded by the
+		// thread count along that axis.
+		t := fa.threads(aSym)
+		for d := int64(1); d < t; d++ {
+			delta := aCoef * d
+			if overlap(aLo, aHi, bLo+delta, bHi+delta) || overlap(aLo, aHi, bLo-delta, bHi-delta) {
+				return fmt.Sprintf("stride %d cannot separate the ranges at thread distance %d", aCoef, d), true
+			}
+		}
+		return "", false
+	}
+
+	// Mismatched strides or thread axes: compare the total footprints.
+	span := func(v val, bytes int64, sym symID, coef int64) (int64, int64) {
+		t := fa.threads(sym)
+		lo, hi := v.lo, v.hi+bytes-1
+		if coef > 0 {
+			hi += coef * (t - 1)
+		} else if coef < 0 {
+			lo += coef * (t - 1)
+		}
+		return lo, hi
+	}
+	sALo, sAHi := span(av, a.bytes, aSym, aCoef)
+	sBLo, sBHi := span(bv, b.bytes, bSym, bCoef)
+	if overlap(sALo, sAHi, sBLo, sBHi) {
+		return "differing strides with overlapping total footprints", true
+	}
+	return "", false
+}

@@ -1,0 +1,304 @@
+package sa_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sa"
+)
+
+func analyze(t *testing.T, src string) []sa.Diagnostic {
+	t.Helper()
+	p := isa.MustParse(src)
+	if err := isa.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	return sa.Analyze(p)
+}
+
+func codes(diags []sa.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func hasCode(diags []sa.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUniformBarrierClean: a barrier inside a branch whose condition is
+// uniform across the block (a loop counter compared against a constant)
+// deadlocks nobody and must not be flagged.
+func TestUniformBarrierClean(t *testing.T) {
+	diags := analyze(t, `
+.kernel uniform_bar
+.shared 128
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 0
+  MOVI v2, 4
+loop:
+  STS [v1], v0
+  BAR
+  MOVI v3, 1
+  IADD v1, v1, v3
+  ISET.LT v4, v1, v2
+  CBR v4, loop
+  STG [v0], v1
+  EXIT
+`)
+	if hasCode(diags, sa.CodeBarDiv) {
+		t.Errorf("uniform loop barrier flagged: %v", diags)
+	}
+}
+
+// TestDivergentBarrierFlagged: the same shape with a warp-dependent
+// condition is the paper's deadlock pattern and must be flagged.
+func TestDivergentBarrierFlagged(t *testing.T) {
+	diags := analyze(t, `
+.kernel div_bar
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, skip
+  BAR
+skip:
+  STG [v0], v0
+  EXIT
+`)
+	if !hasCode(diags, sa.CodeBarDiv) {
+		t.Fatalf("divergent barrier not flagged; got %v", codes(diags))
+	}
+}
+
+// TestLaneDivergenceFlagged: lane-level divergence (LANEID) must be
+// classified divergent exactly like warp-level divergence.
+func TestLaneDivergenceFlagged(t *testing.T) {
+	diags := analyze(t, `
+.kernel lane_bar
+.blockdim 32
+.func main
+  RDSP v0, LANEID
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, skip
+  BAR
+skip:
+  STG [v0], v0
+  EXIT
+`)
+	if !hasCode(diags, sa.CodeBarDiv) {
+		t.Fatalf("lane-divergent barrier not flagged; got %v", codes(diags))
+	}
+}
+
+// TestBarrierSeparatesIntervals: write-own / barrier / read-neighbor is
+// the canonical safe tiling pattern — the racey pair is split across the
+// barrier, so no SA-RACE may fire.
+func TestBarrierSeparatesIntervals(t *testing.T) {
+	diags := analyze(t, `
+.kernel tile_ok
+.shared 256
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 4
+  IMUL v2, v0, v1
+  STS [v2], v0
+  BAR
+  LDS v3, [v2+4]
+  STG [v2], v3
+  EXIT
+`)
+	if hasCode(diags, sa.CodeRace) {
+		t.Errorf("barrier-separated accesses flagged as a race: %v", diags)
+	}
+	if hasCode(diags, sa.CodeAddrUnknown) {
+		t.Errorf("affine addresses reported unanalyzable: %v", diags)
+	}
+}
+
+// TestSameIntervalRace: remove the barrier and the same pair is a race.
+func TestSameIntervalRace(t *testing.T) {
+	diags := analyze(t, `
+.kernel tile_race
+.shared 256
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 4
+  IMUL v2, v0, v1
+  STS [v2], v0
+  LDS v3, [v2+4]
+  STG [v2], v3
+  EXIT
+`)
+	if !hasCode(diags, sa.CodeRace) {
+		t.Fatalf("same-interval overlapping accesses not flagged; got %v", codes(diags))
+	}
+}
+
+// TestStrideSeparatesThreads: per-warp stride 8 with a 4-byte store at
+// +0 and a 4-byte load at +4 never overlaps across threads — the
+// distance argument must prove it.
+func TestStrideSeparatesThreads(t *testing.T) {
+	diags := analyze(t, `
+.kernel stride_ok
+.shared 512
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 8
+  IMUL v2, v0, v1
+  STS [v2], v0
+  LDS v3, [v2+4]
+  STG [v2], v3
+  EXIT
+`)
+	if hasCode(diags, sa.CodeRace) {
+		t.Errorf("disjoint strided accesses flagged as a race: %v", diags)
+	}
+}
+
+// TestSingleWarpBlockNoRace: with one warp per block (and no LANEID),
+// there is no other thread to race with.
+func TestSingleWarpBlockNoRace(t *testing.T) {
+	diags := analyze(t, `
+.kernel solo
+.shared 64
+.blockdim 32
+.func main
+  RDSP v0, WARPINBLK
+  STS [v0], v0
+  LDS v1, [v0+4]
+  STG [v0], v1
+  EXIT
+`)
+	if hasCode(diags, sa.CodeRace) {
+		t.Errorf("single-warp block flagged as racing with itself: %v", diags)
+	}
+}
+
+// TestDeterministicOrder: Analyze must return the same diagnostics in
+// the same order on repeated runs (the ladder memoizes on first call).
+func TestDeterministicOrder(t *testing.T) {
+	src := `
+.kernel multi
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, skip
+  BAR
+skip:
+  IADD v3, v0, v0
+  MOVI v3, 5
+  STG [v0], v3
+  EXIT
+  MOVI v4, 1
+  STG [v0], v4
+  EXIT
+`
+	p := isa.MustParse(src)
+	if err := isa.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	first := sa.Analyze(p)
+	if len(first) < 3 { // BAR-DIV + DEAD-STORE + UNREACHABLE
+		t.Fatalf("expected at least 3 findings, got %v", codes(first))
+	}
+	if !sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.FuncIdx != b.FuncIdx {
+			return a.FuncIdx < b.FuncIdx
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.PC <= b.PC
+	}) {
+		t.Errorf("diagnostics not in (func, block, pc) order: %v", first)
+	}
+	for run := 0; run < 3; run++ {
+		again := sa.Analyze(p)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings vs %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: finding %d differs: %v vs %v", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestSeverityMapping pins each code to its severity class — LintStrict
+// gates on errors only, so this mapping is part of the contract.
+func TestSeverityMapping(t *testing.T) {
+	want := map[string]sa.Severity{
+		sa.CodeBarDiv:      sa.SevError,
+		sa.CodeRace:        sa.SevError,
+		sa.CodeAddrUnknown: sa.SevWarning,
+		sa.CodeUninit:      sa.SevWarning,
+		sa.CodeDeadStore:   sa.SevInfo,
+		sa.CodeUnreachable: sa.SevInfo,
+	}
+	srcs := map[string]string{
+		sa.CodeBarDiv: `
+.kernel a
+.blockdim 64
+.func main
+  RDSP v0, WARPINBLK
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, s
+  BAR
+s:
+  EXIT
+`,
+		sa.CodeUninit: `
+.kernel b
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 0
+  ISET.EQ v2, v0, v1
+  CBR v2, s
+  MOVI v3, 7
+s:
+  IADD v4, v3, v0
+  STG [v0], v4
+  EXIT
+`,
+	}
+	for code, src := range srcs {
+		diags := analyze(t, src)
+		found := false
+		for _, d := range diags {
+			if d.Code == code {
+				found = true
+				if d.Sev != want[code] {
+					t.Errorf("%s severity = %v, want %v", code, d.Sev, want[code])
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s not produced by its witness kernel; got %v", code, codes(diags))
+		}
+	}
+	if sa.CountErrors([]sa.Diagnostic{{Code: sa.CodeRace, Sev: sa.SevError}, {Code: sa.CodeUninit, Sev: sa.SevWarning}}) != 1 {
+		t.Error("CountErrors must count only error-severity findings")
+	}
+}

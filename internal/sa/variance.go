@@ -1,0 +1,500 @@
+package sa
+
+// Thread-variance dataflow: a forward analysis over register and
+// spill-slot contents. The lattice per value slot is
+//
+//	bot < const[lo,hi] < uniform < variant
+//	bot < affine(sym, coef, [lo,hi]) < variant
+//
+// where const is a compile-time range shared by every thread, uniform is
+// an unknown but block-uniform value, affine is coef·sym + c with
+// c ∈ [lo,hi] and sym one of the per-block thread indices (warp-in-block
+// or lane), and variant is an arbitrary thread-dependent value. Joining
+// two differing constants jumps straight to uniform (rather than taking
+// the interval hull) so loop-carried counters converge in one widening
+// step; the finite height makes every fixpoint terminate.
+//
+// Interval arithmetic is exact over int64 while the machine computes
+// modulo 2^32, so any range that could leave the 32-bit window escalates
+// (const to uniform, affine to variant) instead of wrapping.
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+type kind uint8
+
+const (
+	kBot kind = iota
+	kConst
+	kUniform
+	kAffine
+	kVariant
+)
+
+type symID uint8
+
+const (
+	symNone symID = iota
+	symWarp       // WARPINBLK: warp index within the block
+	symLane       // LANEID: lane index within a warp
+)
+
+func (s symID) String() string {
+	switch s {
+	case symWarp:
+		return "warp"
+	case symLane:
+		return "lane"
+	default:
+		return "?"
+	}
+}
+
+// val is one abstract value. For kConst the machine value lies in
+// [lo,hi]; for kAffine it is coef·sym + c with c ∈ [lo,hi].
+type val struct {
+	k    kind
+	sym  symID
+	coef int64
+	lo   int64
+	hi   int64
+}
+
+// valueLimit bounds the tracked constant window; see package comment.
+const valueLimit = int64(1) << 32
+
+func inWindow(x int64) bool { return x > -valueLimit && x < valueLimit }
+
+func botV() val     { return val{} }
+func uniformV() val { return val{k: kUniform} }
+func variantV() val { return val{k: kVariant} }
+
+func constV(lo, hi int64) val {
+	if lo > hi || !inWindow(lo) || !inWindow(hi) {
+		return uniformV()
+	}
+	return val{k: kConst, lo: lo, hi: hi}
+}
+
+func affineV(sym symID, coef, lo, hi int64) val {
+	if coef == 0 {
+		return constV(lo, hi)
+	}
+	if lo > hi || !inWindow(lo) || !inWindow(hi) || !inWindow(coef) {
+		return variantV()
+	}
+	return val{k: kAffine, sym: sym, coef: coef, lo: lo, hi: hi}
+}
+
+// isDivergent reports whether branching on this value can split the
+// threads of a block. Reading never-written registers (bot) is treated
+// conservatively as divergent; the definite-use check reports it.
+func isDivergent(v val) bool {
+	return v.k == kVariant || v.k == kAffine || v.k == kBot
+}
+
+// String renders the value for diagnostics.
+func (v val) String() string {
+	switch v.k {
+	case kBot:
+		return "uninit"
+	case kConst:
+		if v.lo == v.hi {
+			return fmt.Sprintf("%d", v.lo)
+		}
+		return fmt.Sprintf("[%d,%d]", v.lo, v.hi)
+	case kUniform:
+		return "uniform"
+	case kAffine:
+		if v.lo == v.hi {
+			return fmt.Sprintf("%d*%s+%d", v.coef, v.sym, v.lo)
+		}
+		return fmt.Sprintf("%d*%s+[%d,%d]", v.coef, v.sym, v.lo, v.hi)
+	default:
+		return "variant"
+	}
+}
+
+// join is the lattice join. Monotone with height 3, so block-entry
+// states stabilize after a bounded number of passes.
+func join(a, b val) val {
+	if a == b {
+		return a
+	}
+	if a.k == kBot {
+		return b
+	}
+	if b.k == kBot {
+		return a
+	}
+	if a.k == kVariant || b.k == kVariant || a.k == kAffine || b.k == kAffine {
+		// Unequal affine values (or affine mixed with anything else)
+		// lose the stride.
+		return variantV()
+	}
+	// const/uniform mixes, or two differing constants: widen to uniform.
+	return uniformV()
+}
+
+func addV(a, b val) val {
+	if a.k == kBot || b.k == kBot || a.k == kVariant || b.k == kVariant {
+		return variantV()
+	}
+	switch {
+	case a.k == kConst && b.k == kConst:
+		return constV(a.lo+b.lo, a.hi+b.hi)
+	case a.k == kAffine && b.k == kConst:
+		return affineV(a.sym, a.coef, a.lo+b.lo, a.hi+b.hi)
+	case a.k == kConst && b.k == kAffine:
+		return affineV(b.sym, b.coef, a.lo+b.lo, a.hi+b.hi)
+	case a.k == kAffine && b.k == kAffine:
+		if a.sym != b.sym {
+			return variantV()
+		}
+		return affineV(a.sym, a.coef+b.coef, a.lo+b.lo, a.hi+b.hi)
+	case a.k == kAffine || b.k == kAffine:
+		// affine + uniform: the offset becomes unknown.
+		return variantV()
+	default:
+		return uniformV()
+	}
+}
+
+func negV(a val) val {
+	switch a.k {
+	case kConst:
+		return constV(-a.hi, -a.lo)
+	case kAffine:
+		return affineV(a.sym, -a.coef, -a.hi, -a.lo)
+	default:
+		return a
+	}
+}
+
+func subV(a, b val) val { return addV(a, negV(b)) }
+
+// mulProductBound guards interval products against int64 overflow: both
+// operands must sit well inside the 32-bit window.
+const mulBound = int64(1) << 31
+
+func mulV(a, b val) val {
+	if a.k == kBot || b.k == kBot || a.k == kVariant || b.k == kVariant {
+		return variantV()
+	}
+	// Singleton-constant times affine scales the stride.
+	if a.k == kConst && a.lo == a.hi && b.k == kAffine {
+		a, b = b, a
+	}
+	if a.k == kAffine && b.k == kConst && b.lo == b.hi {
+		s := b.lo
+		if s < -mulBound || s > mulBound || a.coef < -mulBound || a.coef > mulBound ||
+			a.lo < -mulBound || a.lo > mulBound || a.hi < -mulBound || a.hi > mulBound {
+			return variantV()
+		}
+		lo, hi := a.lo*s, a.hi*s
+		if s < 0 {
+			lo, hi = hi, lo
+		}
+		return affineV(a.sym, a.coef*s, lo, hi)
+	}
+	if a.k == kAffine || b.k == kAffine {
+		return variantV()
+	}
+	if a.k == kConst && b.k == kConst {
+		if a.lo < -mulBound || a.hi > mulBound || b.lo < -mulBound || b.hi > mulBound {
+			return uniformV()
+		}
+		p := [4]int64{a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi}
+		lo, hi := p[0], p[0]
+		for _, x := range p[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return constV(lo, hi)
+	}
+	return uniformV()
+}
+
+func shlV(a, b val) val {
+	if b.k == kConst && b.lo == b.hi && b.lo >= 0 && b.lo <= 31 {
+		return mulV(a, constV(int64(1)<<b.lo, int64(1)<<b.lo))
+	}
+	return opaqueV(a, b)
+}
+
+// opaqueV models an operation whose result is a deterministic function
+// of its operands but whose arithmetic is not tracked: uniform inputs
+// yield a uniform output, anything thread-variant yields variant.
+func opaqueV(vs ...val) val {
+	for _, v := range vs {
+		if v.k == kBot || v.k == kVariant || v.k == kAffine {
+			return variantV()
+		}
+	}
+	return uniformV()
+}
+
+// absState is the abstract machine state: one val per register slot and
+// per declared shared/local spill slot of the function.
+type absState struct {
+	regs []val
+	sh   []val
+	loc  []val
+}
+
+func newAbsState(nreg, nsh, nloc int) *absState {
+	return &absState{
+		regs: make([]val, nreg),
+		sh:   make([]val, nsh),
+		loc:  make([]val, nloc),
+	}
+}
+
+func (st *absState) clone() *absState {
+	c := &absState{
+		regs: make([]val, len(st.regs)),
+		sh:   make([]val, len(st.sh)),
+		loc:  make([]val, len(st.loc)),
+	}
+	copy(c.regs, st.regs)
+	copy(c.sh, st.sh)
+	copy(c.loc, st.loc)
+	return c
+}
+
+// joinFrom joins src into st and reports whether st changed.
+func (st *absState) joinFrom(src *absState) bool {
+	changed := false
+	mix := func(dst, s []val) {
+		for i := range dst {
+			if nv := join(dst[i], s[i]); nv != dst[i] {
+				dst[i] = nv
+				changed = true
+			}
+		}
+	}
+	mix(st.regs, src.regs)
+	mix(st.sh, src.sh)
+	mix(st.loc, src.loc)
+	return changed
+}
+
+// read returns the abstract value of a register, defensively variant for
+// anything out of frame (Validate precludes it).
+func (st *absState) read(r isa.Reg) val {
+	if r == isa.RegNone || int(r) >= len(st.regs) {
+		return variantV()
+	}
+	return st.regs[r]
+}
+
+func (st *absState) write(r isa.Reg, w int, v val) {
+	for i := 0; i < w; i++ {
+		if idx := int(r) + i; idx < len(st.regs) {
+			st.regs[idx] = v
+		}
+	}
+}
+
+// entryState is the abstract state at function entry: arguments of
+// device functions are conservatively thread-variant (callers may pass
+// anything); everything else is uninitialized.
+func (fa *funcAnalysis) entryState() *absState {
+	st := newAbsState(fa.nreg, fa.f.SpillShared, fa.f.SpillLocal)
+	for a := 0; a < fa.f.NumArgs && a < len(st.regs); a++ {
+		st.regs[a] = variantV()
+	}
+	return st
+}
+
+// callClobber returns the first caller register a call at pc may
+// clobber. Virtual-register programs give every callee a private frame
+// (nothing clobbered); allocated programs overlap the callee at the
+// recorded compressed-stack bound B_k, and conservatively at 0 when no
+// bound was recorded.
+func (fa *funcAnalysis) callClobber(pc int) int {
+	if !fa.f.Allocated {
+		return fa.nreg
+	}
+	if ci := fa.callIdx[pc]; ci >= 0 && ci < len(fa.f.CallBounds) {
+		return fa.f.CallBounds[ci]
+	}
+	return 0
+}
+
+// step applies one instruction's transfer function to st.
+func (fa *funcAnalysis) step(st *absState, in *isa.Instr, pc int) {
+	w := in.W()
+	// scalar writes the primary slot and poisons any extra width slots:
+	// wide forms of scalar ops have unspecified upper-slot semantics, so
+	// only the primary result is tracked.
+	scalar := func(v val) {
+		st.write(in.Dst, 1, v)
+		if w > 1 {
+			for i := 1; i < w; i++ {
+				st.write(in.Dst+isa.Reg(i), 1, variantV())
+			}
+		}
+	}
+	switch in.Op {
+	case isa.OpMovI:
+		scalar(constV(int64(uint32(in.Imm)), int64(uint32(in.Imm))))
+	case isa.OpMov:
+		for i := 0; i < w; i++ {
+			st.write(in.Dst+isa.Reg(i), 1, st.read(in.Src[0]+isa.Reg(i)))
+		}
+	case isa.OpRdSp:
+		scalar(fa.readSpecial(in.Sp))
+	case isa.OpIAdd:
+		scalar(addV(st.read(in.Src[0]), st.read(in.Src[1])))
+	case isa.OpISub:
+		scalar(subV(st.read(in.Src[0]), st.read(in.Src[1])))
+	case isa.OpIMul:
+		scalar(mulV(st.read(in.Src[0]), st.read(in.Src[1])))
+	case isa.OpIMad:
+		scalar(addV(mulV(st.read(in.Src[0]), st.read(in.Src[1])), st.read(in.Src[2])))
+	case isa.OpShl:
+		scalar(shlV(st.read(in.Src[0]), st.read(in.Src[1])))
+	case isa.OpLdG:
+		// Global memory is read-only input data, a pure function of the
+		// address: uniform addresses load uniform values.
+		addr := addV(st.read(in.Src[0]), constV(int64(in.Imm), int64(in.Imm)))
+		v := variantV()
+		if addr.k == kConst || addr.k == kUniform {
+			v = uniformV()
+		}
+		st.write(in.Dst, w, v)
+	case isa.OpLdS:
+		// Shared memory contents are not tracked across threads.
+		st.write(in.Dst, w, variantV())
+	case isa.OpSpillSL:
+		for i := 0; i < w; i++ {
+			v := variantV()
+			if s := int(in.Imm) + i; s >= 0 && s < len(st.sh) {
+				v = st.sh[s]
+			}
+			st.write(in.Dst+isa.Reg(i), 1, v)
+		}
+	case isa.OpSpillLL:
+		for i := 0; i < w; i++ {
+			v := variantV()
+			if s := int(in.Imm) + i; s >= 0 && s < len(st.loc) {
+				v = st.loc[s]
+			}
+			st.write(in.Dst+isa.Reg(i), 1, v)
+		}
+	case isa.OpSpillSS:
+		for i := 0; i < w; i++ {
+			if s := int(in.Imm) + i; s >= 0 && s < len(st.sh) {
+				st.sh[s] = st.read(in.Src[0] + isa.Reg(i))
+			}
+		}
+	case isa.OpSpillLS:
+		for i := 0; i < w; i++ {
+			if s := int(in.Imm) + i; s >= 0 && s < len(st.loc) {
+				st.loc[s] = st.read(in.Src[0] + isa.Reg(i))
+			}
+		}
+	case isa.OpCall:
+		// The callee owns registers above the compressed-stack bound;
+		// spill slots are stacked per frame, so the caller's survive.
+		for r := fa.callClobber(pc); r < len(st.regs); r++ {
+			st.regs[r] = variantV()
+		}
+		if in.Dst != isa.RegNone {
+			st.write(in.Dst, w, variantV())
+		}
+	case isa.OpStG, isa.OpStS, isa.OpBra, isa.OpCbr, isa.OpBar, isa.OpRet, isa.OpExit:
+		// No register effects.
+	default:
+		// Remaining ALU/FPU ops (AND/OR/XOR/SHR/IMIN/IMAX/ISET, float
+		// ops, conversions): deterministic but untracked arithmetic.
+		if in.HasDst() {
+			vs := make([]val, 0, 3)
+			for s := 0; s < in.NumSrcs(); s++ {
+				if in.Src[s] != isa.RegNone {
+					vs = append(vs, st.read(in.Src[s]))
+				}
+			}
+			scalar(opaqueV(vs...))
+		}
+	}
+}
+
+// readSpecial classifies the special registers.
+func (fa *funcAnalysis) readSpecial(sp isa.Sp) val {
+	switch sp {
+	case isa.SpWarpInBlk:
+		if fa.wpb <= 1 {
+			return constV(0, 0)
+		}
+		return affineV(symWarp, 1, 0, 0)
+	case isa.SpLaneID:
+		return affineV(symLane, 1, 0, 0)
+	case isa.SpWarpID:
+		// blockID·wpb + warpInBlk: an affine value with a uniform (but
+		// unknown) offset — not representable, and divergent per block
+		// unless the block holds a single warp.
+		if fa.wpb <= 1 {
+			return uniformV()
+		}
+		return variantV()
+	case isa.SpBlockID, isa.SpSMID, isa.SpNumWarps, isa.SpWarpsPerBlk:
+		return uniformV()
+	default:
+		return variantV()
+	}
+}
+
+// fixpoint propagates block-entry states to a fixed point in reverse
+// postorder.
+func (fa *funcAnalysis) fixpoint() {
+	fa.in = make([]*absState, len(fa.cfg.Blocks))
+	fa.in[0] = fa.entryState()
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range fa.cfg.RPO {
+			st := fa.in[bi]
+			if st == nil {
+				continue
+			}
+			out := st.clone()
+			b := &fa.cfg.Blocks[bi]
+			for pc := b.Start; pc < b.End; pc++ {
+				fa.step(out, &fa.f.Instrs[pc], pc)
+			}
+			for _, s := range b.Succs {
+				if fa.in[s] == nil {
+					fa.in[s] = out.clone()
+					changed = true
+				} else if fa.in[s].joinFrom(out) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// walk replays every reachable block from its fixpoint entry state,
+// invoking fn with the pre-state of each instruction.
+func (fa *funcAnalysis) walk(fn func(bi, pc int, in *isa.Instr, st *absState)) {
+	for _, bi := range fa.cfg.RPO {
+		if fa.in[bi] == nil {
+			continue
+		}
+		st := fa.in[bi].clone()
+		b := &fa.cfg.Blocks[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			in := &fa.f.Instrs[pc]
+			fn(bi, pc, in, st)
+			fa.step(st, in, pc)
+		}
+	}
+}

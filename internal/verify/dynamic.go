@@ -1,0 +1,158 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// BlockOracle functionally executes the warps of a single thread block
+// and checks the observed schedule for the two dynamic failure modes the
+// static analyzer (internal/sa) proves absent: warps disagreeing on how
+// many barriers they execute ("dyn-barrier-divergence"), and shared-
+// memory accesses from different warps in the same barrier interval
+// whose byte ranges overlap with at least one store ("dyn-shared-race").
+// It is the dynamic half of the analyzer's differential tests: a nil
+// result means the executed path exhibited neither defect — it says
+// nothing about unexecuted paths. Spill traffic is ignored (spill slots
+// are per-thread by construction).
+//
+// Lane-aware (LANEID) programs are checked for barrier divergence only:
+// the SIMT executor itself faults when a diverged warp reaches a BAR.
+// SIMT programs the executor cannot run are skipped with a nil result.
+func BlockOracle(p *isa.Program, stepLimit int) ([]Violation, error) {
+	if err := isa.Validate(p); err != nil {
+		return nil, err
+	}
+	layout, err := interp.NewLayout(p)
+	if err != nil {
+		return nil, err
+	}
+	if layout.RegHighWater > interp.RegFileSize {
+		return nil, fmt.Errorf("verify: program needs %d registers, file holds %d",
+			layout.RegHighWater, interp.RegFileSize)
+	}
+	wpb := p.BlockDim / 32
+	if wpb < 1 {
+		wpb = 1
+	}
+	lc := &interp.Launch{Prog: p, GridWarps: wpb}
+	sharedWords := (p.SharedBytes + 3) / 4
+	var shared []uint32
+	if sharedWords > 0 {
+		shared = make([]uint32, sharedWords)
+	}
+
+	if p.UsesLaneID() {
+		return simtBarrierOracle(p, lc, layout, wpb, shared, stepLimit)
+	}
+
+	// Instruction identity -> (function, pc) for reporting.
+	pcOf := make(map[*isa.Instr][2]int)
+	for fi, f := range p.Funcs {
+		for i := range f.Instrs {
+			pcOf[&f.Instrs[i]] = [2]int{fi, i}
+		}
+	}
+
+	type access struct {
+		warp, interval int
+		lo, hi         uint32
+		write          bool
+		fn, pc         int
+	}
+	var accs []access
+	bars := make([]int, wpb)
+	for wi := 0; wi < wpb; wi++ {
+		w := interp.NewWarp(lc, layout, wi, shared)
+		for steps := 0; !w.Done(); steps++ {
+			if steps >= stepLimit {
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, interp.ErrStepLimit)
+			}
+			ev, err := w.Step()
+			if err != nil {
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, err)
+			}
+			switch {
+			case ev.Kind == interp.KindBarrier:
+				bars[wi]++
+			case ev.Space == interp.SpaceShared && ev.Instr != nil && !ev.Instr.IsSpill() && ev.Bytes > 0:
+				loc := pcOf[ev.Instr]
+				accs = append(accs, access{
+					warp: wi, interval: bars[wi],
+					lo: ev.Addr, hi: ev.Addr + uint32(ev.Bytes) - 1,
+					write: ev.Kind == interp.KindStore,
+					fn:    loc[0], pc: loc[1],
+				})
+			}
+		}
+	}
+
+	var out []Violation
+	for wi := 1; wi < wpb; wi++ {
+		if bars[wi] != bars[0] {
+			out = append(out, Violation{
+				Invariant: "dyn-barrier-divergence",
+				Func:      p.Entry().Name,
+				Detail: fmt.Sprintf("warp 0 executed %d barriers, warp %d executed %d",
+					bars[0], wi, bars[wi]),
+			})
+			break
+		}
+	}
+	const maxRaces = 20
+	races := 0
+	for i := 0; i < len(accs) && races < maxRaces; i++ {
+		for j := i + 1; j < len(accs) && races < maxRaces; j++ {
+			a, b := accs[i], accs[j]
+			if a.warp == b.warp || a.interval != b.interval || (!a.write && !b.write) {
+				continue
+			}
+			if a.lo <= b.hi && b.lo <= a.hi {
+				races++
+				out = append(out, Violation{
+					Invariant: "dyn-shared-race",
+					Func:      p.Funcs[a.fn].Name,
+					Detail: fmt.Sprintf(
+						"warp %d %s[%d] bytes [%d,%d] overlaps warp %d %s[%d] bytes [%d,%d] in barrier interval %d",
+						a.warp, p.Funcs[a.fn].Name, a.pc, a.lo, a.hi,
+						b.warp, p.Funcs[b.fn].Name, b.pc, b.lo, b.hi, a.interval),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// simtBarrierOracle runs lane-aware programs through the SIMT executor,
+// which reports barrier divergence as a step error.
+func simtBarrierOracle(p *isa.Program, lc *interp.Launch, layout *interp.Layout, wpb int, shared []uint32, stepLimit int) ([]Violation, error) {
+	for wi := 0; wi < wpb; wi++ {
+		w, err := interp.NewSIMTWarp(lc, layout, wi, shared)
+		if err != nil {
+			if errors.Is(err, interp.ErrSIMTUnsupported) {
+				return nil, nil // cannot execute: abstain
+			}
+			return nil, err
+		}
+		for steps := 0; !w.Done(); steps++ {
+			if steps >= stepLimit {
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, interp.ErrStepLimit)
+			}
+			if _, err := w.Step(); err != nil {
+				if strings.Contains(err.Error(), "diverged warp") {
+					return []Violation{{
+						Invariant: "dyn-barrier-divergence",
+						Func:      p.Entry().Name,
+						Detail:    fmt.Sprintf("warp %d: %v", wi, err),
+					}}, nil
+				}
+				return nil, fmt.Errorf("verify: warp %d: %w", wi, err)
+			}
+		}
+	}
+	return nil, nil
+}

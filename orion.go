@@ -40,6 +40,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
+	"repro/internal/sa"
 	"repro/internal/sim"
 )
 
@@ -104,6 +105,17 @@ type (
 	// Ladder realizes one program across all occupancy levels through a
 	// shared set of middle-end analyses (Realizer.NewLadder).
 	Ladder = core.Ladder
+
+	// Diagnostic is one static-analysis finding (divergent barrier,
+	// shared-memory race, uninitialized read, ...; see internal/sa).
+	Diagnostic = sa.Diagnostic
+	// Severity ranks a diagnostic (info, warning, error).
+	Severity = sa.Severity
+	// LintMode selects how analysis findings gate compilation
+	// (Realizer.Lint: LintStrict, LintWarn, LintOff).
+	LintMode = core.LintMode
+	// AnalysisError is the strict-mode rejection carrying the findings.
+	AnalysisError = core.AnalysisError
 )
 
 // Cache configurations (paper Table 3).
@@ -117,6 +129,29 @@ const (
 	Increasing = core.Increasing
 	Decreasing = core.Decreasing
 )
+
+// Lint modes (Realizer.Lint; the CLIs' -lint flag).
+const (
+	LintOff    = core.LintOff
+	LintWarn   = core.LintWarn
+	LintStrict = core.LintStrict
+)
+
+// Diagnostic severities.
+const (
+	SevInfo    = sa.SevInfo
+	SevWarning = sa.SevWarning
+	SevError   = sa.SevError
+)
+
+// AnalyzeKernel runs the SIMT static analyzer on a program and returns
+// its findings in deterministic order: thread-variance classification of
+// branches, barrier-divergence checking, shared-memory race detection
+// over barrier intervals, and definite-use checks (DESIGN.md §11).
+func AnalyzeKernel(p *Program) []Diagnostic { return sa.Analyze(p) }
+
+// ParseLintMode parses a -lint flag value (strict, warn, or off).
+func ParseLintMode(s string) (LintMode, error) { return core.ParseLintMode(s) }
 
 // GTX680 returns the simulated Kepler platform.
 func GTX680() *Device { return device.GTX680() }
