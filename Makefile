@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-smoke fmt fmt-check
+.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, staticcheck, build,
 ## race-enabled tests, the serial-vs-parallel determinism suite, a short
@@ -37,9 +37,10 @@ test-race:
 race: test-race
 
 ## determinism: byte-identity of suite tables across serial/uncached and
-## parallel/cached runs, under the race detector.
+## parallel/cached runs, and of simulator Stats across repeated runs on
+## both execution backends, under the race detector.
 determinism:
-	$(GO) test -race -run Determinism ./internal/bench/
+	$(GO) test -race -run Determinism ./internal/bench/ ./internal/sim/
 
 ## fuzz-short: a quick coverage-guided pass over each fuzz target; the
 ## checked-in corpora run as plain regression tests under `make test`.
@@ -47,6 +48,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/isa/
 	$(GO) test -run '^$$' -fuzz FuzzRealize -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime 10s ./internal/sa/
+	$(GO) test -run '^$$' -fuzz FuzzSimCompiled -fuzztime 10s ./internal/sim/
 
 ## bench-smoke: one iteration of the cold-sweep benchmark (the number
 ## behind BENCH_ladder.json) — not a measurement, just proof the
@@ -61,6 +63,13 @@ bench:
 	$(GO) test -run '^$$' -bench SuiteEndToEnd -benchtime 1x .
 	$(GO) run ./cmd/orion-bench -exp fig1 -scale 0.25 -metrics bench-metrics.json > /dev/null
 	@echo "wrote bench-metrics.json"
+
+## bench-sim: the end-to-end suite benchmark measured once per execution
+## backend, recorded as BENCH_sim.json (the artifact behind the compiled
+## backend's speedup claim).
+bench-sim:
+	ORION_BENCH_SIM_OUT=BENCH_sim.json $(GO) test -run WriteSimBench -timeout 2h .
+	@echo "wrote BENCH_sim.json"
 
 fmt:
 	gofmt -l .

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	orion-bench [-exp fig1,fig11,... | -exp all] [-scale 1.0] [-progress]
-//	            [-parallel N] [-json out.json] [-cpuprofile out.pprof]
+//	            [-parallel N] [-sim-backend compiled|interp]
+//	            [-json out.json] [-cpuprofile out.pprof]
 //
 // At scale 1.0 the full suite sweeps every occupancy level of every
 // benchmark on both devices; smaller scales shrink the grids
@@ -53,6 +54,7 @@ type jsonExperiment struct {
 type jsonReport struct {
 	Scale       float64          `json:"scale"`
 	Parallel    int              `json:"parallel"`
+	SimBackend  string           `json:"sim_backend"`
 	Experiments []jsonExperiment `json:"experiments"`
 	TotalWallMS float64          `json:"total_wall_ms"`
 	CacheHits   uint64           `json:"realize_cache_hits"`
@@ -78,6 +80,7 @@ func run(args []string) error {
 	noCache := fs.Bool("nocache", false, "disable the realization cache (recompile every version)")
 	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
+	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
@@ -112,10 +115,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	backend, err := orion.ParseSimBackend(*simBackend)
+	if err != nil {
+		return err
+	}
 	s := orion.NewSuite(*scale)
 	s.Parallel = *parallel
 	s.Verify = *verify
 	s.Lint = lintMode
+	s.Backend = backend
 	if *progress {
 		s.Progress = os.Stderr
 	}
@@ -133,7 +141,10 @@ func run(args []string) error {
 		selected = strings.Split(*exp, ",")
 	}
 
-	report := jsonReport{Scale: *scale, Parallel: *parallel}
+	report := jsonReport{Scale: *scale, Parallel: *parallel, SimBackend: backend.String()}
+	if backend == orion.SimBackendAuto {
+		report.SimBackend = orion.CurrentSimBackend()
+	}
 	suiteStart := time.Now()
 	fmt.Printf("orion-bench: scale %.3f, experiments: %s\n\n", *scale, strings.Join(selected, ", "))
 	for _, id := range selected {

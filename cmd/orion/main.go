@@ -37,6 +37,11 @@
 // strict): strict rejects programs whose analysis has error-severity
 // findings before compiling them.
 //
+// Simulating subcommands accept -sim-backend compiled|interp (default
+// compiled): compiled runs basic blocks as fused closures with
+// warp-batched ALU execution; interp is the reference step interpreter
+// the compiled backend is differentially tested against.
+//
 // Observability (compile, tune, sweep, run):
 //
 //	-trace out.json    write a Chrome trace-event JSON of the invocation
@@ -88,6 +93,7 @@ func run(args []string, out io.Writer) error {
 	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	realized := fs.Bool("realized", false, "for 'lint': also analyze every realized occupancy level")
+	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
 
 	if cmd == "list" {
 		ks, err := orion.Benchmarks()
@@ -102,6 +108,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if b, err := orion.ParseSimBackend(*simBackend); err != nil {
+		return err
+	} else if b != orion.SimBackendAuto {
+		orion.SetSimBackend(b)
 	}
 
 	// The collector exists only when an export was requested, so the

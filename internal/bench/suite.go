@@ -42,6 +42,11 @@ type Suite struct {
 	// (the default) rejects kernels with error-severity findings, warn
 	// records them, off skips analysis. orion-bench exposes -lint.
 	Lint core.LintMode
+	// Backend selects the simulator execution backend for every launch
+	// the suite performs (zero = the process-wide default, normally the
+	// compiled backend). Launches happen behind core's memo caches, so it
+	// is applied through sim.SetDefaultBackend when an experiment runs.
+	Backend sim.Backend
 
 	mu sync.Mutex // serializes Progress writes from workers
 }
@@ -117,7 +122,13 @@ func (s *Suite) Experiments() []Experiment {
 		{"model", "analytical model vs simulator (extension)", s.Model},
 	}
 	for i := range list {
-		list[i].Run = s.instrument(list[i].ID, list[i].Run)
+		run := list[i].Run
+		list[i].Run = s.instrument(list[i].ID, func() (*Table, error) {
+			if s.Backend != sim.BackendAuto {
+				sim.SetDefaultBackend(s.Backend)
+			}
+			return run()
+		})
 	}
 	return list
 }

@@ -62,6 +62,11 @@ type runKey struct {
 	targetWarps int
 	gridWarps   int
 	firstWarp   int
+	// backend is the resolved execution backend. The two backends are
+	// required to produce identical Stats, but keying on it keeps the
+	// cache honest when a differential test flips the process default
+	// mid-run.
+	backend sim.Backend
 }
 
 // runCache memoizes RunAt process-wide. The experiment suite re-simulates

@@ -301,6 +301,7 @@ func (v *Version) ProfileAtCtx(d *device.Device, cc device.CacheConfig, targetWa
 		targetWarps: targetWarps,
 		gridWarps:   lc.GridWarps,
 		firstWarp:   lc.FirstWarp,
+		backend:     sim.DefaultBackend(),
 	}
 	filled := false
 	st, err := runCache.Do(key, func() (*sim.Stats, error) {

@@ -1,0 +1,1040 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Compiled execution backend: each function is translated once into a slice
+// of closures ("cops"), one per instruction, with operand registers, spill
+// bases, and event metadata resolved at compile time. The timing simulator
+// drives compiled warps through the StepExecutor interface: Fill copies a
+// precomputed event template (patching only the frame base and the memory
+// address), and Commit runs the instruction's closure. The interpreter
+// (Warp/SIMTWarp) remains the semantic source of truth — every closure
+// mirrors the corresponding Step case exactly, including error strings —
+// and the differential tests in this package and package sim hold the two
+// backends to bit-identical results.
+//
+// Hot two-instruction patterns are fused into superinstructions: the head's
+// closure performs both instructions' warp-private effects and the tail
+// collapses to a trivial pc update. Fusion never changes the event stream —
+// the simulator still issues, scoreboards, and charges both instructions —
+// so timing and statistics stay interpreter-identical by construction.
+
+// StepExecutor is the execution interface the timing simulator drives.
+// It differs from Executor in two ways that matter on the hot path: Fill
+// writes the next event into caller-owned storage (no per-peek allocation
+// or copying of a freshly built Event), and the event carries the DstW/SrcW
+// operand widths so the scoreboard never re-derives them. Release returns
+// pooled execution state after the warp retires.
+type StepExecutor interface {
+	// Fill resolves the next instruction into ev. On a finished warp it
+	// writes a KindExit event.
+	Fill(ev *Event)
+	// Commit executes the instruction Fill resolved.
+	Commit() error
+	Done() bool
+	// Result reports dynamic instructions, the store checksum, and the
+	// store count.
+	Result() (steps int, checksum uint64, stores int)
+	// Release recycles pooled state. The executor must not be used after.
+	Release()
+}
+
+// Stepper adapts a functional Executor (Warp, SIMTWarp) to the
+// StepExecutor interface, computing the operand-width cache the compiled
+// backends carry in their templates.
+type Stepper struct{ Ex Executor }
+
+// Fill resolves the next instruction via Peek and caches operand widths.
+func (s Stepper) Fill(ev *Event) {
+	*ev = s.Ex.Peek()
+	if in := ev.Instr; in != nil {
+		if ev.AbsDst >= 0 {
+			ev.DstW = uint8(in.W())
+		}
+		for i := 0; i < ev.NSrc; i++ {
+			ev.SrcW[i] = uint8(in.SrcWidth(i))
+		}
+	}
+}
+
+// Commit executes the instruction Fill resolved.
+func (s Stepper) Commit() error {
+	_, err := s.Ex.Step()
+	return err
+}
+
+// Done reports whether the warp has exited.
+func (s Stepper) Done() bool { return s.Ex.Done() }
+
+// Result reports dynamic instructions, store checksum, and store count.
+func (s Stepper) Result() (int, uint64, int) { return s.Ex.Result() }
+
+// Release is a no-op: interpreter warps are not pooled.
+func (s Stepper) Release() {}
+
+var (
+	_ StepExecutor = Stepper{}
+	_ StepExecutor = (*CWarp)(nil)
+	_ StepExecutor = (*CSIMTWarp)(nil)
+	_ Executor     = (*CWarp)(nil)
+	_ Executor     = (*CSIMTWarp)(nil)
+)
+
+// addrMode tells Fill how to compute the event address for memory ops; all
+// other template fields are static.
+type addrMode uint8
+
+const (
+	amNone   addrMode = iota
+	amReg             // regs[base+addrReg] + addrImm (LDG/STG/LDS/STS)
+	amSpillS          // 4*(shBase + addrImm)
+	amSpillL          // LocalSlotBytes*(WarpID*stride + locBase + addrImm)
+)
+
+// cop is one compiled instruction: an event template with frame-relative
+// register operands plus the closure that commits it.
+type cop struct {
+	tmpl    Event
+	mode    addrMode
+	addrReg int32
+	addrImm int32
+	exec    func(*CWarp)
+}
+
+// Compiled is a program translated to closures, shared (immutably) by every
+// warp executing that program.
+type Compiled struct {
+	prog   *isa.Program
+	layout *Layout
+
+	code      [][]cop // per function, indexed by pc
+	locStride int     // max(layout.LocalSpillSlots, 1)
+
+	// SIMT (lane-accurate) translation; simtErr mirrors NewSIMTWarp's
+	// eligibility check for programs that read LANEID.
+	simt      []csop
+	simtNRegs int
+	simtErr   error
+}
+
+// Layout returns the static layout the compilation used.
+func (c *Compiled) Layout() *Layout { return c.layout }
+
+// compileCache memoizes Compile per program identity, mirroring layoutCache:
+// programs are immutable once realized, and the tuner simulates the same
+// binary many times.
+var compileCache sync.Map // *isa.Program -> *Compiled
+
+// CompiledOf returns the memoized translation of a finalized program.
+func CompiledOf(p *isa.Program) (*Compiled, error) {
+	if v, ok := compileCache.Load(p); ok {
+		return v.(*Compiled), nil
+	}
+	c, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := compileCache.LoadOrStore(p, c)
+	return v.(*Compiled), nil
+}
+
+// Compile translates a validated program into closures.
+func Compile(p *isa.Program) (*Compiled, error) {
+	layout, err := NewLayout(p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{prog: p, layout: layout, locStride: layout.LocalSpillSlots}
+	if c.locStride == 0 {
+		c.locStride = 1
+	}
+	c.code = make([][]cop, len(p.Funcs))
+	for fi := range p.Funcs {
+		c.code[fi] = c.compileFunc(fi)
+	}
+	c.compileSIMT()
+	return c, nil
+}
+
+func (c *Compiled) compileFunc(fi int) []cop {
+	f := c.prog.Funcs[fi]
+	code := make([]cop, len(f.Instrs))
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		code[i].tmpl = template(in)
+		code[i].mode, code[i].addrReg, code[i].addrImm = addrModeOf(in)
+		code[i].exec = c.compileOp(fi, i, in)
+	}
+	c.fuse(f, code)
+	return code
+}
+
+// template precomputes everything Warp.Peek derives per call, with AbsDst
+// and AbsSrc left frame-relative (Fill adds the frame base).
+func template(in *isa.Instr) Event {
+	ev := Event{Instr: in, AbsDst: -1, AbsSrc: [3]int{-1, -1, -1}}
+	if in.HasDst() {
+		ev.AbsDst = int(in.Dst)
+		ev.DstW = uint8(in.W())
+	}
+	ev.NSrc = in.NumSrcs()
+	for i := 0; i < ev.NSrc; i++ {
+		ev.AbsSrc[i] = int(in.Src[i])
+		ev.SrcW[i] = uint8(in.SrcWidth(i))
+	}
+	switch in.Op {
+	case isa.OpLdG:
+		ev.Kind, ev.Space, ev.Bytes = KindLoad, SpaceGlobal, 4*in.W()
+	case isa.OpStG:
+		ev.Kind, ev.Space, ev.Bytes = KindStore, SpaceGlobal, 4*in.W()
+	case isa.OpLdS:
+		ev.Kind, ev.Space, ev.Bytes = KindLoad, SpaceShared, 4*in.W()
+	case isa.OpStS:
+		ev.Kind, ev.Space, ev.Bytes = KindStore, SpaceShared, 4*in.W()
+	case isa.OpSpillSL:
+		ev.Kind, ev.Space, ev.Bytes = KindLoad, SpaceShared, 4*in.W()
+	case isa.OpSpillSS:
+		ev.Kind, ev.Space, ev.Bytes = KindStore, SpaceShared, 4*in.W()
+	case isa.OpSpillLL:
+		ev.Kind, ev.Space, ev.Bytes = KindLoad, SpaceLocal, 4*in.W()
+	case isa.OpSpillLS:
+		ev.Kind, ev.Space, ev.Bytes = KindStore, SpaceLocal, 4*in.W()
+	case isa.OpBra, isa.OpCbr:
+		ev.Kind = KindBranch
+	case isa.OpCall, isa.OpRet:
+		ev.Kind = KindCall
+	case isa.OpBar:
+		ev.Kind = KindBarrier
+	case isa.OpExit:
+		ev.Kind = KindExit
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFFma, isa.OpFMin,
+		isa.OpFMax, isa.OpFSet, isa.OpF2I, isa.OpI2F:
+		ev.Kind = KindFPU
+	default:
+		ev.Kind = KindALU
+	}
+	return ev
+}
+
+func addrModeOf(in *isa.Instr) (addrMode, int32, int32) {
+	switch in.Op {
+	case isa.OpLdG, isa.OpStG, isa.OpLdS, isa.OpStS:
+		return amReg, int32(in.Src[0]), in.Imm
+	case isa.OpSpillSL, isa.OpSpillSS:
+		return amSpillS, 0, in.Imm
+	case isa.OpSpillLL, isa.OpSpillLS:
+		return amSpillL, 0, in.Imm
+	}
+	return amNone, 0, 0
+}
+
+// CWarp executes one warp (warp-scalar mode) through a compiled program.
+// It mirrors Warp state exactly; instances are pooled across launches.
+type CWarp struct {
+	c      *Compiled
+	launch *Launch
+
+	WarpID    int
+	BlockID   int
+	WarpInBlk int
+	SMID      int
+
+	regs     [regFileSize]uint32
+	shSpill  []uint32
+	locSpill []uint32
+	shared   []uint32
+
+	stack []frame
+	fr    *frame // &stack[len(stack)-1]
+	code  []cop  // c.code[fr.fn]
+
+	fusedPC int32 // successor pc latched by a fused compare+branch head
+	done    bool
+	err     error
+
+	steps    int
+	cks      uint64
+	storeCnt int
+}
+
+var cwarpPool = sync.Pool{New: func() any { return new(CWarp) }}
+
+// NewCWarp creates (or recycles) a compiled warp executor. Recycled state
+// is fully re-zeroed so pooled warps are indistinguishable from fresh ones.
+func NewCWarp(c *Compiled, lc *Launch, warpID int, shared []uint32) *CWarp {
+	w := cwarpPool.Get().(*CWarp)
+	wpb := lc.WarpsPerBlock()
+	w.c = c
+	w.launch = lc
+	w.WarpID = lc.FirstWarp + warpID
+	w.BlockID = w.WarpID / wpb
+	w.WarpInBlk = w.WarpID % wpb
+	w.SMID = 0
+	w.regs = [regFileSize]uint32{}
+	w.shSpill = reuseZeroed(w.shSpill, c.layout.SharedSpillSlots)
+	w.locSpill = reuseZeroed(w.locSpill, c.layout.LocalSpillSlots)
+	w.shared = shared
+	w.stack = append(w.stack[:0], frame{fn: 0, retDst: -1})
+	w.fr = &w.stack[0]
+	w.code = c.code[0]
+	w.fusedPC = 0
+	w.done = false
+	w.err = nil
+	w.steps, w.storeCnt = 0, 0
+	w.cks = fnvOffset
+	return w
+}
+
+func reuseZeroed(buf []uint32, n int) []uint32 {
+	if n == 0 {
+		return buf[:0]
+	}
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// Release returns the warp to the pool.
+func (w *CWarp) Release() {
+	w.c, w.launch, w.shared, w.code = nil, nil, nil, nil
+	cwarpPool.Put(w)
+}
+
+// Done reports whether the warp has exited.
+func (w *CWarp) Done() bool { return w.done }
+
+// Result reports executed instruction count, store checksum, and stores.
+func (w *CWarp) Result() (int, uint64, int) { return w.steps, w.cks, w.storeCnt }
+
+// Fill resolves the next instruction by copying its compiled template and
+// patching the frame base and memory address.
+func (w *CWarp) Fill(ev *Event) {
+	if w.done {
+		*ev = Event{Kind: KindExit, AbsDst: -1}
+		return
+	}
+	fr := w.fr
+	op := &w.code[fr.pc]
+	*ev = op.tmpl
+	if base := fr.base; base != 0 {
+		if ev.AbsDst >= 0 {
+			ev.AbsDst += base
+		}
+		for i := 0; i < ev.NSrc; i++ {
+			ev.AbsSrc[i] += base
+		}
+	}
+	switch op.mode {
+	case amNone:
+	case amReg:
+		ev.Addr = w.regs[fr.base+int(op.addrReg)] + uint32(op.addrImm)
+	case amSpillS:
+		ev.Addr = uint32(4 * (fr.shBase + int(op.addrImm)))
+	case amSpillL:
+		ev.Addr = uint32(LocalSlotBytes * (w.WarpID*w.c.locStride + fr.locBase + int(op.addrImm)))
+	}
+}
+
+// Commit executes the current instruction's closure.
+func (w *CWarp) Commit() error {
+	if w.done {
+		return nil
+	}
+	w.steps++
+	w.code[w.fr.pc].exec(w)
+	return w.err
+}
+
+// Peek implements Executor for differential tests.
+func (w *CWarp) Peek() Event {
+	var ev Event
+	w.Fill(&ev)
+	return ev
+}
+
+// Step implements Executor for differential tests.
+func (w *CWarp) Step() (Event, error) {
+	var ev Event
+	w.Fill(&ev)
+	return ev, w.Commit()
+}
+
+func (w *CWarp) readSpecial(sp isa.Sp) uint32 {
+	switch sp {
+	case isa.SpWarpID:
+		return uint32(w.WarpID)
+	case isa.SpBlockID:
+		return uint32(w.BlockID)
+	case isa.SpWarpInBlk:
+		return uint32(w.WarpInBlk)
+	case isa.SpNumWarps:
+		return uint32(w.launch.GridWarps + w.launch.FirstWarp)
+	case isa.SpWarpsPerBlk:
+		return uint32(w.launch.WarpsPerBlock())
+	case isa.SpSMID:
+		return uint32(w.SMID)
+	}
+	return 0
+}
+
+// compileOp builds the closure for one instruction. Each case mirrors the
+// corresponding Warp.Step case exactly.
+func (c *Compiled) compileOp(fi, pc int, in *isa.Instr) func(*CWarp) {
+	d, s0, s1, s2 := int(in.Dst), int(in.Src[0]), int(in.Src[1]), int(in.Src[2])
+	ui := uint32(in.Imm)
+	wn := in.W()
+	switch in.Op {
+	case isa.OpIAdd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] + w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpISub:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] - w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpIMul:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] * w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpIMad:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0]*w.regs[b+s1] + w.regs[b+s2]
+			fr.pc++
+		}
+	case isa.OpIMin:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x, y := int32(w.regs[b+s0]), int32(w.regs[b+s1])
+			if y < x {
+				x = y
+			}
+			w.regs[b+d] = uint32(x)
+			fr.pc++
+		}
+	case isa.OpIMax:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x, y := int32(w.regs[b+s0]), int32(w.regs[b+s1])
+			if y > x {
+				x = y
+			}
+			w.regs[b+d] = uint32(x)
+			fr.pc++
+		}
+	case isa.OpAnd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] & w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpOr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] | w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpXor:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] ^ w.regs[b+s1]
+			fr.pc++
+		}
+	case isa.OpShl:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] << (w.regs[b+s1] & 31)
+			fr.pc++
+		}
+	case isa.OpShr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = w.regs[b+s0] >> (w.regs[b+s1] & 31)
+			fr.pc++
+		}
+	case isa.OpISet:
+		cmp := in.Cmp
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = boolWord(cmpInt(cmp, int32(w.regs[b+s0]), int32(w.regs[b+s1])))
+			fr.pc++
+		}
+	case isa.OpFAdd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = math.Float32bits(math.Float32frombits(w.regs[b+s0]) + math.Float32frombits(w.regs[b+s1]))
+			fr.pc++
+		}
+	case isa.OpFSub:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = math.Float32bits(math.Float32frombits(w.regs[b+s0]) - math.Float32frombits(w.regs[b+s1]))
+			fr.pc++
+		}
+	case isa.OpFMul:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = math.Float32bits(math.Float32frombits(w.regs[b+s0]) * math.Float32frombits(w.regs[b+s1]))
+			fr.pc++
+		}
+	case isa.OpFFma:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x := math.Float32frombits(w.regs[b+s0])
+			y := math.Float32frombits(w.regs[b+s1])
+			z := math.Float32frombits(w.regs[b+s2])
+			w.regs[b+d] = math.Float32bits(x*y + z)
+			fr.pc++
+		}
+	case isa.OpFMin:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x := math.Float32frombits(w.regs[b+s0])
+			y := math.Float32frombits(w.regs[b+s1])
+			if y < x {
+				x = y
+			}
+			w.regs[b+d] = math.Float32bits(x)
+			fr.pc++
+		}
+	case isa.OpFMax:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x := math.Float32frombits(w.regs[b+s0])
+			y := math.Float32frombits(w.regs[b+s1])
+			if y > x {
+				x = y
+			}
+			w.regs[b+d] = math.Float32bits(x)
+			fr.pc++
+		}
+	case isa.OpFSet:
+		cmp := in.Cmp
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			x := math.Float32frombits(w.regs[b+s0])
+			y := math.Float32frombits(w.regs[b+s1])
+			w.regs[b+d] = boolWord(cmpFloat(cmp, x, y))
+			fr.pc++
+		}
+	case isa.OpF2I:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			fv := float64(math.Float32frombits(w.regs[b+s0]))
+			var iv int32
+			switch {
+			case fv != fv: // NaN
+				iv = 0
+			case fv >= math.MaxInt32:
+				iv = math.MaxInt32
+			case fv <= math.MinInt32:
+				iv = math.MinInt32
+			default:
+				iv = int32(fv)
+			}
+			w.regs[b+d] = uint32(iv)
+			fr.pc++
+		}
+	case isa.OpI2F:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+d] = math.Float32bits(float32(int32(w.regs[b+s0])))
+			fr.pc++
+		}
+	case isa.OpMov:
+		if wn == 1 {
+			return func(w *CWarp) {
+				fr := w.fr
+				b := fr.base
+				w.regs[b+d] = w.regs[b+s0]
+				fr.pc++
+			}
+		}
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			for i := 0; i < wn; i++ {
+				w.regs[b+d+i] = w.regs[b+s0+i]
+			}
+			fr.pc++
+		}
+	case isa.OpMovI:
+		return func(w *CWarp) {
+			fr := w.fr
+			w.regs[fr.base+d] = ui
+			fr.pc++
+		}
+	case isa.OpRdSp:
+		sp := in.Sp
+		return func(w *CWarp) {
+			fr := w.fr
+			w.regs[fr.base+d] = w.readSpecial(sp)
+			fr.pc++
+		}
+	case isa.OpLdG:
+		if wn == 1 {
+			return func(w *CWarp) {
+				fr := w.fr
+				b := fr.base
+				w.regs[b+d] = GlobalData(w.regs[b+s0] + ui)
+				fr.pc++
+			}
+		}
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			addr := w.regs[b+s0] + ui
+			for i := 0; i < wn; i++ {
+				w.regs[b+d+i] = GlobalData(addr + uint32(4*i))
+			}
+			fr.pc++
+		}
+	case isa.OpStG:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			addr := w.regs[b+s0] + ui
+			h := w.cks
+			for i := 0; i < wn; i++ {
+				h = (h ^ uint64(addr+uint32(4*i))) * fnvPrime
+				h = (h ^ uint64(w.regs[b+s1+i])) * fnvPrime
+			}
+			w.cks = h
+			w.storeCnt += wn
+			fr.pc++
+		}
+	case isa.OpLdS:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			addr := w.regs[b+s0] + ui
+			if n := uint32(len(w.shared)); n != 0 {
+				for i := 0; i < wn; i++ {
+					w.regs[b+d+i] = w.shared[((addr+uint32(4*i))>>2)%n]
+				}
+			} else {
+				for i := 0; i < wn; i++ {
+					w.regs[b+d+i] = 0
+				}
+			}
+			fr.pc++
+		}
+	case isa.OpStS:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			if n := uint32(len(w.shared)); n != 0 {
+				addr := w.regs[b+s0] + ui
+				for i := 0; i < wn; i++ {
+					w.shared[((addr+uint32(4*i))>>2)%n] = w.regs[b+s1+i]
+				}
+			}
+			fr.pc++
+		}
+	case isa.OpSpillSS:
+		ii := int(in.Imm)
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			o := fr.shBase + ii
+			for i := 0; i < wn; i++ {
+				w.shSpill[o+i] = w.regs[b+s0+i]
+			}
+			fr.pc++
+		}
+	case isa.OpSpillSL:
+		ii := int(in.Imm)
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			o := fr.shBase + ii
+			for i := 0; i < wn; i++ {
+				w.regs[b+d+i] = w.shSpill[o+i]
+			}
+			fr.pc++
+		}
+	case isa.OpSpillLS:
+		ii := int(in.Imm)
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			o := fr.locBase + ii
+			for i := 0; i < wn; i++ {
+				w.locSpill[o+i] = w.regs[b+s0+i]
+			}
+			fr.pc++
+		}
+	case isa.OpSpillLL:
+		ii := int(in.Imm)
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			o := fr.locBase + ii
+			for i := 0; i < wn; i++ {
+				w.regs[b+d+i] = w.locSpill[o+i]
+			}
+			fr.pc++
+		}
+	case isa.OpBra:
+		tgt := int(in.Tgt)
+		return func(w *CWarp) { w.fr.pc = tgt }
+	case isa.OpCbr:
+		tgt := int(in.Tgt)
+		return func(w *CWarp) {
+			fr := w.fr
+			if w.regs[fr.base+s0] != 0 {
+				fr.pc = tgt
+			} else {
+				fr.pc++
+			}
+		}
+	case isa.OpBar:
+		// Synchronization is a timing concern; functionally a no-op.
+		return func(w *CWarp) { w.fr.pc++ }
+	case isa.OpCall:
+		callee := int(in.Tgt)
+		bk := c.layout.callBase[fi][c.layout.callIndex[fi][pc]]
+		cf := c.prog.Funcs[callee]
+		calleeName := cf.Name
+		calleeFrame := c.layout.frameSize[callee]
+		numArgs := cf.NumArgs
+		retRel := -1
+		if in.Dst != isa.RegNone {
+			retRel = d
+		}
+		shInc := c.layout.sharedSlots[fi]
+		locInc := c.layout.localSlots[fi]
+		srcs := [3]int{s0, s1, s2}
+		return func(w *CWarp) {
+			fr := w.fr
+			newBase := fr.base + bk
+			if newBase+calleeFrame > regFileSize {
+				w.err = fmt.Errorf("interp: register file overflow calling %s", calleeName)
+				return
+			}
+			retDst := -1
+			if retRel >= 0 {
+				retDst = fr.base + retRel
+			}
+			// ABI: read every argument before writing any (see Warp.Step).
+			var argv [3]uint32
+			for a := 0; a < numArgs; a++ {
+				argv[a] = w.regs[fr.base+srcs[a]]
+			}
+			for a := 0; a < numArgs; a++ {
+				w.regs[newBase+a] = argv[a]
+			}
+			nf := frame{
+				fn:      callee,
+				base:    newBase,
+				shBase:  fr.shBase + shInc,
+				locBase: fr.locBase + locInc,
+				retDst:  retDst,
+			}
+			fr.pc++ // return address
+			w.stack = append(w.stack, nf)
+			w.fr = &w.stack[len(w.stack)-1]
+			w.code = w.c.code[callee]
+		}
+	case isa.OpRet:
+		hasRV := in.Src[0] != isa.RegNone
+		return func(w *CWarp) {
+			fr := w.fr
+			var rv uint32
+			if hasRV {
+				rv = w.regs[fr.base+s0]
+			}
+			retDst := fr.retDst
+			w.stack = w.stack[:len(w.stack)-1]
+			if retDst >= 0 && hasRV {
+				w.regs[retDst] = rv
+			}
+			w.fr = &w.stack[len(w.stack)-1]
+			w.code = w.c.code[w.fr.fn]
+		}
+	case isa.OpExit:
+		return func(w *CWarp) { w.done = true }
+	default:
+		op := in.Op
+		return func(w *CWarp) { w.err = fmt.Errorf("interp: cannot execute %s", op) }
+	}
+}
+
+// fuse rewrites hot two-instruction patterns into superinstructions. The
+// head closure performs both instructions' warp-private effects and latches
+// the control-flow successor; the tail closure shrinks to a pc update. A
+// tail must not be a branch target (it would then also execute unfused via
+// its own entry, but the head could be skipped), so branch-target leaders
+// are excluded; return addresses cannot be tails because a tail's only
+// predecessor is its head, which is never a CALL. Fused pairs never chain.
+func (c *Compiled) fuse(f *isa.Function, code []cop) {
+	n := len(f.Instrs)
+	leader := make([]bool, n+1)
+	for i := 0; i < n; i++ {
+		switch f.Instrs[i].Op {
+		case isa.OpBra, isa.OpCbr:
+			if t := int(f.Instrs[i].Tgt); t >= 0 && t < n {
+				leader[t] = true
+			}
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if leader[i+1] {
+			continue
+		}
+		head, tail := fusePair(&f.Instrs[i], &f.Instrs[i+1], i)
+		if head != nil {
+			code[i].exec = head
+			code[i+1].exec = tail
+			i++
+		}
+	}
+}
+
+// incTail is the trivial tail of a fused pair whose head already advanced
+// the warp's architectural state: it only consumes the second pc slot.
+func incTail(w *CWarp) { w.fr.pc++ }
+
+// fusedBranchTail redirects control to the successor the fused
+// compare+branch head latched in fusedPC.
+func fusedBranchTail(w *CWarp) { w.fr.pc = int(w.fusedPC) }
+
+func fusePair(h, t *isa.Instr, pc int) (head, tail func(*CWarp)) {
+	// Family 1: compare feeding a conditional branch (loop back edges).
+	if t.Op == isa.OpCbr && t.Src[0] == h.Dst && h.W() == 1 &&
+		(h.Op == isa.OpISet || h.Op == isa.OpFSet) {
+		d, a, b2 := int(h.Dst), int(h.Src[0]), int(h.Src[1])
+		cmp := h.Cmp
+		tgt := int32(t.Tgt)
+		fall := int32(pc + 2)
+		if h.Op == isa.OpISet {
+			head = func(w *CWarp) {
+				fr := w.fr
+				b := fr.base
+				taken := cmpInt(cmp, int32(w.regs[b+a]), int32(w.regs[b+b2]))
+				w.regs[b+d] = boolWord(taken)
+				if taken {
+					w.fusedPC = tgt
+				} else {
+					w.fusedPC = fall
+				}
+				fr.pc++
+			}
+		} else {
+			head = func(w *CWarp) {
+				fr := w.fr
+				b := fr.base
+				x := math.Float32frombits(w.regs[b+a])
+				y := math.Float32frombits(w.regs[b+b2])
+				taken := cmpFloat(cmp, x, y)
+				w.regs[b+d] = boolWord(taken)
+				if taken {
+					w.fusedPC = tgt
+				} else {
+					w.fusedPC = fall
+				}
+				fr.pc++
+			}
+		}
+		return head, fusedBranchTail
+	}
+	// Family 2: constant feeding an ALU op (MOVI k; ALU d,x,y). Both
+	// writes happen in program order inside the head, so operand aliasing
+	// (x or y being the constant's register) behaves exactly as unfused.
+	if h.Op == isa.OpMovI && h.W() == 1 {
+		if head := moviALUHead(t, int(h.Dst), uint32(h.Imm)); head != nil {
+			return head, incTail
+		}
+	}
+	// Family 3: single-word load feeding an ALU op (LDG d,[a]; ALU ...).
+	if h.Op == isa.OpLdG && h.W() == 1 {
+		if head := ldgALUHead(t, int(h.Dst), int(h.Src[0]), uint32(h.Imm)); head != nil {
+			return head, incTail
+		}
+	}
+	return nil, nil
+}
+
+func moviALUHead(t *isa.Instr, md int, mi uint32) func(*CWarp) {
+	if t.W() != 1 {
+		return nil
+	}
+	d, a, b2 := int(t.Dst), int(t.Src[0]), int(t.Src[1])
+	switch t.Op {
+	case isa.OpIAdd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] + w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpISub:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] - w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpIMul:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] * w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpAnd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] & w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpOr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] | w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpXor:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] ^ w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpShl:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] << (w.regs[b+b2] & 31)
+			fr.pc++
+		}
+	case isa.OpShr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+md] = mi
+			w.regs[b+d] = w.regs[b+a] >> (w.regs[b+b2] & 31)
+			fr.pc++
+		}
+	}
+	return nil
+}
+
+func ldgALUHead(t *isa.Instr, ld, la int, li uint32) func(*CWarp) {
+	if t.W() != 1 {
+		return nil
+	}
+	d, a, b2 := int(t.Dst), int(t.Src[0]), int(t.Src[1])
+	switch t.Op {
+	case isa.OpIAdd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] + w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpISub:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] - w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpIMul:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] * w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpAnd:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] & w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpOr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] | w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpXor:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] ^ w.regs[b+b2]
+			fr.pc++
+		}
+	case isa.OpShl:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] << (w.regs[b+b2] & 31)
+			fr.pc++
+		}
+	case isa.OpShr:
+		return func(w *CWarp) {
+			fr := w.fr
+			b := fr.base
+			w.regs[b+ld] = GlobalData(w.regs[b+la] + li)
+			w.regs[b+d] = w.regs[b+a] >> (w.regs[b+b2] & 31)
+			fr.pc++
+		}
+	}
+	return nil
+}

@@ -77,6 +77,13 @@ type Event struct {
 	Lines         []uint64
 	ActiveLanes   int
 	BankConflicts int
+
+	// DstW and SrcW cache Instr.W() / Instr.SrcWidth(i) so the simulator's
+	// scoreboard does not re-derive operand widths on every issue attempt.
+	// They are populated by StepExecutor.Fill (both the compiled executors
+	// and the Stepper adapter); plain Peek leaves them zero.
+	DstW uint8
+	SrcW [3]uint8
 }
 
 // Executor is the stepping interface both execution modes implement; the

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Backend selects the warp execution engine behind the timing model.
+//
+// Both backends step the same binaries through the same issue, cache,
+// DRAM, and energy model; they differ only in how each warp's next
+// instruction is produced and committed:
+//
+//   - BackendCompiled translates every basic block once into fused Go
+//     closures (package interp's CWarp/CSIMTWarp) with pre-resolved
+//     operand templates, superinstructions for hot decode pairs, and
+//     whole-warp lane batching in SIMT mode. This is the default.
+//   - BackendInterp steps the original tree-walking interpreter
+//     (interp.Warp/SIMTWarp via the Stepper adapter). It is the
+//     reference semantics and stays available as a differential oracle
+//     for the compiled path.
+//
+// The two are required to be bit-identical on Stats fingerprints and
+// fault behavior; verify.CrossBackend and the sim differential tests
+// enforce that.
+type Backend uint8
+
+const (
+	// BackendAuto resolves to the process-wide default backend
+	// (SetDefaultBackend, initially BackendCompiled). It is the zero
+	// value so existing Config literals keep working unchanged.
+	BackendAuto Backend = iota
+	// BackendCompiled executes block-compiled closures.
+	BackendCompiled
+	// BackendInterp executes the reference interpreter.
+	BackendInterp
+)
+
+// String names the backend as accepted by ParseBackend.
+func (b Backend) String() string {
+	switch b {
+	case BackendCompiled:
+		return "compiled"
+	case BackendInterp:
+		return "interp"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackend parses a -sim-backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "compiled":
+		return BackendCompiled, nil
+	case "interp", "interpreter":
+		return BackendInterp, nil
+	case "", "auto", "default":
+		return BackendAuto, nil
+	}
+	return BackendAuto, fmt.Errorf("sim: unknown backend %q (want compiled or interp)", s)
+}
+
+// defaultBackend holds the process-wide backend used when a Config
+// leaves Backend as BackendAuto. Zero means "unset" and resolves to
+// BackendCompiled.
+var defaultBackend atomic.Uint32
+
+// SetDefaultBackend changes the process-wide default backend. CLIs and
+// bench.Suite use this to honor -sim-backend without threading the
+// choice through every Config literal.
+func SetDefaultBackend(b Backend) { defaultBackend.Store(uint32(b)) }
+
+// DefaultBackend reports the backend a BackendAuto Config resolves to.
+func DefaultBackend() Backend {
+	if b := Backend(defaultBackend.Load()); b != BackendAuto {
+		return b
+	}
+	return BackendCompiled
+}
+
+// resolve maps BackendAuto to the process default.
+func (b Backend) resolve() Backend {
+	if b == BackendAuto {
+		return DefaultBackend()
+	}
+	return b
+}

@@ -1,0 +1,287 @@
+// Backend-equivalence tests live in an external test package: they drive
+// the simulator through core's realization ladder and the verify oracle,
+// both of which import sim.
+package sim_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// crossDevices are the two paper GPUs; they differ in SM count, issue
+// width, L2 size, and DRAM service rate, so the strided block assignment
+// and the per-SM memory system get exercised under both shapes.
+func crossDevices() []*device.Device {
+	return []*device.Device{device.GTX680(), device.TeslaC2075()}
+}
+
+// launchFor builds a small launch covering full blocks plus a tail warp,
+// so the cross-SM block striding and the partial last block are both in
+// play without full-grid runtimes.
+func launchFor(p *isa.Program, d *device.Device) *interp.Launch {
+	wpb := p.BlockDim / d.WarpSize
+	if wpb < 1 {
+		wpb = 1
+	}
+	return &interp.Launch{Prog: p, GridWarps: 3*wpb + 1}
+}
+
+// TestCrossBackendCorpus realizes every benchmark kernel at every
+// achievable occupancy level on both devices and requires the compiled
+// and interpreted backends to produce bit-identical Stats for each
+// resulting binary.
+func TestCrossBackendCorpus(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		ks = ks[:3]
+	}
+	for _, d := range crossDevices() {
+		r := core.NewRealizer(d, device.SmallCache)
+		for _, k := range ks {
+			lad := r.NewLadder(k.Prog)
+			wpb := k.Prog.BlockDim / d.WarpSize
+			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+				v, err := lad.Realize(lvl)
+				if err != nil {
+					continue // infeasible or rejected levels are not ladder rungs
+				}
+				blocks := v.Natural.ActiveBlocks
+				if tb := lvl / wpb; tb < blocks {
+					blocks = tb
+				}
+				if blocks <= 0 {
+					continue
+				}
+				cfg := sim.Config{
+					Device:         d,
+					Cache:          device.SmallCache,
+					BlocksPerSM:    blocks,
+					RegsPerThread:  v.RegsPerThread,
+					SharedPerBlock: v.SharedPerBlock,
+				}
+				if vs := verify.CrossBackend(cfg, launchFor(v.Prog, d)); vs != nil {
+					t.Errorf("%s/%s level %d: %s", d.Name, k.Name, lvl, vs[0].Detail)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossBackendDefects runs the seeded defect corpus through both
+// backends. The defects deadlock, race, and read uninitialized state;
+// whatever the simulator does with them — finish, or fault — the two
+// backends must do it identically, error text included.
+func TestCrossBackendDefects(t *testing.T) {
+	defects, err := kernels.Defects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defects) == 0 {
+		t.Fatal("defect corpus is empty")
+	}
+	d := device.GTX680()
+	for _, df := range defects {
+		cfg := sim.Config{Device: d, Cache: device.SmallCache, BlocksPerSM: 2, RegsPerThread: 16}
+		if vs := verify.CrossBackend(cfg, launchFor(df.Prog, d)); vs != nil {
+			t.Errorf("defect %s: %s", df.Name, vs[0].Detail)
+		}
+	}
+}
+
+// TestCrossBackendFuzzCorpora replays the checked-in decode and realize
+// fuzz corpora through both backends: adversarial programs the fuzzers
+// already found are exactly where a compiled-execution shortcut would
+// first diverge from the interpreter.
+func TestCrossBackendFuzzCorpora(t *testing.T) {
+	defer sim.SetInstrBudgetForTest(200_000)()
+	d := device.GTX680()
+	seen := 0
+	for _, dir := range []string{
+		"../isa/testdata/fuzz/FuzzDecode",
+		"../core/testdata/fuzz/FuzzRealize",
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading corpus %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			data, err := loadFuzzInput(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatalf("corpus %s/%s: %v", dir, e.Name(), err)
+			}
+			p, err := isa.Decode(data)
+			if err != nil || isa.Validate(p) != nil {
+				continue
+			}
+			layout, err := interp.NewLayout(p)
+			if err != nil || layout.RegHighWater > interp.RegFileSize {
+				continue
+			}
+			seen++
+			cfg := sim.Config{Device: d, Cache: device.SmallCache, BlocksPerSM: 1, RegsPerThread: 16}
+			lc := &interp.Launch{Prog: p, GridWarps: p.BlockDim / d.WarpSize}
+			if lc.GridWarps < 1 {
+				lc.GridWarps = 1
+			}
+			if vs := verify.CrossBackend(cfg, lc); vs != nil {
+				t.Errorf("corpus input %s: %s", e.Name(), vs[0].Detail)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Log("no corpus input decoded to a runnable program (corpus may be all-structural)")
+	}
+}
+
+// loadFuzzInput parses one "go test fuzz v1" corpus file with a single
+// []byte argument.
+func loadFuzzInput(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "go test fuzz") {
+		return nil, fmt.Errorf("not a fuzz corpus file")
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "[]byte(")
+	body = strings.TrimSuffix(body, ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, fmt.Errorf("unquoting corpus payload: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// TestSimBackendDeterminism pins the parallel-SM merge: the same launch,
+// run repeatedly on each backend, must return identical Stats every time.
+// Goroutine scheduling must be entirely invisible in the merged result.
+func TestSimBackendDeterminism(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ks[0]
+	for _, backend := range []sim.Backend{sim.BackendCompiled, sim.BackendInterp} {
+		for _, d := range crossDevices() {
+			cfg := sim.Config{
+				Device:        d,
+				Cache:         device.SmallCache,
+				BlocksPerSM:   2,
+				RegsPerThread: 32,
+				Backend:       backend,
+			}
+			lc := launchFor(k.Prog, d)
+			var first *sim.Stats
+			for run := 0; run < 3; run++ {
+				st, err := sim.Simulate(cfg, lc)
+				if err != nil {
+					t.Fatalf("%s/%s run %d: %v", backend, d.Name, run, err)
+				}
+				if first == nil {
+					first = st
+					continue
+				}
+				if *st != *first {
+					t.Fatalf("%s/%s run %d: stats diverged from run 0:\n got %+v\nwant %+v",
+						backend, d.Name, run, *st, *first)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledBackendAllocsFlat asserts that repeated Simulate calls on
+// the compiled backend stay allocation-flat: block closures, warp
+// contexts, and register scratch all come from pools, so steady-state
+// launches must not scale allocations with grid size.
+func TestCompiledBackendAllocsFlat(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ks[0].Prog
+	d := device.GTX680()
+	cfg := sim.Config{
+		Device:        d,
+		Cache:         device.SmallCache,
+		BlocksPerSM:   2,
+		RegsPerThread: 32,
+		Backend:       sim.BackendCompiled,
+	}
+	lc := launchFor(p, d)
+	run := func() {
+		if _, err := sim.Simulate(cfg, lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the program compilation and every pool
+	perBlock := testing.AllocsPerRun(5, run)
+
+	// Now quadruple the grid: the same resident set processes 4x the
+	// blocks, and pooling must keep the allocation count in the same
+	// ballpark instead of scaling with the block count.
+	big := &interp.Launch{Prog: p, GridWarps: 4 * lc.GridWarps}
+	runBig := func() {
+		if _, err := sim.Simulate(cfg, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runBig()
+	perBig := testing.AllocsPerRun(5, runBig)
+	if perBig > 2*perBlock+64 {
+		t.Errorf("allocations scale with grid size: %v for 4x grid vs %v base", perBig, perBlock)
+	}
+}
+
+// FuzzSimCompiled feeds decoded fuzz programs to both backends and
+// requires agreement on the outcome: identical Stats on success,
+// identical error text on failure.
+func FuzzSimCompiled(f *testing.F) {
+	if ks, err := kernels.All(); err == nil && len(ks) > 0 {
+		f.Add(isa.Encode(ks[0].Prog))
+	}
+	if defects, err := kernels.Defects(); err == nil {
+		for _, df := range defects {
+			f.Add(isa.Encode(df.Prog))
+		}
+	}
+	d := device.GTX680()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer sim.SetInstrBudgetForTest(200_000)()
+		p, err := isa.Decode(data)
+		if err != nil || isa.Validate(p) != nil {
+			return
+		}
+		layout, err := interp.NewLayout(p)
+		if err != nil || layout.RegHighWater > interp.RegFileSize {
+			return
+		}
+		cfg := sim.Config{Device: d, Cache: device.SmallCache, BlocksPerSM: 1, RegsPerThread: 16}
+		gw := p.BlockDim / d.WarpSize
+		if gw < 1 {
+			gw = 1
+		}
+		lc := &interp.Launch{Prog: p, GridWarps: gw}
+		if vs := verify.CrossBackend(cfg, lc); vs != nil {
+			t.Fatalf("backend divergence: %s", vs[0].Detail)
+		}
+	})
+}

@@ -1,0 +1,11 @@
+package sim
+
+// SetInstrBudgetForTest lowers the per-SM runaway-kernel instruction
+// budget and returns a restore function. Corpus-replay tests use it so an
+// adversarial infinite loop faults in milliseconds instead of minutes;
+// the fault itself (and its cross-backend parity) is still exercised.
+func SetInstrBudgetForTest(n uint64) func() {
+	old := maxStepsFactor
+	maxStepsFactor = n
+	return func() { maxStepsFactor = old }
+}

@@ -3,20 +3,34 @@
 // binaries the Orion compiler emits (via package interp's stepping API)
 // on a multi-SM model with scoreboarded in-order warp issue, a
 // greedy-then-oldest scheduler, per-SM L1 caches (with the Fermi/Kepler
-// global-caching policy difference), a shared L2, DRAM with finite
-// bandwidth (queueing), MSHR limits, shared-memory latency, barriers, and
-// an energy model whose register-file component scales with allocated
-// registers.
+// global-caching policy difference), a banked L2 (one slice per SM),
+// per-SM DRAM channels with finite bandwidth (queueing), MSHR limits,
+// shared-memory latency, barriers, and an energy model whose
+// register-file component scales with allocated registers.
 //
 // The paper's occupancy phenomena are emergent here: few resident warps
 // expose DRAM latency; many resident warps execute more spill code (real
 // instructions inserted by the allocator), thrash the L1, and queue on
 // DRAM bandwidth.
+//
+// SMs are mutually independent — every shared structure (L2 slice, DRAM
+// channel, MSHRs, shared-memory port) is per-SM — so each SM runs on its
+// own goroutine with its own clock, and the per-SM results are merged in
+// SM-index order after a join (the same index-ordered fork/join merge
+// package obs uses). All per-SM statistics are integers (energy is held
+// as per-class event counts); the merged floating-point reductions are
+// evaluated in one fixed order, so results are bit-identical run to run
+// regardless of goroutine interleaving.
+//
+// Two execution backends drive the warps beneath the timing model: the
+// default compiled backend (block-compiled fused closures, see
+// interp.Compile) and the reference interpreter. See Backend.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/interp"
@@ -39,6 +53,11 @@ type Config struct {
 	TraceWarps int
 	// Scheduler selects the warp scheduling policy (default GTO).
 	Scheduler Scheduler
+	// Backend selects the warp execution engine (default: the process-wide
+	// default, normally the compiled backend). Both backends are
+	// bit-identical on Stats; the interpreter remains available as a
+	// differential oracle.
+	Backend Backend
 	// Obs, when enabled, wraps the launch in an observability span
 	// carrying the run's statistics (cycles, IPC, stall breakdown, cache
 	// hit rates). The zero Ctx disables it at the cost of one check.
@@ -104,10 +123,13 @@ func (s *Stats) IPC() float64 {
 	return float64(s.Instructions) / float64(s.Cycles)
 }
 
-const (
-	spaceLocalBit  = uint64(1) << 40
-	maxStepsFactor = 50_000_000
-)
+const spaceLocalBit = uint64(1) << 40
+
+// maxStepsFactor bounds the dynamic instructions per SM before a launch
+// is declared a runaway kernel. A variable (not a const) so tests that
+// replay adversarial fuzz corpora can lower it instead of spinning the
+// full budget on both backends.
+var maxStepsFactor = uint64(50_000_000)
 
 type stallKind uint8
 
@@ -119,26 +141,51 @@ const (
 	stallMSHR
 )
 
+// warpCtx is one resident warp's issue state. Field order is deliberate:
+// the issue scan's reject check (wake, atBar, done) reads only the first
+// cache line, which matters because the inline pending[] scoreboard makes
+// the struct 5 KiB.
 type warpCtx struct {
-	exec  interp.Executor
-	gid   int32 // global warp id
-	trace bool
-	ev    interp.Event
-	hasEv bool
-	ready uint64
 	// wake is the next cycle at which checking this warp can possibly
 	// succeed (scoreboard and structural hazards have exact release
 	// times); the issue scan skips the warp until then.
-	wake    uint64
-	atBar   bool
-	done    bool
-	block   *blockCtx
-	pending [640]uint64 // register -> cycle at which its value is ready
+	wake  uint64
+	atBar bool
+	done  bool
+	hasEv bool
+	trace bool
+	stall stallKind // stall attribution
+	gid   int32     // global warp id
+	slot  int32     // index in the SM's warps/wakes arrays
+	ready uint64
+
+	x  interp.StepExecutor
+	cw *interp.CWarp // devirtualized fast path when x is a *interp.CWarp
+
+	block *blockCtx
+	ev    interp.Event
 
 	// Stall attribution.
 	lastIssue   uint64
-	stall       stallKind
 	memPendHigh uint64 // latest cycle a memory result becomes ready
+
+	pending [640]uint64 // register -> cycle at which its value is ready
+}
+
+// asleep is the wakes-array sentinel for warps the issue scan must skip
+// regardless of time: done warps and warps parked at a barrier. It never
+// lowers a minimum-wake fold.
+const asleep = uint64(math.MaxUint64)
+
+// warpCtxPool recycles warp contexts across blocks and across Simulate
+// calls; a context is 5 KiB dominated by the pending[] scoreboard, and
+// the tuner loop launches thousands of them.
+var warpCtxPool = sync.Pool{New: func() any { return new(warpCtx) }}
+
+func getWarpCtx() *warpCtx {
+	wc := warpCtxPool.Get().(*warpCtx)
+	*wc = warpCtx{} // stale pending[] stamps would fabricate hazards
+	return wc
 }
 
 type blockCtx struct {
@@ -149,20 +196,119 @@ type blockCtx struct {
 	shared   []uint32 // block-private shared memory, recycled on retire
 }
 
+var blockCtxPool = sync.Pool{New: func() any { return new(blockCtx) }}
+
+// smStats is one SM's share of the launch statistics. Everything is an
+// integer: energy is accumulated as per-class event counts and converted
+// to Joules in one fixed-order float expression at merge time, so the
+// parallel SM goroutines cannot perturb float summation order.
+type smStats struct {
+	instructions   uint64
+	spillInstrs    uint64
+	moveInstrs     uint64
+	dramLines      uint64
+	sharedAccesses uint64
+	issueStall     uint64
+
+	stallMem     uint64
+	stallALU     uint64
+	stallBarrier uint64
+	stallMSHR    uint64
+
+	// Energy event classes. nALU counts ALU and branch issues (one
+	// EnergyALU each); calls cost two; FPU issues cost 1.5. Memory lines
+	// are split by where they hit (0.2/0.5/1.0 × EnergyMem); shared
+	// accesses are counted in sharedAccesses.
+	nALU    uint64
+	nFPU    uint64
+	nCall   uint64
+	memL1   uint64
+	memL2   uint64
+	memDRAM uint64
+
+	checksum uint64
+}
+
+// engine is the launch-wide immutable state shared (read-only) by the
+// per-SM goroutines.
+type engine struct {
+	cfg         Config
+	d           *device.Device
+	lc          *interp.Launch
+	layout      *interp.Layout
+	comp        *interp.Compiled // non-nil iff cfg.Backend == BackendCompiled
+	simt        bool
+	wpb         int
+	numBlocks   int
+	sharedWords int
+	dramService float64 // per-SM channel occupancy per line
+}
+
 type smCtx struct {
-	id       int
-	warps    []*warpCtx
-	blocks   []*blockCtx
+	eng   *engine
+	id    int
+	warps []*warpCtx
+	// wakes mirrors each warp's effective wake stamp contiguously (done
+	// and barrier-parked warps hold the asleep sentinel), so the issue
+	// scan's reject test streams over a flat uint64 array instead of
+	// chasing a pointer per resident warp.
+	wakes    []uint64
 	l1       *cache
+	l2       *cache   // this SM's L2 slice
 	mshr     []uint64 // completion cycles of outstanding misses
 	lastWarp int
 	// sharedFree is the cycle at which the shared-memory port next frees
 	// (bandwidth queueing, like the DRAM channel).
 	sharedFree float64
+	// dramFree is the cycle at which this SM's DRAM channel next frees.
+	dramFree float64
 	// sharedPool recycles per-block shared-memory buffers: a retired
 	// block's buffer is zeroed and handed to the next launched block,
 	// bounding allocation churn by residency instead of grid size.
 	sharedPool [][]uint32
+
+	// nextBlock is the next grid block this SM will launch; blocks are
+	// statically strided across SMs (block b runs on SM b mod SMs), which
+	// keeps the assignment independent of cross-SM completion order.
+	nextBlock int
+	now       uint64
+	lastNow   uint64
+	live      int
+
+	// residentIntegral accumulates live-warp·cycles as an integer so the
+	// merged average is exact and order-independent.
+	residentIntegral uint64
+	st               smStats
+	trace            []IssueRecord
+	err              error
+
+	// Incremental scheduler state. A warp's wake stamp only changes when
+	// it is attempted, when its barrier releases, or when its block
+	// launches — so after a full scan, the minimum wake over all warps
+	// that did NOT issue (othersMin) stays exact until one of those
+	// events (tracked by dirty). While othersMin is in the future, a
+	// cycle only needs to re-check the warps that issued last cycle
+	// (recheck), turning the per-cycle cost from O(resident warps) into
+	// O(issue width).
+	recheck    []issuedRef
+	spare      []issuedRef
+	othersMin  uint64
+	haveOthers bool
+	dirty      bool
+
+	// graveyard defers returning retired warp contexts to the shared
+	// pool until the next cycle boundary: the issue loop still inspects
+	// a warp's done/atBar flags right after the issue that may have
+	// retired it, and an immediate Put would let another goroutine's
+	// Get race with those reads.
+	graveyard []*warpCtx
+}
+
+// issuedRef remembers a warp that issued this cycle along with its scan
+// index (for scheduler-pointer updates on the fast path).
+type issuedRef struct {
+	wc  *warpCtx
+	idx int
 }
 
 // Simulate runs the launch to completion and returns its statistics.
@@ -170,11 +316,13 @@ type smCtx struct {
 // attributes summarize the Stats; disabled, the instrumentation costs a
 // single check.
 func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
+	cfg.Backend = cfg.Backend.resolve()
 	if !cfg.Obs.Enabled() {
 		return simulateLoop(cfg, lc)
 	}
 	sp := cfg.Obs.Span("simulate",
 		obs.String("kernel", lc.Prog.Name),
+		obs.String("backend", cfg.Backend.String()),
 		obs.Int("blocks_per_sm", cfg.BlocksPerSM),
 		obs.Int("grid_warps", lc.GridWarps))
 	st, err := simulateLoop(cfg, lc)
@@ -196,6 +344,7 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 		)
 		m := cfg.Obs.Metrics()
 		m.Counter("sim.launches").Add(1)
+		m.Counter("sim.launches." + cfg.Backend.String()).Add(1)
 		m.Counter("sim.cycles").Add(st.Cycles)
 		m.Counter("sim.instructions").Add(st.Instructions)
 	}
@@ -211,7 +360,8 @@ func hitRate(hits, misses uint64) float64 {
 	return float64(hits) / float64(hits+misses)
 }
 
-// simulateLoop is the uninstrumented simulation loop.
+// simulateLoop validates the launch, runs one goroutine per SM, and
+// merges the per-SM results deterministically.
 func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	d := cfg.Device
 	if cfg.BlocksPerSM <= 0 {
@@ -230,421 +380,106 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	if wpb <= 0 {
 		return nil, fmt.Errorf("sim: block dim %d too small", lc.Prog.BlockDim)
 	}
-	numBlocks := (lc.GridWarps + wpb - 1) / wpb
-	sharedWords := (lc.Prog.SharedBytes + 3) / 4
-
-	st := &Stats{Warps: lc.GridWarps}
-	if cfg.TraceWarps > 0 {
-		st.Trace = &Trace{MaxWarps: cfg.TraceWarps}
+	e := &engine{
+		cfg:         cfg,
+		d:           d,
+		lc:          lc,
+		layout:      layout,
+		simt:        lc.Prog.UsesLaneID(),
+		wpb:         wpb,
+		numBlocks:   (lc.GridWarps + wpb - 1) / wpb,
+		sharedWords: (lc.Prog.SharedBytes + 3) / 4,
+		// The device-wide DRAM bandwidth is divided into one channel per
+		// SM: a channel's per-line occupancy is SMs times the chip-wide
+		// figure, so aggregate bandwidth is unchanged but the channels
+		// (like the L2 slices) never couple SMs to each other.
+		dramService: d.DRAMServiceCycles * float64(d.SMs),
 	}
-	l2 := newCache(d.L2Bytes, d.LineBytes, 8)
+	if cfg.Backend == BackendCompiled {
+		// Block-compiled code is memoized per program like the layout.
+		if e.comp, err = interp.CompiledOf(lc.Prog); err != nil {
+			return nil, err
+		}
+	}
+
 	sms := make([]*smCtx, d.SMs)
 	for i := range sms {
 		sms[i] = &smCtx{
-			id: i,
-			l1: newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4),
+			eng:       e,
+			id:        i,
+			l1:        newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4),
+			l2:        newCache(d.L2Bytes/d.SMs, d.LineBytes, 8),
+			nextBlock: i,
 			// Pre-size the issue-scan slice for the configured residency.
 			warps: make([]*warpCtx, 0, cfg.BlocksPerSM*wpb),
 		}
 	}
-	nextBlock := 0
-	var dramFree float64
-	simt := lc.Prog.UsesLaneID()
-	var launchErr error
 
-	launchBlock := func(sm *smCtx, now uint64) int {
-		if nextBlock >= numBlocks {
-			return 0
+	// Fork: SMs share nothing mutable, so each runs on its own goroutine
+	// with its own clock.
+	var wg sync.WaitGroup
+	for _, sm := range sms {
+		wg.Add(1)
+		go func(sm *smCtx) {
+			defer wg.Done()
+			sm.run()
+		}(sm)
+	}
+	wg.Wait()
+
+	// All goroutines are joined: deferred warp contexts can rejoin the
+	// shared pool without racing an in-flight issue loop.
+	for _, sm := range sms {
+		for _, w := range sm.graveyard {
+			warpCtxPool.Put(w)
 		}
-		bid := nextBlock
-		nextBlock++
-		n := wpb
-		if rem := lc.GridWarps - bid*wpb; rem < n {
-			n = rem
-		}
-		blk := &blockCtx{id: bid, live: n, warps: make([]*warpCtx, 0, n)}
-		var shared []uint32
-		if sharedWords > 0 {
-			if np := len(sm.sharedPool); np > 0 {
-				shared = sm.sharedPool[np-1]
-				sm.sharedPool = sm.sharedPool[:np-1]
-				clear(shared) // a fresh block starts with zeroed shared memory
-			} else {
-				shared = make([]uint32, sharedWords)
-			}
-			blk.shared = shared
-		}
-		for k := 0; k < n; k++ {
-			var ex interp.Executor
-			if simt {
-				sw, err2 := interp.NewSIMTWarp(lc, layout, bid*wpb+k, shared)
-				if err2 != nil {
-					launchErr = err2
-					return 0
-				}
-				sw.SMID = sm.id
-				ex = sw
-			} else {
-				w := interp.NewWarp(lc, layout, bid*wpb+k, shared)
-				w.SMID = sm.id
-				ex = w
-			}
-			wc := &warpCtx{exec: ex, ready: now, wake: now, block: blk, gid: int32(bid*wpb + k)}
-			wc.trace = st.Trace != nil && bid*wpb+k < cfg.TraceWarps
-			blk.warps = append(blk.warps, wc)
-			sm.warps = append(sm.warps, wc)
-		}
-		sm.blocks = append(sm.blocks, blk)
-		return n
+		sm.graveyard = nil
 	}
 
-	now := uint64(0)
-	liveWarps := 0
-	// Initial residency.
-	for b := 0; b < cfg.BlocksPerSM; b++ {
-		for _, sm := range sms {
-			liveWarps += launchBlock(sm, 0)
+	// Join: merge in SM-index order (first error wins by index; counters
+	// sum; checksums fold by XOR; clocks merge by max), mirroring the
+	// index-ordered merge obs.Fork/Join uses. Every reduction below is
+	// either integer arithmetic or a fixed-order float expression, so the
+	// merged Stats are independent of goroutine scheduling.
+	for _, sm := range sms {
+		if sm.err != nil {
+			return nil, sm.err
 		}
 	}
-	if launchErr != nil {
-		return nil, launchErr
+	st := &Stats{Warps: lc.GridWarps}
+	var residentIntegral uint64
+	var en smStats
+	for _, sm := range sms {
+		s := &sm.st
+		st.Instructions += s.instructions
+		st.SpillInstrs += s.spillInstrs
+		st.MoveInstrs += s.moveInstrs
+		st.DRAMLines += s.dramLines
+		st.SharedAccesses += s.sharedAccesses
+		st.IssueStallCycles += s.issueStall
+		st.StallMem += s.stallMem
+		st.StallALU += s.stallALU
+		st.StallBarrier += s.stallBarrier
+		st.StallMSHR += s.stallMSHR
+		en.nALU += s.nALU
+		en.nFPU += s.nFPU
+		en.nCall += s.nCall
+		en.memL1 += s.memL1
+		en.memL2 += s.memL2
+		en.memDRAM += s.memDRAM
+		en.sharedAccesses += s.sharedAccesses
+		st.Checksum ^= s.checksum
+		if sm.now > st.Cycles {
+			st.Cycles = sm.now
+		}
+		residentIntegral += sm.residentIntegral
+		st.L1Hits += sm.l1.hits
+		st.L1Misses += sm.l1.misses
+		st.L2Hits += sm.l2.hits
+		st.L2Misses += sm.l2.misses
 	}
-	stepBudget := uint64(maxStepsFactor)
-
-	// memOne charges one line-sized memory transaction and returns its
-	// latency.
-	memOne := func(sm *smCtx, ev *interp.Event, line uint64, isLoad bool) uint64 {
-		if ev.Space == interp.SpaceLocal {
-			line |= spaceLocalBit
-		}
-		useL1 := ev.Space == interp.SpaceLocal || d.L1GlobalCaching
-		var lat uint64
-		switch {
-		case useL1 && sm.l1.access(line, now):
-			st.L1Hits++
-			lat = uint64(d.L1Latency)
-			st.Energy += d.EnergyMem * 0.2
-		case l2.access(line, now):
-			if useL1 {
-				st.L1Misses++
-			}
-			st.L2Hits++
-			lat = uint64(d.L1Latency + d.L2Latency)
-			st.Energy += d.EnergyMem * 0.5
-		default:
-			if useL1 {
-				st.L1Misses++
-			}
-			st.L2Misses++
-			st.DRAMLines++
-			start := math.Max(dramFree, float64(now))
-			dramFree = start + d.DRAMServiceCycles
-			queue := uint64(start) - now
-			lat = uint64(d.L1Latency+d.L2Latency+d.DRAMLatency) + queue
-			st.Energy += d.EnergyMem
-		}
-		if isLoad && lat > uint64(d.L1Latency) {
-			sm.mshr = append(sm.mshr, now+lat)
-		}
-		return lat
-	}
-
-	// memAccess charges a memory operation: one transaction per distinct
-	// cache line the warp touches (Lines is nil in warp-scalar mode — one
-	// line at Addr; a SIMT warp's uncoalesced access pays per line).
-	memAccess := func(sm *smCtx, ev *interp.Event, isLoad bool) (uint64, bool) {
-		nLines := 1
-		if ev.Lines != nil {
-			nLines = len(ev.Lines)
-			if nLines == 0 {
-				nLines = 1
-			}
-		}
-		// MSHR admission for loads that may miss.
-		if isLoad {
-			live := sm.mshr[:0]
-			for _, c := range sm.mshr {
-				if c > now {
-					live = append(live, c)
-				}
-			}
-			sm.mshr = live
-			if len(sm.mshr)+nLines > d.MSHRs {
-				return 0, false // structural stall
-			}
-		}
-		if ev.Lines == nil {
-			return memOne(sm, ev, uint64(ev.Addr)/uint64(d.LineBytes), isLoad), true
-		}
-		var lat uint64
-		for _, line := range ev.Lines {
-			if l := memOne(sm, ev, line, isLoad); l > lat {
-				lat = l
-			}
-		}
-		return lat, true
-	}
-
-	finishWarp := func(sm *smCtx, wc *warpCtx) {
-		wc.done = true
-		_, cks, _ := wc.exec.Result()
-		st.Checksum ^= interp.MixWarpChecksum(lc.FirstWarp+int(wc.gid), cks)
-		liveWarps--
-		blk := wc.block
-		blk.live--
-		if blk.live == blk.barCount && blk.barCount > 0 {
-			releaseBarrier(blk, now, uint64(d.SharedLat))
-		}
-		if blk.live == 0 {
-			// Retire the block's warp contexts so issue scans stay short.
-			keep := sm.warps[:0]
-			for _, w := range sm.warps {
-				if w.block != blk {
-					keep = append(keep, w)
-				}
-			}
-			sm.warps = keep
-			sm.lastWarp = 0
-			if blk.shared != nil {
-				sm.sharedPool = append(sm.sharedPool, blk.shared)
-				blk.shared = nil
-			}
-			liveWarps += launchBlock(sm, now+1)
-		}
-	}
-
-	issueOne := func(sm *smCtx, wc *warpCtx) bool {
-		if wc.done || wc.atBar || wc.wake > now {
-			return false
-		}
-		if !wc.hasEv {
-			wc.ev = wc.exec.Peek()
-			wc.hasEv = true
-		}
-		ev := &wc.ev
-		// Scoreboard: sources and destination must be ready. On a hazard
-		// the blocking registers' exact release time becomes the wake time.
-		var hazard uint64
-		for i := 0; i < ev.NSrc; i++ {
-			r := ev.AbsSrc[i]
-			w := ev.Instr.SrcWidth(i)
-			for k := 0; k < w; k++ {
-				if p := wc.pending[r+k]; p > hazard {
-					hazard = p
-				}
-			}
-		}
-		if ev.AbsDst >= 0 {
-			for k := 0; k < ev.Instr.W(); k++ {
-				if p := wc.pending[ev.AbsDst+k]; p > hazard {
-					hazard = p
-				}
-			}
-		}
-		if hazard > now {
-			wc.wake = hazard
-			if hazard <= wc.memPendHigh {
-				wc.stall = stallMem
-			} else {
-				wc.stall = stallALU
-			}
-			return false
-		}
-		isLoad := ev.Kind == interp.KindLoad
-		var lat uint64
-		switch ev.Kind {
-		case interp.KindALU:
-			lat = uint64(d.ALULatency)
-			st.Energy += d.EnergyALU
-		case interp.KindFPU:
-			lat = uint64(d.FPULatency)
-			st.Energy += d.EnergyALU * 1.5
-		case interp.KindBranch:
-			lat = uint64(d.ALULatency)
-			st.Energy += d.EnergyALU
-		case interp.KindCall:
-			lat = uint64(2 * d.ALULatency)
-			st.Energy += 2 * d.EnergyALU
-		case interp.KindBarrier, interp.KindExit:
-			lat = 1
-		case interp.KindLoad, interp.KindStore:
-			if ev.Space == interp.SpaceShared {
-				service := d.SharedServiceCycles
-				if ev.BankConflicts > 1 {
-					// Conflicting lanes serialize: the banked array replays
-					// the access once per conflicting group.
-					service *= float64(ev.BankConflicts)
-				}
-				start := math.Max(sm.sharedFree, float64(now))
-				sm.sharedFree = start + service
-				lat = uint64(d.SharedLat) + uint64(start) - now
-				if ev.BankConflicts > 1 {
-					lat += uint64(float64(ev.BankConflicts-1) * d.SharedServiceCycles)
-				}
-				st.SharedAccesses++
-				st.Energy += d.EnergyShared
-			} else {
-				var ok bool
-				lat, ok = memAccess(sm, ev, isLoad)
-				if !ok {
-					// MSHR full: wake when the earliest miss completes.
-					earliest := uint64(math.MaxUint64)
-					for _, c := range sm.mshr {
-						if c < earliest {
-							earliest = c
-						}
-					}
-					if earliest == math.MaxUint64 || earliest <= now {
-						earliest = now + 1
-					}
-					wc.wake = earliest
-					wc.stall = stallMSHR
-					return false
-				}
-				if !isLoad {
-					lat = 1 // stores retire through the write queue
-				}
-			}
-		}
-
-		// Successful issue: attribute the gap since the warp's last issue
-		// to whatever stalled it.
-		if wc.stall != stallNone && now > wc.lastIssue+1 {
-			g := now - wc.lastIssue - 1
-			switch wc.stall {
-			case stallMem:
-				st.StallMem += g
-			case stallALU:
-				st.StallALU += g
-			case stallBarrier:
-				st.StallBarrier += g
-			case stallMSHR:
-				st.StallMSHR += g
-			}
-		}
-		wc.lastIssue = now
-		wc.stall = stallNone
-		if wc.trace {
-			st.Trace.Records = append(st.Trace.Records, IssueRecord{
-				Cycle: now, SM: int16(sm.id), Warp: wc.gid, Kind: ev.Kind,
-				Mem: (ev.Kind == interp.KindLoad || ev.Kind == interp.KindStore) &&
-					ev.Space != interp.SpaceShared,
-			})
-		}
-
-		instr := ev.Instr
-		if _, err2 := wc.exec.Step(); err2 != nil {
-			err = err2
-			return true
-		}
-		wc.hasEv = false
-		st.Instructions++
-		if instr != nil {
-			if instr.IsSpill() {
-				st.SpillInstrs++
-			}
-			if instr.Op == isa.OpMov {
-				st.MoveInstrs++
-			}
-		}
-		wc.ready = now + 1
-		if ev.AbsDst >= 0 {
-			done := now + lat
-			for k := 0; k < instr.W(); k++ {
-				wc.pending[ev.AbsDst+k] = done
-			}
-			if isLoad && ev.Space != interp.SpaceShared && done > wc.memPendHigh {
-				wc.memPendHigh = done
-			}
-		} else if lat > 1 && ev.Kind != interp.KindLoad && ev.Kind != interp.KindStore {
-			wc.ready = now + lat // control ops serialize the warp briefly
-		}
-		wc.wake = wc.ready
-
-		switch ev.Kind {
-		case interp.KindBarrier:
-			blk := wc.block
-			wc.atBar = true
-			wc.stall = stallBarrier
-			blk.barCount++
-			if blk.barCount >= blk.live {
-				releaseBarrier(blk, now, uint64(d.SharedLat))
-			}
-		case interp.KindExit:
-			if wc.exec.Done() {
-				finishWarp(sm, wc)
-			}
-		}
-		return true
-	}
-
-	var residentIntegral float64
-	lastNow := now
-	for liveWarps > 0 {
-		if now > lastNow {
-			residentIntegral += float64(liveWarps) * float64(now-lastNow)
-			lastNow = now
-		}
-		issued := 0
-		for _, sm := range sms {
-			slots := d.IssueWidth
-			// sm.warps can shrink mid-scan when a block retires inside
-			// issueOne, so bounds are re-read every iteration.
-			for scan := 0; scan < len(sm.warps) && slots > 0; scan++ {
-				idx := (sm.lastWarp + scan) % len(sm.warps)
-				wc := sm.warps[idx]
-				if issueOne(sm, wc) {
-					if err != nil {
-						return nil, err
-					}
-					if cfg.Scheduler == LRR && len(sm.warps) > 0 {
-						sm.lastWarp = (idx + 1) % len(sm.warps) // rotate
-					} else if cfg.Scheduler == GTO {
-						sm.lastWarp = idx // greedy: stay on this warp next cycle
-					}
-					slots--
-					issued++
-					if st.Instructions > stepBudget {
-						return nil, fmt.Errorf("sim: instruction budget exceeded (runaway kernel?)")
-					}
-				}
-			}
-			if slots == d.IssueWidth {
-				st.IssueStallCycles++
-			}
-		}
-		if issued > 0 {
-			now++
-			continue
-		}
-		// Nothing issued anywhere: skip ahead to the earliest wake time.
-		next := uint64(math.MaxUint64)
-		for _, sm := range sms {
-			for _, wc := range sm.warps {
-				if wc.done || wc.atBar {
-					continue
-				}
-				cand := wc.wake
-				if cand <= now {
-					cand = now + 1
-				}
-				if cand < next {
-					next = cand
-				}
-			}
-		}
-		if next == math.MaxUint64 {
-			return nil, fmt.Errorf("sim: deadlock with %d live warps", liveWarps)
-		}
-		now = next
-	}
-
-	st.Cycles = now
-	if now > lastNow {
-		residentIntegral += float64(liveWarps) * float64(now-lastNow)
-	}
-	if now > 0 {
-		st.AvgResidentWarps = residentIntegral / float64(now) / float64(d.SMs)
+	if st.Cycles > 0 {
+		st.AvgResidentWarps = float64(residentIntegral) / float64(st.Cycles) / float64(d.SMs)
 	}
 	// Time-dependent energy: static leakage plus register-file leakage
 	// proportional to the allocated fraction.
@@ -658,25 +493,599 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	}
 	st.EnergyStatic = d.StaticPower * float64(st.Cycles) * float64(d.SMs) / 1000
 	st.EnergyRF = d.RegFilePower * allocRegs * float64(st.Cycles) * float64(d.SMs) / 1000
-	st.Energy += st.EnergyStatic + st.EnergyRF
+	st.Energy = float64(en.nALU+2*en.nCall)*d.EnergyALU +
+		float64(en.nFPU)*1.5*d.EnergyALU +
+		(0.2*float64(en.memL1)+0.5*float64(en.memL2)+float64(en.memDRAM))*d.EnergyMem +
+		float64(en.sharedAccesses)*d.EnergyShared +
+		st.EnergyStatic + st.EnergyRF
 
-	st.L1Hits = 0
-	st.L1Misses = 0
-	for _, sm := range sms {
-		st.L1Hits += sm.l1.hits
-		st.L1Misses += sm.l1.misses
+	if cfg.TraceWarps > 0 {
+		st.Trace = mergeTraces(cfg.TraceWarps, sms)
 	}
-	st.L2Hits = l2.hits
-	st.L2Misses = l2.misses
 	return st, nil
 }
 
-func releaseBarrier(blk *blockCtx, now, lat uint64) {
+// mergeTraces k-way merges the per-SM issue logs by (cycle, SM index);
+// each per-SM log is already cycle-sorted because an SM's clock is
+// monotone, so ties break toward the lowest SM index.
+func mergeTraces(maxWarps int, sms []*smCtx) *Trace {
+	total := 0
+	for _, sm := range sms {
+		total += len(sm.trace)
+	}
+	tr := &Trace{MaxWarps: maxWarps, Records: make([]IssueRecord, 0, total)}
+	pos := make([]int, len(sms))
+	for {
+		best := -1
+		var bestCycle uint64
+		for i, sm := range sms {
+			if pos[i] >= len(sm.trace) {
+				continue
+			}
+			if c := sm.trace[pos[i]].Cycle; best < 0 || c < bestCycle {
+				best, bestCycle = i, c
+			}
+		}
+		if best < 0 {
+			return tr
+		}
+		tr.Records = append(tr.Records, sms[best].trace[pos[best]])
+		pos[best]++
+	}
+}
+
+// run is one SM's complete simulation: launch the initial residency,
+// then alternate issue scans with exact skip-ahead until every assigned
+// block has retired.
+func (sm *smCtx) run() {
+	e := sm.eng
+	issueWidth := e.d.IssueWidth
+	lrr := e.cfg.Scheduler == LRR
+	for b := 0; b < e.cfg.BlocksPerSM; b++ {
+		sm.live += sm.launchBlock(0)
+		if sm.err != nil {
+			return
+		}
+	}
+	for sm.live > 0 {
+		now := sm.now
+		if now > sm.lastNow {
+			sm.residentIntegral += uint64(sm.live) * (now - sm.lastNow)
+			sm.lastNow = now
+		}
+		if len(sm.graveyard) > 0 {
+			for _, w := range sm.graveyard {
+				warpCtxPool.Put(w)
+			}
+			sm.graveyard = sm.graveyard[:0]
+		}
+		sm.dirty = false
+		next := sm.spare[:0]
+		issued := 0
+		minWake := uint64(math.MaxUint64)
+
+		if sm.haveOthers && sm.othersMin > now {
+			// Fast path: every warp outside last cycle's issue set sleeps
+			// past now, so only the issued warps need re-checking. Any
+			// rejected recheck warp folds its fresh wake stamp into the
+			// running minimum; if a slot runs out while a recheck warp is
+			// still issueable, its (<= now) wake poisons the minimum and
+			// forces a full scan next cycle.
+			minWake = sm.othersMin
+			slots := issueWidth
+			for _, ref := range sm.recheck {
+				wc := ref.wc
+				if wc.done || wc.atBar {
+					continue
+				}
+				if wc.wake > now || slots == 0 {
+					if wc.wake < minWake {
+						minWake = wc.wake
+					}
+					continue
+				}
+				if sm.issueOne(wc) {
+					if sm.err != nil {
+						return
+					}
+					if lrr {
+						sm.lastWarp = ref.idx + 1
+					} else {
+						sm.lastWarp = ref.idx
+					}
+					slots--
+					issued++
+					if sm.st.instructions > maxStepsFactor {
+						sm.err = fmt.Errorf("sim: instruction budget exceeded (runaway kernel?)")
+						return
+					}
+					if !wc.done && !wc.atBar {
+						next = append(next, issuedRef{wc, ref.idx})
+					}
+				} else if wc.wake < minWake {
+					minWake = wc.wake // exact hazard stamp, > now
+				}
+			}
+			sm.haveOthers = !sm.dirty
+		} else {
+			// Slow path: full rotated scan. One pass serves both purposes:
+			// issue into the available slots, and — should nothing issue —
+			// discover the earliest wake time for the skip-ahead (every
+			// rejected warp leaves an exact wake stamp, so a failed full
+			// scan has already seen the minimum).
+			slots := issueWidth
+			n := len(sm.warps)
+			idx := sm.lastWarp
+			if idx >= n {
+				idx = 0
+			}
+			wakes := sm.wakes
+			scanned := 0
+			for ; scanned < n && slots > 0; scanned++ {
+				// Reject on the flat mirror: done and barrier-parked warps
+				// hold the asleep sentinel, which can never lower minWake.
+				if w := wakes[idx]; w > now {
+					if w < minWake {
+						minWake = w
+					}
+					idx++
+					if idx >= n {
+						idx = 0
+					}
+					continue
+				}
+				wc := sm.warps[idx]
+				if sm.issueOne(wc) {
+					if sm.err != nil {
+						return
+					}
+					if lrr {
+						sm.lastWarp = idx + 1 // rotate (normalized next cycle)
+					} else {
+						sm.lastWarp = idx // greedy: stay on this warp next cycle
+					}
+					slots--
+					issued++
+					if sm.st.instructions > maxStepsFactor {
+						sm.err = fmt.Errorf("sim: instruction budget exceeded (runaway kernel?)")
+						return
+					}
+					// A block retirement inside issueOne compacts sm.warps
+					// (and may launch a replacement); restart the scan at the
+					// compacted front. dirty is already set, so the recheck
+					// index (now stale) will not be consulted.
+					if nn := len(sm.warps); nn != n {
+						n = nn
+						idx = 0
+						sm.lastWarp = 0
+						wakes = sm.wakes // compaction/launch re-sliced the mirror
+						if !wc.done && !wc.atBar {
+							next = append(next, issuedRef{wc, 0})
+						}
+						continue
+					}
+					if !wc.done && !wc.atBar {
+						next = append(next, issuedRef{wc, idx})
+					}
+				} else if wc.wake > now && wc.wake < minWake {
+					minWake = wc.wake // issueOne stamped the exact hazard release
+				}
+				idx++
+				if idx >= n {
+					idx = 0
+				}
+			}
+			// The cached minimum is only trustworthy after an uninterrupted
+			// full scan: slot exhaustion leaves warps unvisited, and any
+			// barrier release / block retirement moved wake stamps mid-scan.
+			sm.haveOthers = scanned >= n && !sm.dirty
+		}
+
+		sm.spare = sm.recheck[:0]
+		sm.recheck = next
+		sm.othersMin = minWake
+		if issued > 0 {
+			sm.now = now + 1
+			continue
+		}
+		// Nothing issued: skip ahead to the earliest wake time. All
+		// hazards are intra-SM, so every warp's wake stamp is exact and
+		// the jump cannot skip over an issueable cycle.
+		if minWake == math.MaxUint64 {
+			sm.err = fmt.Errorf("sim: deadlock with %d live warps", sm.live)
+			return
+		}
+		sm.st.issueStall += minWake - now
+		sm.now = minWake
+	}
+}
+
+// launchBlock launches this SM's next assigned grid block (if any) at
+// cycle now and returns the number of warps it added.
+func (sm *smCtx) launchBlock(now uint64) int {
+	e := sm.eng
+	if sm.nextBlock >= e.numBlocks {
+		return 0
+	}
+	bid := sm.nextBlock
+	sm.nextBlock += e.d.SMs
+	n := e.wpb
+	if rem := e.lc.GridWarps - bid*e.wpb; rem < n {
+		n = rem
+	}
+	blk := blockCtxPool.Get().(*blockCtx)
+	*blk = blockCtx{id: bid, live: n, warps: blk.warps[:0]}
+	var shared []uint32
+	if e.sharedWords > 0 {
+		if np := len(sm.sharedPool); np > 0 {
+			shared = sm.sharedPool[np-1]
+			sm.sharedPool = sm.sharedPool[:np-1]
+			clear(shared) // a fresh block starts with zeroed shared memory
+		} else {
+			shared = make([]uint32, e.sharedWords)
+		}
+		blk.shared = shared
+	}
+	for k := 0; k < n; k++ {
+		gid := bid*e.wpb + k
+		x, err := e.newExec(gid, shared, sm.id)
+		if err != nil {
+			sm.err = err
+			return 0
+		}
+		wc := getWarpCtx()
+		wc.x = x
+		wc.cw, _ = x.(*interp.CWarp)
+		wc.ready = now
+		wc.wake = now
+		wc.block = blk
+		wc.gid = int32(gid)
+		wc.slot = int32(len(sm.warps))
+		wc.trace = e.cfg.TraceWarps > 0 && gid < e.cfg.TraceWarps
+		blk.warps = append(blk.warps, wc)
+		sm.warps = append(sm.warps, wc)
+		sm.wakes = append(sm.wakes, now)
+	}
+	return n
+}
+
+// newExec builds one warp's executor for the configured backend.
+func (e *engine) newExec(gid int, shared []uint32, smID int) (interp.StepExecutor, error) {
+	if e.comp != nil {
+		if e.simt {
+			w, err := interp.NewCSIMTWarp(e.comp, e.lc, gid, shared)
+			if err != nil {
+				return nil, err
+			}
+			w.SMID = smID
+			return w, nil
+		}
+		w := interp.NewCWarp(e.comp, e.lc, gid, shared)
+		w.SMID = smID
+		return w, nil
+	}
+	if e.simt {
+		w, err := interp.NewSIMTWarp(e.lc, e.layout, gid, shared)
+		if err != nil {
+			return nil, err
+		}
+		w.SMID = smID
+		return interp.Stepper{Ex: w}, nil
+	}
+	w := interp.NewWarp(e.lc, e.layout, gid, shared)
+	w.SMID = smID
+	return interp.Stepper{Ex: w}, nil
+}
+
+// memOne charges one line-sized memory transaction and returns its
+// latency.
+func (sm *smCtx) memOne(ev *interp.Event, line uint64, isLoad bool) uint64 {
+	d := sm.eng.d
+	now := sm.now
+	if ev.Space == interp.SpaceLocal {
+		line |= spaceLocalBit
+	}
+	useL1 := ev.Space == interp.SpaceLocal || d.L1GlobalCaching
+	var lat uint64
+	switch {
+	case useL1 && sm.l1.access(line, now):
+		sm.st.memL1++
+		lat = uint64(d.L1Latency)
+	case sm.l2.access(line, now):
+		sm.st.memL2++
+		lat = uint64(d.L1Latency + d.L2Latency)
+	default:
+		sm.st.memDRAM++
+		sm.st.dramLines++
+		start := math.Max(sm.dramFree, float64(now))
+		sm.dramFree = start + sm.eng.dramService
+		queue := uint64(start) - now
+		lat = uint64(d.L1Latency+d.L2Latency+d.DRAMLatency) + queue
+	}
+	if isLoad && lat > uint64(d.L1Latency) {
+		sm.mshr = append(sm.mshr, now+lat)
+	}
+	return lat
+}
+
+// memAccess charges a memory operation: one transaction per distinct
+// cache line the warp touches (Lines is nil in warp-scalar mode — one
+// line at Addr; a SIMT warp's uncoalesced access pays per line).
+func (sm *smCtx) memAccess(ev *interp.Event, isLoad bool) (uint64, bool) {
+	d := sm.eng.d
+	now := sm.now
+	nLines := 1
+	if ev.Lines != nil {
+		nLines = len(ev.Lines)
+		if nLines == 0 {
+			nLines = 1
+		}
+	}
+	// MSHR admission for loads that may miss.
+	if isLoad {
+		live := sm.mshr[:0]
+		for _, c := range sm.mshr {
+			if c > now {
+				live = append(live, c)
+			}
+		}
+		sm.mshr = live
+		if len(sm.mshr)+nLines > d.MSHRs {
+			return 0, false // structural stall
+		}
+	}
+	if ev.Lines == nil {
+		return sm.memOne(ev, uint64(ev.Addr)/uint64(d.LineBytes), isLoad), true
+	}
+	var lat uint64
+	for _, line := range ev.Lines {
+		if l := sm.memOne(ev, line, isLoad); l > lat {
+			lat = l
+		}
+	}
+	return lat, true
+}
+
+func (sm *smCtx) finishWarp(wc *warpCtx) {
+	e := sm.eng
+	wc.done = true
+	sm.wakes[wc.slot] = asleep
+	_, cks, _ := wc.x.Result()
+	sm.st.checksum ^= interp.MixWarpChecksum(e.lc.FirstWarp+int(wc.gid), cks)
+	wc.x.Release()
+	sm.live--
+	blk := wc.block
+	blk.live--
+	if blk.live == blk.barCount && blk.barCount > 0 {
+		sm.releaseBarrier(blk, sm.now, uint64(e.d.SharedLat))
+		sm.dirty = true // released warps got fresh wake stamps
+	}
+	if blk.live == 0 {
+		sm.dirty = true // compaction reindexes; a replacement block may launch
+		// Retire the block's warp contexts so issue scans stay short; the
+		// wake mirror compacts in lockstep and slots are renumbered.
+		keep := sm.warps[:0]
+		kw := sm.wakes[:0]
+		for i, w := range sm.warps {
+			if w.block != blk {
+				w.slot = int32(len(keep))
+				keep = append(keep, w)
+				kw = append(kw, sm.wakes[i])
+			} else {
+				sm.graveyard = append(sm.graveyard, w)
+			}
+		}
+		sm.warps = keep
+		sm.wakes = kw
+		sm.lastWarp = 0
+		if blk.shared != nil {
+			sm.sharedPool = append(sm.sharedPool, blk.shared)
+			blk.shared = nil
+		}
+		blockCtxPool.Put(blk)
+		sm.live += sm.launchBlock(sm.now + 1)
+	}
+}
+
+// issueOne attempts to issue wc's next instruction at the current cycle.
+// The caller has already rejected done, barrier-parked, and sleeping
+// (wake > now) warps.
+func (sm *smCtx) issueOne(wc *warpCtx) bool {
+	d := sm.eng.d
+	now := sm.now
+	if !wc.hasEv {
+		// Devirtualized fast path for the default compiled backend.
+		if wc.cw != nil {
+			wc.cw.Fill(&wc.ev)
+		} else {
+			wc.x.Fill(&wc.ev)
+		}
+		wc.hasEv = true
+	}
+	ev := &wc.ev
+	// Scoreboard: sources and destination must be ready. On a hazard
+	// the blocking registers' exact release time becomes the wake time.
+	// Fill caches the operand widths in the event so the scan does not
+	// re-derive them from the instruction on every retry; width 1 is the
+	// overwhelmingly common case.
+	var hazard uint64
+	for i := 0; i < ev.NSrc; i++ {
+		r := ev.AbsSrc[i]
+		if p := wc.pending[r]; p > hazard {
+			hazard = p
+		}
+		for k := 1; k < int(ev.SrcW[i]); k++ {
+			if p := wc.pending[r+k]; p > hazard {
+				hazard = p
+			}
+		}
+	}
+	dstW := int(ev.DstW)
+	if ev.AbsDst >= 0 {
+		if p := wc.pending[ev.AbsDst]; p > hazard {
+			hazard = p
+		}
+		for k := 1; k < dstW; k++ {
+			if p := wc.pending[ev.AbsDst+k]; p > hazard {
+				hazard = p
+			}
+		}
+	}
+	if hazard > now {
+		wc.wake = hazard
+		sm.wakes[wc.slot] = hazard
+		if hazard <= wc.memPendHigh {
+			wc.stall = stallMem
+		} else {
+			wc.stall = stallALU
+		}
+		return false
+	}
+	isLoad := ev.Kind == interp.KindLoad
+	var lat uint64
+	switch ev.Kind {
+	case interp.KindALU:
+		lat = uint64(d.ALULatency)
+		sm.st.nALU++
+	case interp.KindFPU:
+		lat = uint64(d.FPULatency)
+		sm.st.nFPU++
+	case interp.KindBranch:
+		lat = uint64(d.ALULatency)
+		sm.st.nALU++
+	case interp.KindCall:
+		lat = uint64(2 * d.ALULatency)
+		sm.st.nCall++
+	case interp.KindBarrier, interp.KindExit:
+		lat = 1
+	case interp.KindLoad, interp.KindStore:
+		if ev.Space == interp.SpaceShared {
+			service := d.SharedServiceCycles
+			if ev.BankConflicts > 1 {
+				// Conflicting lanes serialize: the banked array replays
+				// the access once per conflicting group.
+				service *= float64(ev.BankConflicts)
+			}
+			start := math.Max(sm.sharedFree, float64(now))
+			sm.sharedFree = start + service
+			lat = uint64(d.SharedLat) + uint64(start) - now
+			if ev.BankConflicts > 1 {
+				lat += uint64(float64(ev.BankConflicts-1) * d.SharedServiceCycles)
+			}
+			sm.st.sharedAccesses++
+		} else {
+			var ok bool
+			lat, ok = sm.memAccess(ev, isLoad)
+			if !ok {
+				// MSHR full: wake when the earliest miss completes.
+				earliest := uint64(math.MaxUint64)
+				for _, c := range sm.mshr {
+					if c < earliest {
+						earliest = c
+					}
+				}
+				if earliest == math.MaxUint64 || earliest <= now {
+					earliest = now + 1
+				}
+				wc.wake = earliest
+				sm.wakes[wc.slot] = earliest
+				wc.stall = stallMSHR
+				return false
+			}
+			if !isLoad {
+				lat = 1 // stores retire through the write queue
+			}
+		}
+	}
+
+	// Successful issue: attribute the gap since the warp's last issue
+	// to whatever stalled it.
+	if wc.stall != stallNone && now > wc.lastIssue+1 {
+		g := now - wc.lastIssue - 1
+		switch wc.stall {
+		case stallMem:
+			sm.st.stallMem += g
+		case stallALU:
+			sm.st.stallALU += g
+		case stallBarrier:
+			sm.st.stallBarrier += g
+		case stallMSHR:
+			sm.st.stallMSHR += g
+		}
+	}
+	wc.lastIssue = now
+	wc.stall = stallNone
+	if wc.trace {
+		sm.trace = append(sm.trace, IssueRecord{
+			Cycle: now, SM: int16(sm.id), Warp: wc.gid, Kind: ev.Kind,
+			Mem: (ev.Kind == interp.KindLoad || ev.Kind == interp.KindStore) &&
+				ev.Space != interp.SpaceShared,
+		})
+	}
+
+	instr := ev.Instr
+	var err error
+	if wc.cw != nil {
+		err = wc.cw.Commit()
+	} else {
+		err = wc.x.Commit()
+	}
+	if err != nil {
+		sm.err = err
+		return true
+	}
+	wc.hasEv = false
+	sm.st.instructions++
+	if instr != nil {
+		if instr.IsSpill() {
+			sm.st.spillInstrs++
+		}
+		if instr.Op == isa.OpMov {
+			sm.st.moveInstrs++
+		}
+	}
+	wc.ready = now + 1
+	if ev.AbsDst >= 0 {
+		done := now + lat
+		wc.pending[ev.AbsDst] = done
+		for k := 1; k < dstW; k++ {
+			wc.pending[ev.AbsDst+k] = done
+		}
+		if isLoad && ev.Space != interp.SpaceShared && done > wc.memPendHigh {
+			wc.memPendHigh = done
+		}
+	} else if lat > 1 && ev.Kind != interp.KindLoad && ev.Kind != interp.KindStore {
+		wc.ready = now + lat // control ops serialize the warp briefly
+	}
+	wc.wake = wc.ready
+	sm.wakes[wc.slot] = wc.ready
+
+	switch ev.Kind {
+	case interp.KindBarrier:
+		blk := wc.block
+		wc.atBar = true
+		sm.wakes[wc.slot] = asleep
+		wc.stall = stallBarrier
+		blk.barCount++
+		if blk.barCount >= blk.live {
+			sm.releaseBarrier(blk, now, uint64(d.SharedLat))
+			sm.dirty = true // released warps got fresh wake stamps
+		}
+	case interp.KindExit:
+		if wc.x.Done() {
+			sm.finishWarp(wc)
+		}
+	}
+	return true
+}
+
+func (sm *smCtx) releaseBarrier(blk *blockCtx, now, lat uint64) {
 	for _, w := range blk.warps {
 		if w.atBar {
 			w.atBar = false
 			w.ready = now + lat
 			w.wake = w.ready
+			sm.wakes[w.slot] = w.ready
 		}
 	}
 	blk.barCount = 0
