@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-smoke fmt fmt-check
+.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-smoke profile-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, staticcheck, build,
 ## race-enabled tests, the serial-vs-parallel determinism suite, a short
 ## fuzz pass over the binary decoder, the realization pipeline, and the
 ## static analyzer, and a one-shot run of the cold-sweep benchmark so
 ## compile-path regressions fail loudly.
-check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke
+check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke profile-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,20 @@ bench:
 bench-sim:
 	ORION_BENCH_SIM_OUT=BENCH_sim.json $(GO) test -run WriteSimBench -timeout 2h .
 	@echo "wrote BENCH_sim.json"
+
+## profile-smoke: profile one kernel on both execution backends and
+## diff the PC-profile artifacts — the profiler's cross-backend
+## bit-identity contract, checked end to end through the CLI. Only the
+## "backend" field may differ.
+profile-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/orion profile -kernel bfs -warps 16 -sim-backend compiled -json "$$tmp/compiled.json" > /dev/null; \
+	$(GO) run ./cmd/orion profile -kernel bfs -warps 16 -sim-backend interp   -json "$$tmp/interp.json"   > /dev/null; \
+	grep -v '"backend"' "$$tmp/compiled.json" > "$$tmp/compiled.stripped"; \
+	grep -v '"backend"' "$$tmp/interp.json" > "$$tmp/interp.stripped"; \
+	if ! diff "$$tmp/compiled.stripped" "$$tmp/interp.stripped"; then \
+		echo "profile-smoke: PC profiles differ between backends"; exit 1; fi; \
+	echo "profile-smoke: PC profiles bit-identical across backends"
 
 fmt:
 	gofmt -l .

@@ -37,7 +37,10 @@ func main() {
 }
 
 // jsonExperiment is one experiment's recorded outcome, including the
-// memo-cache traffic it generated (counter deltas across its run).
+// memo-cache traffic it generated (counter deltas across its run) and
+// the simulation work it performed (stall breakdown and cache-hierarchy
+// counter deltas; run-cache hits perform no simulation, so these cover
+// uncached simulations only).
 type jsonExperiment struct {
 	ID     string             `json:"id"`
 	Title  string             `json:"title"`
@@ -46,6 +49,26 @@ type jsonExperiment struct {
 	Rows   [][]string         `json:"rows"`
 	Notes  []string           `json:"notes,omitempty"`
 	Cache  core.CacheSnapshot `json:"cache"`
+	Sim    orion.SimTotals    `json:"sim"`
+}
+
+// jsonCandidateProfile is one tuning candidate's PC-profile summary for
+// the -profile report: where its cycles went (stall attribution), how
+// much spill traffic it executes, and its hottest stall site resolved
+// against the provenance map.
+type jsonCandidateProfile struct {
+	TargetWarps   int     `json:"target_warps"`
+	RegBudget     int     `json:"reg_budget,omitempty"`
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	SpillInstrs   uint64  `json:"spill_instrs"`
+	StallMem      uint64  `json:"stall_mem"`
+	StallALU      uint64  `json:"stall_alu"`
+	StallBarrier  uint64  `json:"stall_barrier"`
+	StallMSHR     uint64  `json:"stall_mshr"`
+	TopHotSpot    string  `json:"top_hot_spot,omitempty"`
+	TopHotSpotWeb string  `json:"top_hot_spot_web,omitempty"`
+	CyclesVsBest  float64 `json:"cycles_vs_best"`
 }
 
 // jsonReport is the -json artifact: enough to diff both the numbers and
@@ -67,7 +90,10 @@ type jsonReport struct {
 	LadderReuse   uint64 `json:"ladder_reuse"`
 	LadderRecolor uint64 `json:"ladder_recolor"`
 	LadderPruned  uint64 `json:"ladder_pruned"`
-	Metrics       any    `json:"metrics,omitempty"`
+	// CandidateProfiles is filled by -profile KERNEL: a PC-profile of
+	// every tuning candidate of that kernel on the gtx680/sc platform.
+	CandidateProfiles []jsonCandidateProfile `json:"candidate_profiles,omitempty"`
+	Metrics           any                    `json:"metrics,omitempty"`
 }
 
 func run(args []string) error {
@@ -82,6 +108,7 @@ func run(args []string) error {
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
+	profileKernel := fs.String("profile", "", "PC-profile every tuning candidate of this kernel (gtx680/sc) and record the deltas in -json")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics JSON snapshot to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -153,6 +180,7 @@ func run(args []string) error {
 			return err
 		}
 		before := core.SnapshotCacheCounters()
+		simBefore := orion.SnapshotSimTotals()
 		start := time.Now()
 		tbl, err := e.Run()
 		if err != nil {
@@ -168,6 +196,7 @@ func run(args []string) error {
 			Rows:   tbl.Rows,
 			Notes:  tbl.Notes,
 			Cache:  core.SnapshotCacheCounters().Delta(before),
+			Sim:    orion.SnapshotSimTotals().Delta(simBefore),
 		})
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
@@ -180,6 +209,26 @@ func run(args []string) error {
 		}
 	}
 	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
+	if *profileKernel != "" {
+		cps, err := candidateProfiles(*profileKernel, *verify, lintMode)
+		if err != nil {
+			return fmt.Errorf("-profile %s: %w", *profileKernel, err)
+		}
+		report.CandidateProfiles = cps
+		fmt.Printf("candidate profiles: %s on GTX680 (sc)\n", *profileKernel)
+		fmt.Printf("%-8s %-6s %-12s %-12s %-8s %-12s %-12s %-10s %-8s %s\n",
+			"warps", "regs", "cycles", "vs-best", "spills", "stall-mem", "stall-alu", "barrier", "mshr", "top hot spot")
+		for _, cp := range cps {
+			web := ""
+			if cp.TopHotSpotWeb != "" {
+				web = " ; spill of " + cp.TopHotSpotWeb
+			}
+			fmt.Printf("%-8d %-6d %-12d %-12.3f %-8d %-12d %-12d %-10d %-8d %s%s\n",
+				cp.TargetWarps, cp.RegBudget, cp.Cycles, cp.CyclesVsBest, cp.SpillInstrs,
+				cp.StallMem, cp.StallALU, cp.StallBarrier, cp.StallMSHR, cp.TopHotSpot, web)
+		}
+		fmt.Println()
+	}
 	report.CacheHits, report.CacheMisses = core.RealizeCacheStats()
 	report.RunHits, report.RunMisses = core.RunCacheStats()
 	lad := core.LadderStats()
@@ -226,4 +275,61 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// candidateProfiles compiles the named benchmark on the gtx680/sc
+// platform and PC-profiles every tuning candidate at its target
+// occupancy, so a revision diff shows where each candidate's cycles go
+// (stall attribution, spill traffic) rather than just its total.
+func candidateProfiles(name string, verify bool, lintMode orion.LintMode) ([]jsonCandidateProfile, error) {
+	k, err := orion.Benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	dev, cc := orion.GTX680(), orion.SmallCache
+	r := orion.NewRealizer(dev, cc)
+	r.Verify = verify
+	r.Lint = lintMode
+	cr, err := r.Compile(k.Prog, true)
+	if err != nil {
+		return nil, err
+	}
+	cands := cr.Candidates
+	if len(cands) == 0 && cr.StaticChoice != nil {
+		cands = []*orion.Candidate{cr.StaticChoice}
+	}
+	spec := &orion.ProfileSpec{PC: true}
+	var out []jsonCandidateProfile
+	best := ^uint64(0)
+	for _, c := range cands {
+		st, err := orion.ProfileDetailed(c.Version, dev, cc, c.TargetWarps, k.GridWarps, 0, spec, nil)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %d warps: %w", c.TargetWarps, err)
+		}
+		rep := orion.BuildProfileReport(c.Version, dev, st, 1)
+		cp := jsonCandidateProfile{
+			TargetWarps:  c.TargetWarps,
+			RegBudget:    rep.RegBudget,
+			Cycles:       st.Cycles,
+			Instructions: st.Instructions,
+			SpillInstrs:  st.SpillInstrs,
+			StallMem:     st.StallMem,
+			StallALU:     st.StallALU,
+			StallBarrier: st.StallBarrier,
+			StallMSHR:    st.StallMSHR,
+		}
+		if len(rep.HotSpots) > 0 {
+			hs := rep.HotSpots[0]
+			cp.TopHotSpot = fmt.Sprintf("%s+%d: %s", hs.Func, hs.LocalPC, hs.Text)
+			cp.TopHotSpotWeb = hs.Web
+		}
+		out = append(out, cp)
+		if st.Cycles < best {
+			best = st.Cycles
+		}
+	}
+	for i := range out {
+		out[i].CyclesVsBest = float64(out[i].Cycles) / float64(best)
+	}
+	return out, nil
 }

@@ -70,3 +70,77 @@ func TestBackToBackRunsReportIndependentCounts(t *testing.T) {
 		t.Errorf("per-experiment deltas sum to %d/%d, report totals %d/%d", hits, misses, r2.CacheHits, r2.CacheMisses)
 	}
 }
+
+// TestReportSimTotals: each experiment records the simulation work it
+// performed — launches, cycles, stall breakdown, cache-hierarchy
+// counters — as deltas of the process-wide totals. Run-cache hits do no
+// simulation, so a warm repeat of the same experiment reports zero.
+func TestReportSimTotals(t *testing.T) {
+	dir := t.TempDir()
+	cold := filepath.Join(dir, "cold.json")
+	warm := filepath.Join(dir, "warm.json")
+	if err := run([]string{"-exp", "fig1", "-scale", "0.06", "-json", cold}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig1", "-scale", "0.06", "-json", warm}); err != nil {
+		t.Fatal(err)
+	}
+	r1 := readReport(t, cold)
+	sim := r1.Experiments[0].Sim
+	if sim.Launches == 0 || sim.Cycles == 0 || sim.Instructions == 0 {
+		t.Errorf("cold experiment sim totals empty: %+v", sim)
+	}
+	if sim.StallMem+sim.StallALU+sim.StallBarrier+sim.StallMSHR == 0 {
+		t.Errorf("cold experiment has no stall attribution: %+v", sim)
+	}
+	if sim.L1Hits+sim.L1Misses == 0 {
+		t.Errorf("cold experiment has no L1 traffic: %+v", sim)
+	}
+	r2 := readReport(t, warm)
+	if got := r2.Experiments[0].Sim.Launches; got != 0 {
+		t.Errorf("warm repeat simulated %d launches; run cache should have served all", got)
+	}
+}
+
+// TestCandidateProfiles: -profile records a PC-profile summary for every
+// tuning candidate, normalized against the fastest one.
+func TestCandidateProfiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	if err := run([]string{"-exp", "fig1", "-scale", "0.05", "-profile", "hotspot", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	r := readReport(t, out)
+	if len(r.CandidateProfiles) == 0 {
+		t.Fatal("no candidate profiles recorded")
+	}
+	sawBest := false
+	for _, cp := range r.CandidateProfiles {
+		if cp.TargetWarps <= 0 || cp.Cycles == 0 || cp.Instructions == 0 {
+			t.Errorf("candidate summary incomplete: %+v", cp)
+		}
+		if cp.CyclesVsBest < 1 {
+			t.Errorf("candidate %d: cycles_vs_best = %v < 1", cp.TargetWarps, cp.CyclesVsBest)
+		}
+		if cp.CyclesVsBest == 1 {
+			sawBest = true
+		}
+		if cp.TopHotSpot == "" {
+			t.Errorf("candidate %d has no top hot spot", cp.TargetWarps)
+		}
+	}
+	if !sawBest {
+		t.Error("no candidate normalized to 1.0")
+	}
+	// hotspot's candidates spill: at least one summary reports spill
+	// traffic.
+	spills := false
+	for _, cp := range r.CandidateProfiles {
+		if cp.SpillInstrs > 0 {
+			spills = true
+		}
+	}
+	if !spills {
+		t.Error("no candidate reports spill instructions for hotspot")
+	}
+}

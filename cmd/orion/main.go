@@ -19,9 +19,14 @@
 //	    exhaustive-search comparison).
 //	orion run      -kernel ... -warps N [-grid N]
 //	    Simulate a single occupancy level and print its statistics.
-//	orion profile  -kernel ... -warps N
+//	orion profile  -kernel ... -warps N [-json out.json]
 //	    Simulate one level with issue tracing and print a per-warp
-//	    timeline plus the stall breakdown.
+//	    timeline plus the stall breakdown, then a PC-level hot-spot
+//	    report: per-instruction issue counts and attributed stall
+//	    cycles resolved to spill webs via the compiler's provenance
+//	    map. -json writes the report as a machine-readable artifact;
+//	    with -trace, sampled counter tracks (resident warps, IPC,
+//	    MSHR pressure) appear next to the span tracks.
 //	orion predict  -kernel ...
 //	    Compare the MWP-CWP analytical model (Hong & Kim, the paper's
 //	    references [12]/[13]) against the simulator per occupancy level.
@@ -53,6 +58,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -94,6 +100,7 @@ func run(args []string, out io.Writer) error {
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	realized := fs.Bool("realized", false, "for 'lint': also analyze every realized occupancy level")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
+	jsonOut := fs.String("json", "", "for 'profile': write the profile report as JSON to this file")
 
 	if cmd == "list" {
 		ks, err := orion.Benchmarks()
@@ -180,6 +187,12 @@ func run(args []string, out io.Writer) error {
 
 		case "tune":
 			var rep *orion.TuneReport
+			if *explain {
+				// Profile the winner so the explanation ties the occupancy
+				// decision to instruction-level evidence (hot stall sites,
+				// spill-web costs).
+				r.ProfileSpec = &orion.ProfileSpec{PC: true}
+			}
 			if *fat != "" {
 				// Runtime-only deployment: adapt from a prebuilt multi-version
 				// binary without recompiling (paper Figure 3).
@@ -213,6 +226,9 @@ func run(args []string, out io.Writer) error {
 				rep.TotalCycles, len(rep.History), rep.TotalEnergy)
 			if *explain {
 				printDecisions(out, rep)
+				if rep.Profile != nil {
+					rep.Profile.Render(out)
+				}
 			}
 			return nil
 
@@ -292,7 +308,15 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			st, err := orion.Profile(v, dev, cc, *warps, gridWarps, 16)
+			// Size the counter-track sampling interval from an unprofiled
+			// (cacheable) run so tracks land near 256 samples regardless of
+			// kernel length.
+			st0, err := orion.Simulate(v, dev, cc, *warps, gridWarps)
+			if err != nil {
+				return err
+			}
+			spec := &orion.ProfileSpec{PC: true, Interval: profileInterval(st0.Cycles)}
+			st, err := orion.ProfileDetailed(v, dev, cc, *warps, gridWarps, 16, spec, col)
 			if err != nil {
 				return err
 			}
@@ -300,6 +324,18 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "stalls (warp-cycles): mem %d, alu %d, barrier %d, mshr %d\n",
 				st.StallMem, st.StallALU, st.StallBarrier, st.StallMSHR)
 			fmt.Fprint(out, st.Trace.Timeline(st.Cycles, 100))
+			rep := orion.BuildProfileReport(v, dev, st, 10)
+			rep.GridWarps = gridWarps
+			rep.Render(out)
+			if *jsonOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
 			return nil
 
 		case "predict":
@@ -383,6 +419,17 @@ func runLint(out io.Writer, r *orion.Realizer, prog *orion.Program, dev *orion.D
 		return fmt.Errorf("lint: %d error-severity finding(s)", nerr)
 	}
 	return nil
+}
+
+// profileInterval picks a power-of-two counter-sampling interval that
+// yields roughly 256 samples over a run of the given length, floored at
+// 64 cycles so short kernels don't sample every few cycles.
+func profileInterval(cycles uint64) uint64 {
+	iv := uint64(64)
+	for iv*256 < cycles {
+		iv *= 2
+	}
+	return iv
 }
 
 // printDecisions renders the tuner's per-iteration decision log (the

@@ -225,3 +225,172 @@ func TestCompileLintGate(t *testing.T) {
 		t.Errorf("compile -lint=off = %v, want success", err)
 	}
 }
+
+// TestProfileHotSpots is the golden test for the PC-level half of
+// `orion profile`: the hot-spot table with issue counts and stall
+// attribution, appended after the timeline, with spill sites resolved
+// to named webs on a spill-heavy kernel.
+func TestProfileHotSpots(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-kernel", "hotspot", "-warps", "64"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !regexp.MustCompile(`(?m)^profile: \d+ instructions in \d+ cycles \(ipc [\d.]+\)$`).MatchString(got) {
+		t.Errorf("missing profile summary line in:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^occupancy decision: 64 warps/SM colored at \d+ regs/thread$`).MatchString(got) {
+		t.Errorf("missing occupancy decision line in:\n%s", got)
+	}
+	if !strings.Contains(got, "hot spots (top ") {
+		t.Errorf("missing hot-spot table header in:\n%s", got)
+	}
+	rows := regexp.MustCompile(`(?m)^  \d+\s+\S+\+\d+\s+\d+\s+\d+\s+\d+\s+\d+\s+\d+  `).FindAllString(got, -1)
+	if len(rows) == 0 {
+		t.Errorf("no hot-spot rows in:\n%s", got)
+	}
+	// hotspot at 64 warps/SM spills; the web attribution section must
+	// name the webs and their storage.
+	if !strings.Contains(got, "spill-web attribution:") {
+		t.Fatalf("missing spill-web attribution in:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^  \S+/web\d+\.r\d+\s+(shared|local)\[\d+(\.\.\d+)?\]\s+issues \d+\s+stall-cycles \d+$`).MatchString(got) {
+		t.Errorf("no resolved web line in:\n%s", got)
+	}
+}
+
+// TestProfileJSONArtifact checks the -json report: schema fields,
+// internally consistent hot spots, and named spill webs.
+func TestProfileJSONArtifact(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "profile.json")
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-kernel", "hotspot", "-warps", "64", "-json", jsonPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Kernel      string `json:"kernel"`
+		Device      string `json:"device"`
+		Backend     string `json:"backend"`
+		TargetWarps int    `json:"target_warps"`
+		GridWarps   int    `json:"grid_warps"`
+		RegBudget   int    `json:"reg_budget"`
+		Cycles      uint64 `json:"cycles"`
+		Stalls      struct {
+			Mem uint64 `json:"mem"`
+		} `json:"stalls"`
+		Interval uint64 `json:"interval"`
+		Tracks   []struct {
+			Name   string    `json:"name"`
+			Points []float64 `json:"points"`
+		} `json:"tracks"`
+		HotSpots []struct {
+			PC         int    `json:"pc"`
+			Text       string `json:"text"`
+			Issues     uint64 `json:"issues"`
+			StallTotal uint64 `json:"stall_total"`
+		} `json:"hot_spots"`
+		Webs []struct {
+			Name        string `json:"name"`
+			StallCycles uint64 `json:"stall_cycles"`
+		} `json:"webs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("profile artifact is not valid JSON: %v", err)
+	}
+	if rep.Kernel != "hotspot" || rep.TargetWarps != 64 || rep.Backend == "" {
+		t.Errorf("identity fields = %q/%d/%q", rep.Kernel, rep.TargetWarps, rep.Backend)
+	}
+	if rep.Cycles == 0 || rep.RegBudget == 0 || rep.GridWarps == 0 {
+		t.Errorf("summary fields = %d cycles, %d regs, %d grid", rep.Cycles, rep.RegBudget, rep.GridWarps)
+	}
+	if len(rep.HotSpots) == 0 || rep.HotSpots[0].Text == "" || rep.HotSpots[0].Issues == 0 {
+		t.Errorf("hot spots = %+v", rep.HotSpots)
+	}
+	if len(rep.Webs) == 0 || rep.Webs[0].Name == "" {
+		t.Errorf("webs = %+v", rep.Webs)
+	}
+	if rep.Interval == 0 || len(rep.Tracks) == 0 {
+		t.Errorf("tracks = interval %d, %d tracks", rep.Interval, len(rep.Tracks))
+	}
+	for _, tr := range rep.Tracks {
+		if len(tr.Points) == 0 {
+			t.Errorf("track %s has no points", tr.Name)
+		}
+	}
+}
+
+// TestProfileTraceCounters: with -trace, the profiled run's sampled
+// counters export as Chrome "C" events next to the span tracks.
+func TestProfileTraceCounters(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-kernel", "bfs", "-warps", "32", "-trace", tracePath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	counters := map[string]int{}
+	sawSpan := false
+	for _, ev := range trace.TraceEvents {
+		switch ev.Phase {
+		case "C":
+			counters[ev.Name]++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter %q sample has no value arg", ev.Name)
+			}
+		case "X":
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Error("trace has no span events")
+	}
+	for _, want := range []string{
+		"sim.resident_warps (warps)", "sim.instructions (instrs)",
+		"sim.ipc (instrs/cycle)", "sim.mshr_pending (entries)",
+	} {
+		if counters[want] == 0 {
+			t.Errorf("trace has no %q counter samples; counters = %v", want, counters)
+		}
+	}
+}
+
+// TestTuneExplainProfile: -explain appends the winner's hot-spot report
+// after the decision log.
+func TestTuneExplainProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"tune", "-kernel", "hotspot", "-explain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	decisions := strings.Index(got, "tuning decisions:")
+	profile := strings.Index(got, "profile: ")
+	if decisions < 0 || profile < 0 || profile < decisions {
+		t.Fatalf("profile report not appended after decisions in:\n%s", got)
+	}
+	if !strings.Contains(got, "hot spots (top ") {
+		t.Errorf("missing hot-spot table in:\n%s", got)
+	}
+	if !regexp.MustCompile(`(?m)^occupancy decision: \d+ warps/SM colored at \d+ regs/thread$`).MatchString(got) {
+		t.Errorf("missing occupancy decision line in:\n%s", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
+	"repro/internal/prof"
 	"repro/internal/regalloc"
 )
 
@@ -381,6 +382,7 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 
 	clean = true
 	totalMoves := 0
+	var dbgFuncs map[string][]prof.SpillWeb
 	for _, fi := range order {
 		if cumReg[fi] < 0 {
 			// Unreachable from entry; allocate standalone with full budget.
@@ -493,6 +495,12 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 			}
 		}
 		nf.Name = np.Funcs[fi].Name
+		if len(a.SpillWebs) > 0 {
+			if dbgFuncs == nil {
+				dbgFuncs = map[string][]prof.SpillWeb{}
+			}
+			dbgFuncs[nf.Name] = a.SpillWebs
+		}
 		if n := regalloc.ElideCoalescedMoves(nf); n > 0 { // coalesced copies are no-ops
 			x.Metrics().Counter("regalloc.coalesced_moves").Add(uint64(n))
 		}
@@ -524,6 +532,7 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 	if err != nil {
 		return nil, false, 0, err
 	}
+	v.Debug = &prof.DebugInfo{RegBudget: regBudget, Funcs: dbgFuncs}
 	return v, clean, floor, nil
 }
 
@@ -540,6 +549,7 @@ func cloneForTarget(proto *Version, targetWarps int) *Version {
 		LocalSlots:     proto.LocalSlots,
 		Moves:          proto.Moves,
 		Natural:        proto.Natural,
+		Debug:          proto.Debug,
 		fp:             proto.fingerprint(),
 		fpSet:          true,
 	}

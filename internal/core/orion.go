@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/occupancy"
 	"repro/internal/par"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,10 @@ type TuneReport struct {
 	// Decisions is the tuner's per-iteration decision log (empty for the
 	// static-selection path, which takes no runtime decisions).
 	Decisions []Decision
+	// Profile is the chosen candidate's ranked hot-spot report, attached
+	// when Realizer.ProfileSpec is set (one extra profiled simulation of
+	// the winner after tuning completes).
+	Profile *prof.Report
 }
 
 // Tune runs the full Orion pipeline: compile-time tuning, then runtime
@@ -95,6 +100,9 @@ func (r *Realizer) TuneCompiled(cr *CompileResult, lc Launch) (*TuneReport, erro
 		obs.String("kernel", cr.Original.Prog.Name),
 		obs.String("direction", cr.Direction.String()))
 	rep, err := r.tuneCompiled(cr, lc, sp.Ctx())
+	if err == nil && r.ProfileSpec != nil {
+		err = r.attachProfile(rep, lc, sp.Ctx())
+	}
 	if err != nil {
 		sp.SetAttr(obs.String("error", err.Error()))
 	} else {

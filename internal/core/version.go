@@ -18,6 +18,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -42,6 +43,12 @@ type Version struct {
 	Moves int
 	// Natural is the residency the binary achieves with no padding.
 	Natural occupancy.Result
+
+	// Debug is the provenance map from this realization's register
+	// allocation: the budget it was colored for and the spill webs each
+	// function evicted, letting profiles resolve spill instructions back
+	// to allocator decisions. Nil on decoded or hand-built versions.
+	Debug *prof.DebugInfo
 
 	// fp memoizes the program's content fingerprint (the simulation-cache
 	// key component); computed lazily because decoded or hand-built
@@ -92,6 +99,10 @@ type Realizer struct {
 	// *AnalysisError, warn only records diagnostics, off skips analysis.
 	// NewRealizer defaults to LintStrict; the CLIs expose -lint.
 	Lint LintMode
+	// ProfileSpec, when non-nil, makes TuneCompiled profile the chosen
+	// candidate after tuning and attach the ranked hot-spot report to
+	// TuneReport.Profile. Nil (the default) adds no simulation work.
+	ProfileSpec *prof.Spec
 }
 
 // NewRealizer returns a Realizer with the full optimization set.
@@ -292,7 +303,7 @@ func (v *Version) ProfileAt(d *device.Device, cc device.CacheConfig, targetWarps
 // paths carry the full "simulate" span from package sim.
 func (v *Version) ProfileAtCtx(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, x obs.Ctx) (*sim.Stats, error) {
 	if traceWarps > 0 || lc.Prog != v.Prog {
-		return v.profileAt(d, cc, targetWarps, lc, traceWarps, x)
+		return v.profileAt(d, cc, targetWarps, lc, traceWarps, nil, x)
 	}
 	key := runKey{
 		prog:        v.fingerprint(),
@@ -306,7 +317,7 @@ func (v *Version) ProfileAtCtx(d *device.Device, cc device.CacheConfig, targetWa
 	filled := false
 	st, err := runCache.Do(key, func() (*sim.Stats, error) {
 		filled = true
-		return v.profileAt(d, cc, targetWarps, lc, 0, x)
+		return v.profileAt(d, cc, targetWarps, lc, 0, nil, x)
 	})
 	if !filled && x.Enabled() {
 		sp := x.Span("simulate.cached",
@@ -323,8 +334,17 @@ func (v *Version) ProfileAtCtx(d *device.Device, cc device.CacheConfig, targetWa
 	return st, err
 }
 
+// ProfileDetailedCtx simulates the version with the full profiler
+// enabled (PC-level stall attribution and/or counter tracks per spec),
+// optionally with issue tracing. Profiled launches always bypass the
+// run cache: their Profile and Trace buffers are caller-owned, and the
+// cache must keep serving pointer-field-free Stats.
+func (v *Version) ProfileDetailedCtx(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, spec *prof.Spec, x obs.Ctx) (*sim.Stats, error) {
+	return v.profileAt(d, cc, targetWarps, lc, traceWarps, spec, x)
+}
+
 // profileAt is the uncached simulation (the cache's fill path).
-func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, x obs.Ctx) (*sim.Stats, error) {
+func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps int, lc *interp.Launch, traceWarps int, spec *prof.Spec, x obs.Ctx) (*sim.Stats, error) {
 	wpb := lc.Prog.BlockDim / d.WarpSize
 	blocks := v.Natural.ActiveBlocks
 	if tb := targetWarps / wpb; tb < blocks {
@@ -341,5 +361,6 @@ func (v *Version) profileAt(d *device.Device, cc device.CacheConfig, targetWarps
 		SharedPerBlock: v.SharedPerBlock,
 		TraceWarps:     traceWarps,
 		Obs:            x,
+		Prof:           spec,
 	}, &interp.Launch{Prog: v.Prog, GridWarps: lc.GridWarps, FirstWarp: lc.FirstWarp})
 }

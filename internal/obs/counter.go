@@ -1,0 +1,44 @@
+package obs
+
+// CounterTrack is a sampled time series destined for a Chrome trace
+// counter track ("C" events): one named quantity sampled at explicit
+// timestamps. Unlike spans, the timestamps are caller-defined — the
+// simulator records them in simulated cycles, not wall time — so the
+// exporter gives counter tracks their own trace process to keep the two
+// time bases from overlaying.
+type CounterTrack struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit,omitempty"`
+	TS   []float64 `json:"ts"`
+	Vals []float64 `json:"vals"`
+}
+
+// AddCounterTrack appends a finished counter series to the collector's
+// root. Safe for concurrent use; series appear in the trace in the order
+// they were added, so deterministic callers (e.g. the simulator's
+// SM-index-ordered merge) produce deterministic traces. No-op when nil.
+func (c *Collector) AddCounterTrack(t CounterTrack) {
+	if c == nil {
+		return
+	}
+	root := c.root
+	root.mu.Lock()
+	root.ctracks = append(root.ctracks, t)
+	root.mu.Unlock()
+}
+
+// CounterTracks returns a snapshot of the recorded counter series in
+// insertion order.
+func (c *Collector) CounterTracks() []CounterTrack {
+	if c == nil {
+		return nil
+	}
+	root := c.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return append([]CounterTrack(nil), root.ctracks...)
+}
+
+// AddCounterTrack forwards to the underlying collector (no-op when the
+// context is disabled).
+func (x Ctx) AddCounterTrack(t CounterTrack) { x.c.AddCounterTrack(t) }

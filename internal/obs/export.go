@@ -11,14 +11,14 @@ import (
 // Perfetto and chrome://tracing). Spans use "X" (complete) events with
 // microsecond timestamps; track names use "M" (metadata) events.
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`
-	Dur  float64           `json:"dur,omitempty"`
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the trace document: the JSON-object form with a
@@ -28,7 +28,13 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-const tracePID = 1
+// tracePID holds the wall-time span tracks; counterPID holds sampled
+// counter tracks, whose timestamps are in the caller's own time base
+// (simulated cycles for the simulator) rather than wall microseconds.
+const (
+	tracePID   = 1
+	counterPID = 2
+)
 
 // micros converts a span duration to trace microseconds (nanosecond
 // resolution survives as fraction digits).
@@ -51,12 +57,13 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	for t, n := range root.trackNames {
 		names[t] = n
 	}
+	ctracks := append([]CounterTrack(nil), root.ctracks...)
 	root.mu.Unlock()
 
 	doc := chromeTrace{DisplayTimeUnit: "ms"}
 	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 		Name: "process_name", Ph: "M", PID: tracePID,
-		Args: map[string]string{"name": "orion"},
+		Args: map[string]any{"name": "orion"},
 	})
 	// Only tracks that actually carry spans get a name event, in track
 	// order, so unused fork slots do not bloat the trace.
@@ -72,7 +79,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	for _, t := range tracks {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: tracePID, TID: t,
-			Args: map[string]string{"name": names[t]},
+			Args: map[string]any{"name": names[t]},
 		})
 	}
 
@@ -82,7 +89,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	}
 	for i := range spans {
 		rec := &spans[i]
-		args := make(map[string]string, len(rec.attrs)+2)
+		args := make(map[string]any, len(rec.attrs)+2)
 		for _, a := range rec.attrs {
 			args[a.Key] = a.Val
 		}
@@ -95,6 +102,25 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			TS: micros(rec.start.Nanoseconds()), Dur: micros(rec.dur.Nanoseconds()),
 			PID: tracePID, TID: rec.track, Args: args,
 		})
+	}
+	if len(ctracks) > 0 {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: counterPID,
+			Args: map[string]any{"name": "orion counters"},
+		})
+		for _, t := range ctracks {
+			name := t.Name
+			if t.Unit != "" {
+				name += " (" + t.Unit + ")"
+			}
+			for i := range t.TS {
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: name, Cat: "counter", Ph: "C",
+					TS: t.TS[i], PID: counterPID,
+					Args: map[string]any{"value": t.Vals[i]},
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&doc)

@@ -119,10 +119,79 @@ func TestForkTrackNames(t *testing.T) {
 	found := ""
 	for _, e := range events {
 		if e.Ph == "M" && e.Name == "thread_name" {
-			found = e.Args["name"]
+			found, _ = e.Args["name"].(string)
 		}
 	}
 	if found != "realize[1]" {
 		t.Fatalf("thread name = %q, want realize[1]", found)
+	}
+}
+
+// TestWriteChromeTraceCounterTracks checks that counter tracks export as
+// "C" (counter) events in their own process, with caller-defined
+// timestamps and one value per sample.
+func TestWriteChromeTraceCounterTracks(t *testing.T) {
+	c := New()
+	sp := c.StartSpan("sim")
+	sp.End()
+	c.Ctx().AddCounterTrack(CounterTrack{
+		Name: "sim.resident_warps", Unit: "warps",
+		TS: []float64{64, 128}, Vals: []float64{48, 32},
+	})
+	c.Ctx().AddCounterTrack(CounterTrack{
+		Name: "sim.ipc",
+		TS:   []float64{64}, Vals: []float64{3.5},
+	})
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var counters []chromeEvent
+	counterProcNamed := false
+	for _, e := range events {
+		switch e.Ph {
+		case "C":
+			counters = append(counters, e)
+			if e.PID != counterPID {
+				t.Errorf("counter event in pid %d, want %d", e.PID, counterPID)
+			}
+		case "M":
+			if e.Name == "process_name" && e.PID == counterPID {
+				counterProcNamed = true
+			}
+		}
+	}
+	if !counterProcNamed {
+		t.Error("no process_name metadata for the counter process")
+	}
+	if len(counters) != 3 {
+		t.Fatalf("counter events = %d, want 3", len(counters))
+	}
+	// Named with the unit when present, bare otherwise.
+	if counters[0].Name != "sim.resident_warps (warps)" {
+		t.Errorf("counter name = %q", counters[0].Name)
+	}
+	if counters[2].Name != "sim.ipc" {
+		t.Errorf("unitless counter name = %q", counters[2].Name)
+	}
+	// Timestamps are the caller's (simulated cycles), not wall clock.
+	if counters[0].TS != 64 || counters[1].TS != 128 {
+		t.Errorf("counter ts = %v, %v", counters[0].TS, counters[1].TS)
+	}
+	if v, ok := counters[0].Args["value"].(float64); !ok || v != 48 {
+		t.Errorf("counter value = %v", counters[0].Args["value"])
+	}
+}
+
+// TestCounterTracksNilSafe: adding tracks through a nil collector is a
+// no-op, like every other obs call.
+func TestCounterTracksNilSafe(t *testing.T) {
+	var c *Collector
+	c.Ctx().AddCounterTrack(CounterTrack{Name: "x", TS: []float64{1}, Vals: []float64{1}})
+	if got := c.CounterTracks(); got != nil {
+		t.Fatalf("nil collector tracks = %v", got)
 	}
 }

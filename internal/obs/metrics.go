@@ -163,12 +163,17 @@ type HistogramBucket struct {
 	Count uint64  `json:"count"`
 }
 
-// HistogramSnapshot is a histogram's point-in-time summary.
+// HistogramSnapshot is a histogram's point-in-time summary. P50/P99 are
+// estimated by linear interpolation within the power-of-two bucket that
+// holds the rank, clamped to the exact [Min, Max] — deterministic for a
+// given observation multiset since buckets ignore arrival order.
 type HistogramSnapshot struct {
 	Count   uint64            `json:"count"`
 	Sum     float64           `json:"sum"`
 	Min     float64           `json:"min"`
 	Max     float64           `json:"max"`
+	P50     float64           `json:"p50"`
+	P99     float64           `json:"p99"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
@@ -181,6 +186,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.P50 = h.quantileLocked(0.50)
+		s.P99 = h.quantileLocked(0.99)
+	}
 	for i, n := range h.buckets {
 		if n == 0 {
 			continue
@@ -192,6 +201,41 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: n})
 	}
 	return s
+}
+
+// quantileLocked estimates the q-quantile from the bucket counts: find
+// the bucket holding rank q·count, interpolate linearly across its
+// [lower, upper) value range, and clamp to the exact min/max. The last
+// (+Inf) bucket uses max as its upper edge. Caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(uint64(1) << uint(i))
+			if i == histBuckets-1 {
+				hi = h.max
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			v := lo + (hi-lo)*frac
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.max
 }
 
 // MetricsSnapshot is a registry's point-in-time state, the payload of

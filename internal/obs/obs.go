@@ -75,6 +75,7 @@ type Collector struct {
 	metrics    *Registry
 	nextTrack  int
 	trackNames map[int]string
+	ctracks    []CounterTrack
 }
 
 // New returns an enabled root collector with a fresh metrics registry.

@@ -175,3 +175,68 @@ func TestAttrConstructors(t *testing.T) {
 		t.Errorf("float attr = %q", f.Val)
 	}
 }
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(3) // bucket (2, 4]
+	}
+	s := h.Snapshot()
+	// Linear interpolation inside the (2, 4] bucket: p50 lands mid-bucket,
+	// p99 near the top but clamped to the observed max.
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+	if s.P99 != 3 {
+		t.Fatalf("p99 = %v, want clamp to max 3", s.P99)
+	}
+
+	h2 := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h2.Observe(1)
+	}
+	for i := 0; i < 50; i++ {
+		h2.Observe(100)
+	}
+	s2 := h2.Snapshot()
+	if s2.P50 != 1 {
+		t.Fatalf("bimodal p50 = %v, want 1", s2.P50)
+	}
+	if s2.P99 != 100 {
+		t.Fatalf("bimodal p99 = %v, want clamp to max 100", s2.P99)
+	}
+
+	// Empty histograms snapshot zero percentiles.
+	if s0 := (&Histogram{}).Snapshot(); s0.P50 != 0 || s0.P99 != 0 {
+		t.Fatalf("empty percentiles = %v/%v", s0.P50, s0.P99)
+	}
+}
+
+func TestHistogramPercentilesInJSON(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Histogram("stall").Observe(float64(i))
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			Sum   float64 `json:"sum"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs := snap.Histograms["stall"]
+	if hs.Count != 100 || hs.Sum != 5050 {
+		t.Fatalf("count/sum = %d/%v", hs.Count, hs.Sum)
+	}
+	if hs.P50 <= 0 || hs.P50 > hs.P99 || hs.P99 > 100 {
+		t.Fatalf("p50/p99 = %v/%v", hs.P50, hs.P99)
+	}
+}

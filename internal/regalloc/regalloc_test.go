@@ -9,6 +9,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/prof"
 )
 
 func split(t *testing.T, src string) (*isa.Program, *ir.Vars, *ir.Live) {
@@ -312,5 +313,72 @@ func TestAllocatePropertyRandomPrograms(t *testing.T) {
 			t.Fatalf("iter %d: checksum %x, want %x\nsource:\n%s\nallocated:\n%s",
 				iter, got, want, src, isa.Format(np))
 		}
+	}
+}
+
+// TestRunRecordsSpillWebs: the Chaitin loop records a provenance entry
+// for every evicted web, keyed by the (class, slot range) its spill
+// instructions address — the contract the profiler resolves against.
+func TestRunRecordsSpillWebs(t *testing.T) {
+	p, err := isa.Parse(pressureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(p.Entry(), 4, 0) // tight budget forces spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SpillWebs) == 0 {
+		t.Fatal("no spill webs recorded under pressure")
+	}
+	seen := map[[2]int]bool{}
+	for _, w := range a.SpillWebs {
+		if w.Round < 1 {
+			t.Errorf("web %d has round %d, want >= 1", w.Web, w.Round)
+		}
+		if w.Class != prof.SpillClass(SpillShared) && w.Class != prof.SpillClass(SpillLocal) {
+			t.Errorf("web %d has class %v", w.Web, w.Class)
+		}
+		if w.Width < 1 {
+			t.Errorf("web %d has width %d", w.Web, w.Width)
+		}
+		for s := w.Slot; s < w.Slot+w.Width; s++ {
+			key := [2]int{int(w.Class), s}
+			if seen[key] {
+				t.Errorf("slot %v claimed by two webs", key)
+			}
+			seen[key] = true
+		}
+	}
+
+	// Every spill instruction in the rewritten function resolves to a
+	// recorded web through the profiler's provenance map.
+	nf, err := Rewrite(a.Vars, a.Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg := &prof.DebugInfo{RegBudget: 4, Funcs: map[string][]prof.SpillWeb{nf.Name: a.SpillWebs}}
+	nspills := 0
+	for i := range nf.Instrs {
+		in := &nf.Instrs[i]
+		if !in.IsSpill() {
+			continue
+		}
+		nspills++
+		if _, ok := dbg.ResolveSpill(nf.Name, in.Op, in.Imm); !ok {
+			t.Errorf("spill %v slot %d resolves to no web", in.Op, in.Imm)
+		}
+	}
+	if nspills == 0 {
+		t.Fatal("rewritten function has no spill instructions")
+	}
+
+	// A roomy budget records no webs.
+	roomy, err := Run(p.Entry(), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roomy.SpillWebs) != 0 {
+		t.Fatalf("roomy allocation recorded webs: %+v", roomy.SpillWebs)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // SpillClass says where a spilled variable's slots live.
@@ -158,6 +159,12 @@ type Alloc struct {
 	// touched the shared-slot budget and, above the Prep's trivial
 	// threshold, never depended on the register budget's headroom).
 	Rounds int
+	// SpillWebs is the provenance record of every web evicted across all
+	// rounds, in eviction order: the raw material for profile lines that
+	// resolve spill instructions back to allocator decisions. The (class,
+	// slot range) keys stay unique across rounds because PlanSpills
+	// continues slot numbering from the function's running totals.
+	SpillWebs []prof.SpillWeb
 }
 
 // Run performs the full Chaitin loop on a function: split webs, color with
@@ -198,6 +205,7 @@ func RunCtx(f *isa.Function, c, sharedBudget int, x obs.Ctx) (*Alloc, error) {
 func run(f *isa.Function, pr *Prep, c, sharedBudget int, x obs.Ctx) (a *Alloc, rounds, spilled int, err error) {
 	cur := f
 	var sc Scratch
+	var webs []prof.SpillWeb
 	const maxRounds = 32
 	for round := 0; round < maxRounds; round++ {
 		rounds = round + 1
@@ -229,7 +237,8 @@ func run(f *isa.Function, pr *Prep, c, sharedBudget int, x obs.Ctx) (a *Alloc, r
 		csp.SetAttr(obs.Int("spilled", len(res.Spilled)))
 		csp.End()
 		if len(res.Spilled) == 0 {
-			return &Alloc{Vars: v, Live: live, Res: res, Rounds: rounds}, rounds, spilled, nil
+			return &Alloc{Vars: v, Live: live, Res: res, Rounds: rounds, SpillWebs: webs},
+				rounds, spilled, nil
 		}
 		spilled += len(res.Spilled)
 		budget := sharedBudget - (cur.SpillShared - f.SpillShared)
@@ -238,6 +247,15 @@ func run(f *isa.Function, pr *Prep, c, sharedBudget int, x obs.Ctx) (a *Alloc, r
 		}
 		ssp := x.Span("spill", obs.Int("round", round), obs.Int("vars", len(res.Spilled)))
 		sa := PlanSpills(v, res.Spilled, budget)
+		for _, id := range res.Spilled {
+			webs = append(webs, prof.SpillWeb{
+				Round: rounds,
+				Web:   id,
+				Class: prof.SpillClass(sa.Class[id]),
+				Slot:  sa.Slot[id],
+				Width: v.Defs[id].Width,
+			})
+		}
 		cur = InsertSpills(v, sa)
 		ssp.End()
 	}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Config describes one simulated launch.
@@ -62,6 +63,10 @@ type Config struct {
 	// carrying the run's statistics (cycles, IPC, stall breakdown, cache
 	// hit rates). The zero Ctx disables it at the cost of one check.
 	Obs obs.Ctx
+	// Prof, when enabled, collects a PC-level profile and/or sampled
+	// counter tracks into Stats.Profile. Nil-gated like Obs: disabled,
+	// the hot path pays one pointer check per issue.
+	Prof *prof.Spec
 }
 
 // Scheduler is a warp scheduling policy.
@@ -113,6 +118,10 @@ type Stats struct {
 
 	// Trace holds issue records when Config.TraceWarps was set.
 	Trace *Trace
+
+	// Profile holds the merged PC profile and counter tracks when
+	// Config.Prof asked for collection.
+	Profile *prof.Profile
 }
 
 // IPC returns instructions per cycle across the device.
@@ -242,6 +251,15 @@ type engine struct {
 	numBlocks   int
 	sharedWords int
 	dramService float64 // per-SM channel occupancy per line
+
+	// Profiling state (nil when Config.Prof is disabled). stallHist is
+	// the shared per-warp stall-duration histogram, resolved once here so
+	// the issue path never does a registry lookup; Histogram.Observe is
+	// internally locked, and the bucket/count/sum state is
+	// order-independent, so parallel SMs keep it deterministic.
+	profSpec  *prof.Spec
+	profIdx   *prof.Index
+	stallHist *obs.Histogram
 }
 
 type smCtx struct {
@@ -296,6 +314,9 @@ type smCtx struct {
 	haveOthers bool
 	dirty      bool
 
+	// prof is this SM's profiling state; nil when disabled.
+	prof *smProf
+
 	// graveyard defers returning retired warp contexts to the shared
 	// pool until the next cycle boundary: the issue loop still inspects
 	// a warp's done/atBar flags right after the issue that may have
@@ -347,6 +368,7 @@ func Simulate(cfg Config, lc *interp.Launch) (*Stats, error) {
 		m.Counter("sim.launches." + cfg.Backend.String()).Add(1)
 		m.Counter("sim.cycles").Add(st.Cycles)
 		m.Counter("sim.instructions").Add(st.Instructions)
+		exportCounterTracks(cfg.Obs, st.Profile)
 	}
 	sp.End()
 	return st, err
@@ -401,6 +423,16 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 			return nil, err
 		}
 	}
+	if cfg.Prof.Enabled() {
+		e.profSpec = cfg.Prof
+		if cfg.Prof.PC {
+			// The flat-PC index is memoized per program like the layout.
+			e.profIdx = prof.IndexOf(lc.Prog)
+		}
+	}
+	if cfg.Obs.Enabled() {
+		e.stallHist = cfg.Obs.Metrics().Histogram("sim.warp_stall_cycles")
+	}
 
 	sms := make([]*smCtx, d.SMs)
 	for i := range sms {
@@ -410,6 +442,7 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 			l1:        newCache(d.L1Bytes(cfg.Cache), d.LineBytes, 4),
 			l2:        newCache(d.L2Bytes/d.SMs, d.LineBytes, 8),
 			nextBlock: i,
+			prof:      newSMProf(e),
 			// Pre-size the issue-scan slice for the configured residency.
 			warps: make([]*warpCtx, 0, cfg.BlocksPerSM*wpb),
 		}
@@ -502,6 +535,10 @@ func simulateLoop(cfg Config, lc *interp.Launch) (*Stats, error) {
 	if cfg.TraceWarps > 0 {
 		st.Trace = mergeTraces(cfg.TraceWarps, sms)
 	}
+	if e.profSpec.Enabled() {
+		st.Profile = mergeProfiles(e, sms, st)
+	}
+	addTotals(st)
 	return st, nil
 }
 
@@ -552,6 +589,9 @@ func (sm *smCtx) run() {
 		if now > sm.lastNow {
 			sm.residentIntegral += uint64(sm.live) * (now - sm.lastNow)
 			sm.lastNow = now
+		}
+		if p := sm.prof; p != nil && p.interval > 0 {
+			p.sample(sm, now)
 		}
 		if len(sm.graveyard) > 0 {
 			for _, w := range sm.graveyard {
@@ -1012,6 +1052,14 @@ func (sm *smCtx) issueOne(wc *warpCtx) bool {
 		case stallMSHR:
 			sm.st.stallMSHR += g
 		}
+		// The instruction issuing now is the one the warp was blocked on,
+		// so the gap is its stall attribution.
+		if p := sm.prof; p != nil && p.issues != nil {
+			p.stalls[wc.stall][p.idx.SlotOf(ev.Instr)] += g
+		}
+		if h := sm.eng.stallHist; h != nil {
+			h.Observe(float64(g))
+		}
 	}
 	wc.lastIssue = now
 	wc.stall = stallNone
@@ -1036,6 +1084,9 @@ func (sm *smCtx) issueOne(wc *warpCtx) bool {
 	}
 	wc.hasEv = false
 	sm.st.instructions++
+	if p := sm.prof; p != nil && p.issues != nil {
+		p.issues[p.idx.SlotOf(instr)]++
+	}
 	if instr != nil {
 		if instr.IsSpill() {
 			sm.st.spillInstrs++

@@ -40,6 +40,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
+	"repro/internal/prof"
 	"repro/internal/sa"
 	"repro/internal/sim"
 )
@@ -83,6 +84,14 @@ type (
 	OccupancyResult = occupancy.Result
 	// SimStats is a simulated launch's outcome.
 	SimStats = sim.Stats
+	// SimTotals is a snapshot of the process-wide simulation counters
+	// (stall breakdown, cache hierarchy); see SnapshotSimTotals.
+	SimTotals = sim.Totals
+	// ProfileSpec configures the simulator-native profiler (PC-level
+	// stall attribution and/or sampled counter tracks).
+	ProfileSpec = prof.Spec
+	// ProfileReport is a profiled run's ranked hot-spot report.
+	ProfileReport = prof.Report
 	// Kernel is one evaluation benchmark.
 	Kernel = kernels.Kernel
 	// Suite regenerates the paper's tables and figures.
@@ -268,6 +277,28 @@ func SimulateObs(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps i
 func Profile(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps, traceWarps int) (*SimStats, error) {
 	return v.ProfileAt(d, cc, targetWarps, &interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, traceWarps)
 }
+
+// ProfileDetailed is Profile with the full simulator-native profiler:
+// per-PC issue/stall attribution and sampled counter tracks per spec,
+// recorded into the result's Profile field (and, via the collector,
+// exported as Chrome trace counter tracks). Profiled runs always bypass
+// the run cache.
+func ProfileDetailed(v *Version, d *Device, cc CacheConfig, targetWarps, gridWarps, traceWarps int, spec *ProfileSpec, c *Collector) (*SimStats, error) {
+	return v.ProfileDetailedCtx(d, cc, targetWarps,
+		&interp.Launch{Prog: v.Prog, GridWarps: gridWarps}, traceWarps, spec, c.Ctx())
+}
+
+// BuildProfileReport ranks a profiled run into the user-facing hot-spot
+// report, resolving spill sites against the version's provenance map.
+func BuildProfileReport(v *Version, d *Device, st *SimStats, topN int) *ProfileReport {
+	return core.BuildProfileReport(v, d, st, topN)
+}
+
+// SnapshotSimTotals reads the process-wide simulation counters. Deltas
+// between snapshots expose a phase's stall breakdown and cache-hierarchy
+// behavior (uncached simulations only; run-cache hits never reach the
+// simulator).
+func SnapshotSimTotals() SimTotals { return sim.SnapshotTotals() }
 
 // Execute runs a program functionally (no timing) and returns its store
 // checksum and dynamic instruction count; useful for verifying that
