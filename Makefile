@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-smoke profile-smoke fmt fmt-check
+.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-serve bench-smoke profile-smoke serve-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, staticcheck, build,
 ## race-enabled tests, the serial-vs-parallel determinism suite, a short
 ## fuzz pass over the binary decoder, the realization pipeline, and the
-## static analyzer, and a one-shot run of the cold-sweep benchmark so
-## compile-path regressions fail loudly.
-check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke profile-smoke
+## static analyzer, a one-shot run of the cold-sweep benchmark so
+## compile-path regressions fail loudly, and the end-to-end daemon smoke
+## (serve-vs-CLI byte identity plus graceful shutdown).
+check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke profile-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,10 +38,14 @@ test-race:
 race: test-race
 
 ## determinism: byte-identity of suite tables across serial/uncached and
-## parallel/cached runs, and of simulator Stats across repeated runs on
-## both execution backends, under the race detector.
+## parallel/cached runs, of simulator Stats across repeated runs on both
+## execution backends, and of daemon responses across restarts and
+## concurrent duplicate requests — all under the race detector. The
+## serve and memo suites run in full here because every one of their
+## tests is a concurrency/determinism contract.
 determinism:
 	$(GO) test -race -run Determinism ./internal/bench/ ./internal/sim/
+	$(GO) test -race ./internal/serve/ ./internal/memo/
 
 ## fuzz-short: a quick coverage-guided pass over each fuzz target; the
 ## checked-in corpora run as plain regression tests under `make test`.
@@ -70,6 +75,20 @@ bench:
 bench-sim:
 	ORION_BENCH_SIM_OUT=BENCH_sim.json $(GO) test -run WriteSimBench -timeout 2h .
 	@echo "wrote BENCH_sim.json"
+
+## bench-serve: the daemon load benchmark behind BENCH_serve.json — 64
+## concurrent clients issuing a mixed tune/compile/sweep/scrape workload
+## under the race detector, with byte-identity checks on every duplicated
+## response. Writes the latency distribution artifact.
+bench-serve:
+	ORION_BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -race -count=1 -run ConcurrentMixedLoad -v ./internal/serve/ | grep -E 'wrote|PASS|FAIL|ok '
+	@echo "wrote BENCH_serve.json"
+
+## serve-smoke: start the real `orion serve` daemon in-process, tune a
+## kernel over HTTP, and require the response to be byte-identical to
+## `orion tune -json` for the same kernel and flags, then SIGINT-drain.
+serve-smoke:
+	$(GO) test -race -count=1 -run ServeSmoke ./cmd/orion/
 
 ## profile-smoke: profile one kernel on both execution backends and
 ## diff the PC-profile artifacts — the profiler's cross-backend

@@ -37,6 +37,13 @@
 //	    error-severity findings exist.
 //	orion list
 //	    List the built-in benchmark kernels.
+//	orion serve    [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N]
+//	    Run the tuning daemon: POST kernels to /v1/tune, /v1/compile, or
+//	    /v1/sweep (body = OASM text or ORN1 binary, or ?kernel=NAME for a
+//	    built-in), fetch cached artifacts from /v1/artifact/{kind}/{key},
+//	    and scrape /metrics and /healthz. Tune responses are the same
+//	    canonical JSON `orion tune -json` writes; with -store they
+//	    persist across restarts.
 //
 // All compiling subcommands accept -lint strict|warn|off (default
 // strict): strict rejects programs whose analysis has error-severity
@@ -68,6 +75,7 @@ import (
 
 	orion "repro"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -82,6 +90,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("usage: orion compile|tune|sweep|run|list ... (see -h)")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "serve" {
+		// The daemon has its own flag set: per-kernel knobs arrive with
+		// each HTTP request, not on the command line.
+		return runServe(rest, out)
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	kernelName := fs.String("kernel", "", "built-in benchmark name (see 'orion list')")
@@ -100,7 +113,7 @@ func run(args []string, out io.Writer) error {
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	realized := fs.Bool("realized", false, "for 'lint': also analyze every realized occupancy level")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
-	jsonOut := fs.String("json", "", "for 'profile': write the profile report as JSON to this file")
+	jsonOut := fs.String("json", "", "for 'profile'/'tune': write the report as JSON to this file (tune writes the canonical report, byte-identical to `orion serve`'s)")
 
 	if cmd == "list" {
 		ks, err := orion.Benchmarks()
@@ -228,6 +241,26 @@ func run(args []string, out io.Writer) error {
 				printDecisions(out, rep)
 				if rep.Profile != nil {
 					rep.Profile.Render(out)
+				}
+			}
+			if *jsonOut != "" {
+				// The canonical report: the same builder and encoding the
+				// serve daemon uses, so this file is byte-identical to the
+				// /v1/tune response for the same kernel and parameters.
+				p := serve.Params{
+					Kernel:  prog.Name,
+					Device:  dev.Name,
+					Cache:   cc.String(),
+					Backend: orion.CurrentSimBackend(),
+					Grid:    gridWarps,
+					Iters:   iterations,
+					Lint:    lintMode.String(),
+					Verify:  *verify,
+				}
+				canTune := r.CanTune(prog, orion.Launch{GridWarps: gridWarps, Iterations: iterations})
+				data := serve.EncodeReport(serve.BuildReport(p, prog, dev, canTune, rep))
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return err
 				}
 			}
 			return nil

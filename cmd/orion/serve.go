@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	orion "repro"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// runServe implements `orion serve`: the long-running tuning daemon.
+// It has its own flag set (daemon knobs, not per-kernel knobs — those
+// arrive per request) and runs until SIGINT/SIGTERM, then drains:
+// in-flight requests finish, the listener closes, the pool stops.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9270", "listen address")
+	storeDir := fs.String("store", "", "artifact store directory (empty: no persistence, memoization only)")
+	workers := fs.Int("workers", 0, "tuning worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "pending-request queue depth; a full queue returns 429")
+	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if b, err := orion.ParseSimBackend(*simBackend); err != nil {
+		return err
+	} else if b != orion.SimBackendAuto {
+		orion.SetSimBackend(b)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+	srv := serve.New(serve.Config{Store: st, Workers: *workers, Queue: *queue})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "orion serve: listening on http://%s (backend %s, store %q)\n",
+		ln.Addr(), orion.CurrentSimBackend(), *storeDir)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "orion serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

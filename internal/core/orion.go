@@ -62,6 +62,26 @@ type TuneReport struct {
 	Profile *prof.Report
 }
 
+// CanTune reports whether a launch offers the runtime tuner feedback
+// iterations: either the application invokes the kernel more than once,
+// or a single invocation's grid is large enough for kernel splitting
+// (each split piece should still fill the device a few times over). It is
+// the canTune decision Tune makes before compiling, exposed so callers
+// that cache compile artifacts — `orion serve` keys fat binaries on it —
+// agree with the pipeline byte-for-byte.
+func (r *Realizer) CanTune(p *isa.Program, lc Launch) bool {
+	if len(lc.IterationGrids) > 0 {
+		lc.Iterations = len(lc.IterationGrids)
+		lc.GridWarps = lc.IterationGrids[0]
+	}
+	if lc.Iterations > 1 {
+		return true
+	}
+	wpb := p.BlockDim / r.Dev.WarpSize
+	_, err := PlanSplit(lc.GridWarps, 4, r.Dev.SMs*wpb*2)
+	return err == nil
+}
+
 // Tune runs the full Orion pipeline: compile-time tuning, then runtime
 // adaptation over the launch's iterations. Kernels invoked only once are
 // kernel-split into sub-launches when the grid allows; otherwise the
@@ -74,17 +94,7 @@ func (r *Realizer) Tune(p *isa.Program, lc Launch) (*TuneReport, error) {
 	if lc.Iterations < 1 {
 		lc.Iterations = 1
 	}
-	wpb := p.BlockDim / r.Dev.WarpSize
-	// A split piece should still fill the device a few times over.
-	minSplitWarps := r.Dev.SMs * wpb * 2
-	canTune := lc.Iterations > 1
-	if !canTune {
-		if _, err := PlanSplit(lc.GridWarps, 4, minSplitWarps); err == nil {
-			canTune = true
-		}
-	}
-
-	cr, err := r.Compile(p, canTune)
+	cr, err := r.Compile(p, r.CanTune(p, lc))
 	if err != nil {
 		return nil, err
 	}

@@ -13,7 +13,10 @@ import (
 
 // Cache memoizes fn results by key. The zero value is not usable; call
 // New. Both values and errors are cached: a deterministic failure (e.g. an
-// infeasible occupancy level) is as cacheable as a success.
+// infeasible occupancy level) is as cacheable as a success. Panics are
+// not: a computation that panics poisons nobody — the entry is dropped so
+// later calls recompute, and every caller already waiting on it observes
+// the same panic.
 type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*entry[V]
@@ -24,10 +27,15 @@ type Cache[K comparable, V any] struct {
 	disabled atomic.Bool
 }
 
+// entry is one key's computation. done is closed exactly once, when the
+// filling goroutine finishes (normally or by panic); val/err/panicked are
+// written before the close and only read after it, so waiters need no
+// further synchronization.
 type entry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
+	done     chan struct{}
+	val      V
+	err      error
+	panicked any // non-nil iff fn panicked; the recovered value
 }
 
 // New returns an empty, enabled cache.
@@ -39,6 +47,12 @@ func New[K comparable, V any]() *Cache[K, V] {
 // call. Concurrent calls with the same key run fn once; the rest wait and
 // share the result. With the cache disabled, Do is fn() and no counters
 // move.
+//
+// If fn panics, the panic propagates to the caller that ran fn and to
+// every caller waiting on the same key, and the entry is dropped — a
+// later Do with the key recomputes instead of silently returning a zero
+// value. fn must not call Do with the same key or Reset on the same cache
+// (both would deadlock, exactly like a self-referential computation).
 func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	if c.disabled.Load() {
 		return fn()
@@ -46,16 +60,44 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &entry[V]{}
+		e = &entry[V]{done: make(chan struct{})}
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.val, e.err
 	}
-	e.once.Do(func() { e.val, e.err = fn() })
+	c.misses.Add(1)
+	return c.fill(key, e, fn)
+}
+
+// fill runs fn for a freshly created entry and publishes the outcome. On
+// panic the entry is removed from the table (unless a Reset already
+// detached it), waiters are released with the panic value recorded, and
+// the panic resumes unwinding the filling goroutine.
+func (c *Cache[K, V]) fill(key K, e *entry[V], fn func() (V, error)) (V, error) {
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		e.panicked = recover()
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+		panic(e.panicked)
+	}()
+	e.val, e.err = fn()
+	completed = true
+	close(e.done)
 	return e.val, e.err
 }
 
@@ -73,11 +115,22 @@ func (c *Cache[K, V]) Len() int {
 	return len(c.entries)
 }
 
-// Reset drops every entry and zeroes the counters.
+// Reset drops every entry and zeroes the counters. It waits for in-flight
+// computations before returning, so the generations cannot interleave: a
+// Do that joined an entry before the Reset observes the pre-Reset result
+// and has done so by the time Reset returns; a Do that arrives afterwards
+// recomputes. Without the wait, an in-flight computation could complete
+// invisibly after the Reset and a caller could observe two distinct
+// results for one key in the same process. Reset must not be called from
+// inside a computation of the same cache.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
+	old := c.entries
 	c.entries = make(map[K]*entry[V])
 	c.mu.Unlock()
+	for _, e := range old {
+		<-e.done
+	}
 	c.hits.Store(0)
 	c.misses.Store(0)
 }

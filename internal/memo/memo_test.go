@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoComputesOncePerKey(t *testing.T) {
@@ -103,5 +104,208 @@ func TestSingleFlightUnderConcurrency(t *testing.T) {
 	wg.Wait()
 	if calls.Load() != 8 {
 		t.Errorf("fn ran %d times, want once per key (8)", calls.Load())
+	}
+}
+
+// TestPanicDropsEntryAndPropagates is the regression test for the
+// panic-poisoning bug: a panicking fn used to mark the entry done with a
+// zero value and nil error, so every later Do on the key silently
+// returned garbage. Now the panic propagates and the entry is dropped, so
+// a later Do recomputes.
+func TestPanicDropsEntryAndPropagates(t *testing.T) {
+	c := New[int, int]()
+	mustPanic := func() (v any) {
+		defer func() { v = recover() }()
+		c.Do(1, func() (int, error) { panic("boom") })
+		return nil
+	}
+	if got := mustPanic(); got != "boom" {
+		t.Fatalf("first Do recovered %v, want boom", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("poisoned entry survived: Len = %d, want 0", c.Len())
+	}
+	// The key is recomputable — no silent zero value.
+	v, err := c.Do(1, func() (int, error) { return 99, nil })
+	if err != nil || v != 99 {
+		t.Fatalf("Do after panic = %d, %v, want 99, nil", v, err)
+	}
+}
+
+// TestPanicPropagatesToWaiters: callers already blocked on a key whose
+// computation panics observe the same panic, not a zero value.
+func TestPanicPropagatesToWaiters(t *testing.T) {
+	c := New[int, int]()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	panics := make(chan any, 9)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { panics <- recover() }()
+		c.Do(1, func() (int, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { panics <- recover() }()
+			c.Do(1, func() (int, error) { return 0, nil })
+		}()
+	}
+	// Give the waiters a moment to join the in-flight entry, then let the
+	// computation panic. Waiters that instead recompute (entry already
+	// dropped) legitimately recover nil — only joined waiters must see the
+	// panic; the filler always does.
+	close(release)
+	wg.Wait()
+	close(panics)
+	sawBoom := 0
+	for v := range panics {
+		if v == "boom" {
+			sawBoom++
+		} else if v != nil {
+			t.Errorf("unexpected panic value %v", v)
+		}
+	}
+	if sawBoom == 0 {
+		t.Error("no goroutine observed the panic")
+	}
+	if c.Len() != 0 && c.Len() != 1 {
+		t.Errorf("Len = %d after panic round", c.Len())
+	}
+}
+
+// TestResetWaitsForInflight is the regression test for the Reset race: a
+// Reset racing an in-flight Do used to let the old entry complete
+// invisibly while a new entry recomputed the key, so one process could
+// observe two distinct results for one fingerprint. Reset now waits.
+func TestResetWaitsForInflight(t *testing.T) {
+	c := New[int, int]()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		v, _ := c.Do(1, func() (int, error) {
+			close(entered)
+			<-release
+			return 10, nil
+		})
+		if v != 10 {
+			t.Errorf("in-flight Do = %d, want 10", v)
+		}
+	}()
+	<-entered
+	resetDone := make(chan struct{})
+	go func() {
+		defer close(resetDone)
+		c.Reset()
+	}()
+	select {
+	case <-resetDone:
+		t.Fatal("Reset returned while a computation was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-resetDone
+	<-firstDone
+	// After Reset has returned, the key recomputes: no stale value can
+	// appear after the reset point.
+	var calls int
+	v, _ := c.Do(1, func() (int, error) { calls++; return 20, nil })
+	if v != 20 || calls != 1 {
+		t.Errorf("post-Reset Do = %d (calls %d), want fresh 20", v, calls)
+	}
+}
+
+// TestResetDoRace hammers Do and Reset concurrently; run under -race.
+// Every Do must observe a value its own generation could have produced
+// (the generation counter only moves forward), and nothing may deadlock.
+func TestResetDoRace(t *testing.T) {
+	c := New[int, uint64]()
+	var gen atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := 0; k < 4; k++ {
+					before := gen.Load()
+					v, err := c.Do(k, func() (uint64, error) { return gen.Load(), nil })
+					if err != nil {
+						t.Errorf("Do err = %v", err)
+						return
+					}
+					// The observed value was computed at some generation >=
+					// one that existed before this call joined it... it can
+					// never exceed the current generation.
+					if v > gen.Load() || (v+8 < before) {
+						t.Errorf("Do(%d) = generation %d, current %d, before %d", k, v, gen.Load(), before)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		gen.Add(1)
+		c.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSetEnabledDoInterleavings toggles the cache while Do traffic is in
+// flight (run under -race): every call must return the correct value for
+// its key regardless of which mode it lands in, and re-enabling must
+// serve entries cached before the disable.
+func TestSetEnabledDoInterleavings(t *testing.T) {
+	c := New[int, int]()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % 4
+				v, err := c.Do(k, func() (int, error) { return k * 10, nil })
+				if err != nil || v != k*10 {
+					t.Errorf("Do(%d) = %d, %v", k, v, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		c.SetEnabled(i%2 == 0)
+	}
+	c.SetEnabled(true)
+	close(stop)
+	wg.Wait()
+	for k := 0; k < 4; k++ {
+		v, err := c.Do(k, func() (int, error) { return -1, nil })
+		if err != nil || (v != k*10 && v != -1) {
+			t.Errorf("post-toggle Do(%d) = %d, %v", k, v, err)
+		}
 	}
 }

@@ -240,3 +240,72 @@ func TestHistogramPercentilesInJSON(t *testing.T) {
 		t.Fatalf("p50/p99 = %v/%v", hs.P50, hs.P99)
 	}
 }
+
+// TestHistogramSnapshotWhileRecording snapshots a histogram while eight
+// goroutines hammer Observe (run under -race): every snapshot must be
+// internally consistent — a count that only moves forward, a sum and
+// bucket total matching the count, and quantiles inside [Min, Max] —
+// exactly what the serve daemon's /metrics endpoint relies on when it
+// snapshots latency histograms mid-request.
+func TestHistogramSnapshotWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	const (
+		writers    = 8
+		perWriter  = 500
+		snapshots  = 200
+		finalCount = writers * perWriter
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(1 + (w*perWriter+i)%64))
+			}
+		}(w)
+	}
+	var prevCount uint64
+	for i := 0; i < snapshots; i++ {
+		s := h.Snapshot()
+		if s.Count < prevCount {
+			t.Fatalf("count went backward: %d -> %d", prevCount, s.Count)
+		}
+		prevCount = s.Count
+		if s.Count == 0 {
+			continue
+		}
+		var bucketTotal uint64
+		for _, b := range s.Buckets {
+			bucketTotal += b.Count
+		}
+		if bucketTotal != s.Count {
+			t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+		}
+		if s.Min < 1 || s.Max > 64 || s.Min > s.Max {
+			t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+		}
+		if s.P50 < s.Min || s.P50 > s.Max || s.P99 < s.Min || s.P99 > s.Max {
+			t.Fatalf("quantiles %v/%v outside [%v, %v]", s.P50, s.P99, s.Min, s.Max)
+		}
+		// Registry-level snapshots must be equally safe mid-recording.
+		if rs := r.Snapshot(); rs.Histograms["lat"].Count < s.Count {
+			t.Fatalf("registry snapshot went backward vs direct snapshot")
+		}
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != finalCount {
+		t.Fatalf("final count = %d, want %d", s.Count, finalCount)
+	}
+	wantSum := 0.0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			wantSum += float64(1 + (w*perWriter+i)%64)
+		}
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("final sum = %v, want %v", s.Sum, wantSum)
+	}
+}

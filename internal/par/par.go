@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,9 +41,21 @@ func (p *ItemPanic) Error() string {
 // item index, the original value, and the worker's stack. Inline runs
 // (workers == 1) panic the same way, so the contract is mode-independent.
 func ForEach(workers, n int, fn func(i int)) {
+	// context.Background is never done, so the error is statically nil.
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no further
+// item is dispatched (items already running finish — fn is not
+// interrupted) and ForEachCtx returns ctx.Err(). It returns nil when
+// every item ran. The panic contract is ForEach's: a panicking item still
+// stops dispatch and re-panics on the caller's goroutine with an
+// *ItemPanic, taking precedence over a concurrent cancellation.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	done := ctx.Done() // nil for Background: cancellation checks vanish
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -51,23 +64,41 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			runItem(i, fn)
 		}
-		return
+		return nil
 	}
 	var next int
+	var canceled bool
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstPanic *ItemPanic // guarded by mu
+	var firstPanic *ItemPanic // guarded by mu, like next and canceled
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				stop := firstPanic != nil
+				stop := firstPanic != nil || canceled
 				i := next
-				next++
+				if !stop && i < n && done != nil {
+					select {
+					case <-done:
+						canceled = true
+						stop = true
+					default:
+					}
+				}
+				if !stop && i < n {
+					next++
+				}
 				mu.Unlock()
 				if stop || i >= n {
 					return
@@ -87,6 +118,10 @@ func ForEach(workers, n int, fn func(i int)) {
 	if firstPanic != nil {
 		panic(firstPanic)
 	}
+	if canceled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // runItem is the inline-mode item call: it wraps a raw panic in

@@ -1,7 +1,9 @@
 package par
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -132,4 +134,86 @@ func TestForEachNestedPanicKeepsInnermostItem(t *testing.T) {
 	if p.Index != 2 || p.Value != "inner" {
 		t.Errorf("panic = index %d value %v, want inner item 2", p.Index, p.Value)
 	}
+}
+
+// TestForEachCtxCancelDuringDispatch is the regression test for the
+// no-cancellation gap: cancelling the context mid-run must stop further
+// dispatch (some items never run), let in-flight items finish, and
+// surface ctx.Err() — the behaviour a cancelled serve request depends on.
+func TestForEachCtxCancelDuringDispatch(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int32
+	release := make(chan struct{})
+	var once sync.Once
+	err := ForEachCtx(ctx, 4, n, func(i int) {
+		started.Add(1)
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		finished.Add(1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s >= n {
+		t.Errorf("all %d items were dispatched despite cancellation", s)
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Errorf("in-flight items did not finish: started %d, finished %d", s, f)
+	}
+}
+
+// TestForEachCtxInlineCancel covers the workers==1 inline path: a cancel
+// raised by item i prevents item i+1 from running.
+func TestForEachCtxInlineCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	err := ForEachCtx(ctx, 1, 10, func(i int) {
+		ran = append(ran, i)
+		if i == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran %v, want items 0..3 only", ran)
+	}
+}
+
+// TestForEachCtxCompletes: an uncancelled context runs every item and
+// returns nil, for both inline and parallel modes.
+func TestForEachCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int32
+		if err := ForEachCtx(context.Background(), workers, 100, func(i int) { count.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if count.Load() != 100 {
+			t.Errorf("workers=%d: ran %d items, want 100", workers, count.Load())
+		}
+	}
+}
+
+// TestForEachCtxPanicBeatsCancel: when an item panics and the context is
+// also cancelled, the panic wins (it carries more information).
+func TestForEachCtxPanicBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		p, ok := recover().(*ItemPanic)
+		if !ok || p.Index != 2 {
+			t.Errorf("recover = %v, want ItemPanic at 2", p)
+		}
+	}()
+	ForEachCtx(ctx, 1, 10, func(i int) {
+		if i == 2 {
+			cancel()
+			panic("boom")
+		}
+	})
+	t.Error("no panic surfaced")
 }

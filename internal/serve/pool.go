@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBusy reports that the pool's queue is full: the daemon is saturated
+// and the caller should shed the request (HTTP 429) rather than queue
+// unboundedly.
+var ErrBusy = errors.New("serve: worker queue full")
+
+// ErrClosed reports a Submit after Close: the daemon is shutting down.
+var ErrClosed = errors.New("serve: pool closed")
+
+// task is one queued unit of work. The context travels with it so a
+// worker can observe that every interested caller has gone before the
+// task even starts.
+type task struct {
+	ctx context.Context
+	run func()
+}
+
+// Pool is a bounded worker pool with backpressure: a fixed number of
+// workers drain a fixed-depth queue, and Submit never blocks — when the
+// queue is full it returns ErrBusy immediately. This is the daemon's
+// admission control: concurrency is capped by workers, memory by queue
+// depth, and overload turns into fast 429s instead of pile-ups.
+type Pool struct {
+	queue chan task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // guards closed and the closed/send race
+	closed bool
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	skipped   atomic.Uint64
+	completed atomic.Uint64
+}
+
+// PoolStats is a point-in-time snapshot of the pool's counters.
+type PoolStats struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Skipped   uint64 `json:"skipped"`
+	Completed uint64 `json:"completed"`
+	Queued    int    `json:"queued"`
+	QueueCap  int    `json:"queue_cap"`
+}
+
+// NewPool starts workers goroutines draining a queue of the given depth.
+// workers < 1 and queue < 0 are clamped to 1 and 0.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{queue: make(chan task, queue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		// A task whose every waiter has already gone is not worth
+		// starting; its run func would only discover the same thing.
+		if t.ctx.Err() != nil {
+			p.skipped.Add(1)
+		} else {
+			t.run()
+		}
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues run without blocking. ctx is the task's cancellation
+// scope — a task whose ctx is done by the time a worker picks it up is
+// dropped unstarted (callers coordinating through Flight are told via
+// the flight entry, not the pool). Returns ErrBusy when the queue is
+// full and ErrClosed after Close.
+func (p *Pool) Submit(ctx context.Context, run func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- task{ctx: ctx, run: run}:
+		p.submitted.Add(1)
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrBusy
+	}
+}
+
+// Close stops accepting work and waits for queued tasks to drain. Safe
+// to call twice.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats snapshots the pool's counters and queue occupancy.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
+		Skipped:   p.skipped.Load(),
+		Completed: p.completed.Load(),
+		Queued:    len(p.queue),
+		QueueCap:  cap(p.queue),
+	}
+}

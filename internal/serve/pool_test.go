@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 64)
+	defer p.Close()
+	var ran atomic.Int32
+	done := make(chan struct{}, 32)
+	for i := 0; i < 32; i++ {
+		err := p.Submit(context.Background(), func() {
+			ran.Add(1)
+			done <- struct{}{}
+		})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		<-done
+	}
+	if ran.Load() != 32 {
+		t.Errorf("ran %d tasks, want 32", ran.Load())
+	}
+	st := p.Stats()
+	if st.Submitted != 32 || st.Rejected != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPoolBackpressure is the admission-control contract: one busy
+// worker plus a depth-1 queue means the third Submit fails immediately
+// with ErrBusy — no blocking, no unbounded pile-up.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker occupied; queue empty
+	if err := p.Submit(context.Background(), func() {}); err != nil {
+		t.Fatalf("queued Submit: %v", err)
+	}
+	if err := p.Submit(context.Background(), func() {}); err != ErrBusy {
+		t.Fatalf("overflow Submit = %v, want ErrBusy", err)
+	}
+	if p.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", p.Stats().Rejected)
+	}
+	close(release)
+}
+
+// TestPoolSkipsCancelledTasks: a task whose context is done before a
+// worker reaches it is dropped unstarted.
+func TestPoolSkipsCancelledTasks(t *testing.T) {
+	p := NewPool(1, 8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(ctx, func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel() // all four queued tasks are now dead
+	close(release)
+	p.Close() // drains the queue
+	if ran.Load() != 0 {
+		t.Errorf("%d cancelled tasks ran, want 0", ran.Load())
+	}
+	if p.Stats().Skipped != 4 {
+		t.Errorf("skipped = %d, want 4", p.Stats().Skipped)
+	}
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int32
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(context.Background(), func() {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if ran.Load() != 8 {
+		t.Errorf("Close returned with %d/8 tasks done", ran.Load())
+	}
+	if err := p.Submit(context.Background(), func() {}); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	p.Close() // second Close is a no-op
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with -race, for
+// the BENCH_serve.json provenance field.
+const raceEnabled = false

@@ -1,0 +1,660 @@
+// Package serve is the Orion tuning daemon: a long-running HTTP service
+// that accepts OASM kernels, realizes and tunes them concurrently on the
+// simulated device, and returns multi-version fat binaries and canonical
+// tune reports. It is the paper's deployment story scaled from one-shot
+// CLI invocations to a shared service — build farms POST kernels, the
+// daemon amortizes compilation across requests and restarts.
+//
+// Four layers stack under the handlers:
+//
+//   - a content-addressed artifact store (internal/store) keyed by the
+//     program/device fingerprints, so restarts and replicas share a warm
+//     cache and repeat requests are served from disk byte-identically;
+//   - request coalescing (Flight) on top of the realizer's process-wide
+//     single-flight memo, so identical concurrent POSTs cost one tune;
+//   - a bounded worker pool (Pool) with backpressure — a full queue is an
+//     immediate 429, and a request whose client disconnects cancels any
+//     pending ladder work it alone was waiting for;
+//   - obs-backed /metrics and /healthz, with optional per-request Chrome
+//     trace spans (?trace=1) through the existing export machinery.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/occupancy"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// maxBodyBytes bounds uploaded kernel sources and binaries.
+const maxBodyBytes = 4 << 20
+
+// Config configures a daemon instance.
+type Config struct {
+	// Store persists artifacts across restarts; nil runs storeless (every
+	// artifact recomputed per process, still coalesced and memoized).
+	Store *store.Store
+	// Workers is the tuning pool size; <1 means GOMAXPROCS.
+	Workers int
+	// Queue is the pending-request bound; <0 means 0 (no queueing:
+	// admission requires a free worker). Default 64 when zero.
+	Queue int
+}
+
+// Server is one daemon instance. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	flight  *Flight
+	metrics *obs.Registry
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a daemon from cfg.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Workers = workers // expose the resolved size via /healthz
+	queue := cfg.Queue
+	if queue == 0 {
+		queue = 64
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(workers, queue),
+		flight:  NewFlight(),
+		metrics: obs.NewRegistry(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/artifact/{kind}/{key}", s.handleArtifact)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool. In-flight requests finish; new Submits
+// fail with ErrClosed.
+func (s *Server) Close() { s.pool.Close() }
+
+// request is one parsed tuning request: canonical parameters plus the
+// resolved program and platform.
+type request struct {
+	params Params
+	prog   *isa.Program
+	dev    *device.Device
+	cache  device.CacheConfig
+	lint   core.LintMode
+	trace  bool
+}
+
+// badRequest marks client errors (unparsable kernels, unknown devices)
+// for the 400 path.
+type badRequest struct{ err error }
+
+func (e *badRequest) Error() string { return e.err.Error() }
+func (e *badRequest) Unwrap() error { return e.err }
+
+// parseRequest resolves the query parameters and body into a request.
+// The canonical Params come from the resolved values (device name, cache
+// config string, lint mode string), never from the raw query text, so
+// aliases like device=kepler produce byte-identical artifacts.
+func (s *Server) parseRequest(req *http.Request) (*request, error) {
+	q := req.URL.Query()
+	dev, err := pickDevice(valueOr(q.Get("device"), "gtx680"))
+	if err != nil {
+		return nil, &badRequest{err}
+	}
+	cc, err := pickCache(valueOr(q.Get("cache"), "sc"))
+	if err != nil {
+		return nil, &badRequest{err}
+	}
+	lint, err := core.ParseLintMode(valueOr(q.Get("lint"), "strict"))
+	if err != nil {
+		return nil, &badRequest{err}
+	}
+	verify := true
+	if v := q.Get("verify"); v != "" {
+		verify, err = strconv.ParseBool(v)
+		if err != nil {
+			return nil, &badRequest{fmt.Errorf("bad verify=%q", v)}
+		}
+	}
+
+	var prog *isa.Program
+	grid, iters := 1024, 8
+	if name := q.Get("kernel"); name != "" {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, &badRequest{err}
+		}
+		prog, grid, iters = k.Prog, k.GridWarps, k.Iterations
+	} else {
+		body, err := io.ReadAll(http.MaxBytesReader(nil, req.Body, maxBodyBytes))
+		if err != nil {
+			return nil, &badRequest{fmt.Errorf("reading body: %w", err)}
+		}
+		if len(body) == 0 {
+			return nil, &badRequest{errors.New("a kernel is required: ?kernel=NAME or an OASM body")}
+		}
+		if bytes.HasPrefix(body, []byte("ORN1")) {
+			prog, err = isa.Decode(body)
+		} else {
+			prog, err = isa.Parse(string(body))
+		}
+		if err != nil {
+			return nil, &badRequest{err}
+		}
+		if err := isa.Validate(prog); err != nil {
+			return nil, &badRequest{err}
+		}
+	}
+	if v := q.Get("grid"); v != "" {
+		grid, err = strconv.Atoi(v)
+		if err != nil || grid < 1 {
+			return nil, &badRequest{fmt.Errorf("bad grid=%q", v)}
+		}
+	}
+	if v := q.Get("iters"); v != "" {
+		iters, err = strconv.Atoi(v)
+		if err != nil || iters < 1 {
+			return nil, &badRequest{fmt.Errorf("bad iters=%q", v)}
+		}
+	}
+
+	return &request{
+		params: Params{
+			Kernel:  prog.Name,
+			Device:  dev.Name,
+			Cache:   cc.String(),
+			Backend: sim.DefaultBackend().String(),
+			Grid:    grid,
+			Iters:   iters,
+			Lint:    lint.String(),
+			Verify:  verify,
+		},
+		prog:  prog,
+		dev:   dev,
+		cache: cc,
+		lint:  lint,
+		trace: q.Get("trace") != "",
+	}, nil
+}
+
+func valueOr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func pickDevice(name string) (*device.Device, error) {
+	switch strings.ToLower(name) {
+	case "gtx680", "kepler":
+		return device.GTX680(), nil
+	case "c2075", "teslac2075", "fermi":
+		return device.TeslaC2075(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q (gtx680 or c2075)", name)
+}
+
+func pickCache(name string) (device.CacheConfig, error) {
+	switch strings.ToLower(name) {
+	case "sc", "small":
+		return device.SmallCache, nil
+	case "lc", "large":
+		return device.LargeCache, nil
+	}
+	return 0, fmt.Errorf("unknown cache config %q (sc or lc)", name)
+}
+
+// realizer builds a fresh per-request realizer; the expensive state (the
+// realization and run memos) is process-global and fingerprint-keyed, so
+// per-request construction costs nothing.
+func (r *request) realizer(col *obs.Collector) *core.Realizer {
+	rz := core.NewRealizer(r.dev, r.cache)
+	rz.Verify = r.params.Verify
+	rz.Lint = r.lint
+	rz.Obs = col
+	return rz
+}
+
+// fatParams strips the launch-specific fields from the request params:
+// a fat binary depends on the launch only through canTune, which is
+// folded into the operation name instead.
+func fatParams(p Params) Params {
+	p.Grid, p.Iters = 0, 0
+	return p
+}
+
+func fatOp(canTune bool) string {
+	if canTune {
+		return "fat-tunable"
+	}
+	return "fat-static"
+}
+
+// launch is the request's Launch value.
+func (r *request) launch() core.Launch {
+	return core.Launch{GridWarps: r.params.Grid, Iterations: r.params.Iters}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleTune(w http.ResponseWriter, req *http.Request) {
+	s.metrics.Counter("serve.requests").Add(1)
+	r, err := s.parseRequest(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if r.trace {
+		s.tuneTraced(w, req, r)
+		return
+	}
+	key := RequestKey("tune", r.params, r.prog, r.dev)
+	if data, ok, _ := s.cfg.Store.Get("tune", key); ok {
+		s.metrics.Counter("serve.store_hits").Add(1)
+		writeArtifact(w, "application/json", key, data)
+		return
+	}
+	s.metrics.Counter("serve.store_misses").Add(1)
+	startAt := time.Now()
+	data, err := s.flight.Do(req.Context(), key, s.pool, func(ctx context.Context) ([]byte, error) {
+		return s.tuneJob(ctx, r)
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.Histogram("serve.tune_ms").Observe(float64(time.Since(startAt).Milliseconds()))
+	if err := s.cfg.Store.Put("tune", key, data); err != nil {
+		s.metrics.Counter("serve.store_errors").Add(1)
+	}
+	writeArtifact(w, "application/json", key, data)
+}
+
+// tuneJob is the cold path: compile (or decode a stored fat binary),
+// tune, and render the canonical report. ctx is the coalesced job
+// context; it is checked between the two expensive phases so abandoned
+// requests stop occupying a worker.
+func (s *Server) tuneJob(ctx context.Context, r *request) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rz := r.realizer(nil)
+	canTune := rz.CanTune(r.prog, r.launch())
+	cr, err := s.compileResult(rz, r, canTune)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := rz.TuneCompiled(cr, r.launch())
+	if err != nil {
+		return nil, err
+	}
+	return EncodeReport(BuildReport(r.params, r.prog, r.dev, canTune, rep)), nil
+}
+
+// compileResult returns the compile-time tuning output for the request,
+// preferring a stored fat binary (decoded fat round-trips byte-identical
+// programs, so the downstream tune is bit-for-bit the same as from a
+// fresh compile) and persisting fresh compiles for the next restart.
+func (s *Server) compileResult(rz *core.Realizer, r *request, canTune bool) (*core.CompileResult, error) {
+	key := RequestKey(fatOp(canTune), fatParams(r.params), r.prog, r.dev)
+	if data, ok, _ := s.cfg.Store.Get("fat", key); ok {
+		if cr, err := core.DecodeFat(data); err == nil {
+			s.metrics.Counter("serve.fat_reused").Add(1)
+			return cr, nil
+		}
+		// Undecodable stored fat (format drift): fall through to recompile.
+		s.metrics.Counter("serve.fat_stale").Add(1)
+	}
+	cr, err := rz.Compile(r.prog, canTune)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Store.Put("fat", key, core.EncodeFat(cr)); err != nil {
+		s.metrics.Counter("serve.store_errors").Add(1)
+	}
+	return cr, nil
+}
+
+// tuneTraced is the diagnostic path (?trace=1): the tune runs with a
+// per-request collector and the response envelope carries the report
+// plus a Chrome trace of the request's spans. Traces are timing-laden
+// and therefore nondeterministic, so this path bypasses the store and
+// the coalescing group — but not the pool; tracing does not dodge
+// admission control.
+func (s *Server) tuneTraced(w http.ResponseWriter, req *http.Request, r *request) {
+	col := obs.New()
+	var data []byte
+	var jobErr error
+	done := make(chan struct{})
+	err := s.pool.Submit(req.Context(), func() {
+		defer close(done)
+		sp := col.StartSpan("serve.tune",
+			obs.String("kernel", r.params.Kernel),
+			obs.String("device", r.params.Device))
+		rz := r.realizer(col)
+		canTune := rz.CanTune(r.prog, r.launch())
+		rep, err := rz.Tune(r.prog, r.launch())
+		sp.End()
+		if err != nil {
+			jobErr = err
+			return
+		}
+		data = EncodeReport(BuildReport(r.params, r.prog, r.dev, canTune, rep))
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	select {
+	case <-done:
+	case <-req.Context().Done():
+		return // client gone; the job finishes on its own
+	}
+	if jobErr != nil {
+		s.fail(w, jobErr)
+		return
+	}
+	var trace bytes.Buffer
+	if err := col.WriteChromeTrace(&trace); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	envelope := struct {
+		Report json.RawMessage `json:"report"`
+		Trace  json.RawMessage `json:"trace"`
+	}{Report: json.RawMessage(data), Trace: trace.Bytes()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(envelope)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, req *http.Request) {
+	s.metrics.Counter("serve.requests").Add(1)
+	r, err := s.parseRequest(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	rz := r.realizer(nil)
+	canTune := rz.CanTune(r.prog, r.launch())
+	key := RequestKey(fatOp(canTune), fatParams(r.params), r.prog, r.dev)
+	if data, ok, _ := s.cfg.Store.Get("fat", key); ok {
+		s.metrics.Counter("serve.store_hits").Add(1)
+		writeArtifact(w, "application/octet-stream", key, data)
+		return
+	}
+	s.metrics.Counter("serve.store_misses").Add(1)
+	startAt := time.Now()
+	data, err := s.flight.Do(req.Context(), key, s.pool, func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cr, err := rz.Compile(r.prog, canTune)
+		if err != nil {
+			return nil, err
+		}
+		return core.EncodeFat(cr), nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.Histogram("serve.compile_ms").Observe(float64(time.Since(startAt).Milliseconds()))
+	if err := s.cfg.Store.Put("fat", key, data); err != nil {
+		s.metrics.Counter("serve.store_errors").Add(1)
+	}
+	writeArtifact(w, "application/octet-stream", key, data)
+}
+
+// SweepRow is one occupancy level of a sweep response.
+type SweepRow struct {
+	TargetWarps int     `json:"target_warps"`
+	Occupancy   float64 `json:"occupancy"`
+	Regs        int     `json:"regs_per_thread"`
+	SharedBytes int     `json:"shared_per_block"`
+	LocalSlots  int     `json:"local_slots"`
+	Cycles      uint64  `json:"cycles"`
+	Energy      float64 `json:"energy"`
+	Checksum    string  `json:"checksum"`
+}
+
+// SweepReport is the canonical sweep response.
+type SweepReport struct {
+	Params      Params     `json:"params"`
+	Fingerprint string     `json:"fingerprint"`
+	DeviceFP    string     `json:"device_fingerprint"`
+	Levels      []SweepRow `json:"levels"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
+	s.metrics.Counter("serve.requests").Add(1)
+	r, err := s.parseRequest(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	key := RequestKey("sweep", r.params, r.prog, r.dev)
+	if data, ok, _ := s.cfg.Store.Get("sweep", key); ok {
+		s.metrics.Counter("serve.store_hits").Add(1)
+		writeArtifact(w, "application/json", key, data)
+		return
+	}
+	s.metrics.Counter("serve.store_misses").Add(1)
+	startAt := time.Now()
+	data, err := s.flight.Do(req.Context(), key, s.pool, func(ctx context.Context) ([]byte, error) {
+		return s.sweepJob(ctx, r)
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.Histogram("serve.sweep_ms").Observe(float64(time.Since(startAt).Milliseconds()))
+	if err := s.cfg.Store.Put("sweep", key, data); err != nil {
+		s.metrics.Counter("serve.store_errors").Add(1)
+	}
+	writeArtifact(w, "application/json", key, data)
+}
+
+// sweepJob realizes and simulates every occupancy level, fanning out
+// through par.ForEachCtx under the coalesced job context: when every
+// client waiting on this sweep has gone, levels not yet dispatched are
+// abandoned mid-ladder. Levels realize through one shared ladder, level
+// 0 first (serially) so the canonical allocation is established before
+// the fan-out, exactly as Realizer.Sweep does.
+func (s *Server) sweepJob(ctx context.Context, r *request) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rz := r.realizer(nil)
+	levels := occupancy.Levels(r.dev, r.prog.BlockDim)
+	lad := rz.NewLadder(r.prog)
+	rows := make([]*SweepRow, len(levels))
+	errs := make([]error, len(levels))
+	runLevel := func(i int) {
+		lvl := levels[i]
+		v, err := lad.Realize(lvl)
+		if err != nil {
+			var inf *core.ErrInfeasible
+			if !errors.As(err, &inf) {
+				errs[i] = err
+			}
+			return // infeasible levels are simply absent from the table
+		}
+		st, err := v.RunAt(r.dev, r.cache, lvl, &interp.Launch{Prog: v.Prog, GridWarps: r.params.Grid})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = &SweepRow{
+			TargetWarps: lvl,
+			Occupancy:   float64(lvl) / float64(r.dev.MaxWarpsPerSM),
+			Regs:        v.RegsPerThread,
+			SharedBytes: v.SharedPerBlock,
+			LocalSlots:  v.LocalSlots,
+			Cycles:      st.Cycles,
+			Energy:      st.Energy,
+			Checksum:    fmt.Sprintf("%016x", st.Checksum),
+		}
+	}
+	runLevel(0)
+	if errs[0] == nil && len(levels) > 1 {
+		if err := par.ForEachCtx(ctx, 0, len(levels)-1, func(i int) { runLevel(i + 1) }); err != nil {
+			return nil, err
+		}
+	}
+	rep := &SweepReport{
+		Params:      r.params,
+		Fingerprint: r.prog.Fingerprint().String(),
+		DeviceFP:    fmt.Sprintf("%016x", r.dev.Fingerprint()),
+	}
+	for i := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if rows[i] != nil {
+			rep.Levels = append(rep.Levels, *rows[i])
+		}
+	}
+	if len(rep.Levels) == 0 {
+		return nil, fmt.Errorf("core: no occupancy level of %s is realizable", r.prog.Name)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	s.metrics.Counter("serve.requests").Add(1)
+	kind, key := req.PathValue("kind"), req.PathValue("key")
+	data, ok, err := s.cfg.Store.Get(kind, key)
+	if err != nil {
+		s.fail(w, &badRequest{err})
+		return
+	}
+	if !ok {
+		http.Error(w, "artifact not found", http.StatusNotFound)
+		return
+	}
+	ct := "application/octet-stream"
+	if kind == "tune" || kind == "sweep" {
+		ct = "application/json"
+	}
+	writeArtifact(w, ct, key, data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	resp := struct {
+		Status   string `json:"status"`
+		UptimeMS int64  `json:"uptime_ms"`
+		Workers  int    `json:"workers"`
+		QueueCap int    `json:"queue_cap"`
+		Store    bool   `json:"store"`
+	}{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Workers:  s.cfg.Workers,
+		QueueCap: s.pool.Stats().QueueCap,
+		Store:    s.cfg.Store != nil,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	// Fold the process-wide memo-cache counters into the registry at
+	// snapshot time, the same way the CLI's -metrics export does.
+	core.PublishCacheMetrics(s.metrics)
+	resp := struct {
+		Metrics obs.MetricsSnapshot `json:"metrics"`
+		Store   store.Stats         `json:"store"`
+		Pool    PoolStats           `json:"pool"`
+		Flight  FlightStats         `json:"flight"`
+	}{
+		Metrics: s.metrics.Snapshot(),
+		Store:   s.cfg.Store.Stats(),
+		Pool:    s.pool.Stats(),
+		Flight:  s.flight.Stats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// writeArtifact sends an artifact with its store key exposed so clients
+// can re-fetch it via /v1/artifact.
+func writeArtifact(w http.ResponseWriter, contentType, key string, data []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Orion-Key", key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// fail maps pipeline errors onto HTTP status codes: client mistakes are
+// 400, kernels the pipeline rejects are 422, saturation is 429, shutdown
+// 503, a caller that gave up 499 (nginx's client-closed-request), and
+// anything else 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.metrics.Counter("serve.errors").Add(1)
+	code := http.StatusInternalServerError
+	var br *badRequest
+	var infeasible *core.ErrInfeasible
+	var verr *core.VerifyError
+	var aerr *core.AnalysisError
+	switch {
+	case errors.As(err, &br):
+		code = http.StatusBadRequest
+	case errors.As(err, &infeasible), errors.As(err, &verr), errors.As(err, &aerr):
+		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrBusy):
+		code = http.StatusTooManyRequests
+		s.metrics.Counter("serve.busy").Add(1)
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status is for the access log only.
+		code = 499
+	}
+	http.Error(w, err.Error(), code)
+}

@@ -1,0 +1,270 @@
+// Package store is a content-addressed on-disk artifact store: the
+// persistence layer under `orion serve`. Artifacts — realized fat
+// binaries, canonical tune reports, sweep tables — are immutable blobs
+// keyed by a content hash derived from the isa fingerprints and the
+// request parameters, so a daemon restart (or a replica pointed at the
+// same directory) shares a warm cache: any artifact computed once is
+// served byte-identically forever after.
+//
+// Layout: dir/<kind>/<key[:2]>/<key>, one file per artifact, each
+// wrapped in a small header (magic, payload length, CRC32) so torn or
+// corrupted files read as misses instead of garbage. Writes go through a
+// temp file plus rename, so concurrent writers and crashed processes
+// never publish a partial artifact.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// Record header: magic, payload length, CRC32 (IEEE) of the payload.
+const (
+	magic      = "OAR1"
+	headerSize = 4 + 4 + 4
+)
+
+// Store is a handle on one artifact directory. All methods are safe for
+// concurrent use by any number of goroutines and processes: the unit of
+// atomicity is one artifact file, published by rename.
+type Store struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	puts    atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a store's counters.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the store's counters. A nil store reads as all-zero.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// validKey enforces the key alphabet: lowercase hex, as produced by the
+// isa/device fingerprints and the serve request hashes. Keeping keys in
+// one alphabet makes every artifact path safe by construction.
+func validKey(key string) error {
+	if len(key) < 4 || len(key) > 128 {
+		return fmt.Errorf("store: bad key length %d", len(key))
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: bad key byte %q", c)
+		}
+	}
+	return nil
+}
+
+// validKind keeps artifact namespaces to short path-safe names.
+func validKind(kind string) error {
+	if len(kind) == 0 || len(kind) > 32 {
+		return fmt.Errorf("store: bad kind length %d", len(kind))
+	}
+	for i := 0; i < len(kind); i++ {
+		c := kind[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return fmt.Errorf("store: bad kind byte %q", c)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind, key[:2], key)
+}
+
+// Get returns the artifact stored under (kind, key), or ok=false when it
+// does not exist. A torn or corrupted file counts as a miss (and is
+// removed) so a crashed writer can never poison readers; the caller
+// recomputes and re-puts. A nil store misses everything.
+func (s *Store) Get(kind, key string) (data []byte, ok bool, err error) {
+	if s == nil {
+		return nil, false, nil
+	}
+	if err := validKind(kind); err != nil {
+		return nil, false, err
+	}
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	raw, err := os.ReadFile(s.path(kind, key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	payload, valid := decodeRecord(raw)
+	if !valid {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		_ = os.Remove(s.path(kind, key))
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// Put stores the artifact under (kind, key), atomically: the record is
+// written to a temp file in the destination directory and renamed into
+// place, so a concurrent Get sees either nothing or the whole artifact.
+// Artifacts are immutable — re-putting a key overwrites with (by the
+// content-addressing contract) identical bytes, which keeps replicas
+// idempotent. A nil store drops the artifact silently.
+func (s *Store) Put(kind, key string, data []byte) error {
+	if s == nil {
+		return nil
+	}
+	if err := validKind(kind); err != nil {
+		return err
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dst := s.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	rec := encodeRecord(data)
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Len counts the artifacts currently stored under kind.
+func (s *Store) Len(kind string) (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	if err := validKind(kind); err != nil {
+		return 0, err
+	}
+	n := 0
+	err := s.walkKind(kind, func(string) { n++ })
+	return n, err
+}
+
+// Keys lists the keys stored under kind, sorted.
+func (s *Store) Keys(kind string) ([]string, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if err := validKind(kind); err != nil {
+		return nil, err
+	}
+	var keys []string
+	if err := s.walkKind(kind, func(k string) { keys = append(keys, k) }); err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// walkKind visits every committed (non-temp) artifact key under kind.
+func (s *Store) walkKind(kind string, visit func(key string)) error {
+	root := filepath.Join(s.dir, kind)
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, sh.Name()))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() || validKey(f.Name()) != nil {
+				continue
+			}
+			visit(f.Name())
+		}
+	}
+	return nil
+}
+
+// encodeRecord frames a payload with the store header.
+func encodeRecord(data []byte) []byte {
+	rec := make([]byte, headerSize+len(data))
+	copy(rec, magic)
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(data))
+	copy(rec[headerSize:], data)
+	return rec
+}
+
+// decodeRecord unframes a record, reporting whether it is intact.
+func decodeRecord(rec []byte) ([]byte, bool) {
+	if len(rec) < headerSize || string(rec[:4]) != magic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(rec[4:])
+	if int(n) != len(rec)-headerSize {
+		return nil, false
+	}
+	payload := rec[headerSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rec[8:]) {
+		return nil, false
+	}
+	return payload, true
+}

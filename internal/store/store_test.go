@@ -1,0 +1,164 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abcd1234abcd1234"
+	data := []byte("hello artifact")
+	if _, ok, err := s.Get("fat", key); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v, err=%v", ok, err)
+	}
+	if err := s.Put("fat", key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("fat", key)
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, ok=%v, err=%v", got, ok, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+	if n, _ := s.Len("fat"); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	keys, _ := s.Keys("fat")
+	if len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+// TestRestartSharesWarmCache is the store's core contract: a second
+// handle on the same directory (a restarted daemon, a replica) serves
+// artifacts the first one put.
+func TestRestartSharesWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir)
+	key := "00ff00ff00ff00ff"
+	if err := s1.Put("tune", key, []byte("report")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir)
+	got, ok, err := s2.Get("tune", key)
+	if err != nil || !ok || string(got) != "report" {
+		t.Fatalf("warm Get = %q, ok=%v, err=%v", got, ok, err)
+	}
+}
+
+// TestCorruptionReadsAsMiss: a torn or bit-flipped artifact must read as
+// a miss (and be removed), never as garbage data.
+func TestCorruptionReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	key := "deadbeefdeadbeef"
+	if err := s.Put("fat", key, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fat", key[:2], key)
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bitflip":   func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"badmagic":  func(b []byte) []byte { b[0] = 'X'; return b },
+		"empty":     func(b []byte) []byte { return nil },
+	} {
+		if err := s.Put("fat", key, []byte("payload-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Get("fat", key); err != nil || ok {
+			t.Errorf("%s: Get = ok=%v, err=%v, want miss", name, ok, err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupted artifact not removed", name)
+		}
+	}
+	if s.Stats().Corrupt == 0 {
+		t.Error("corruption counter did not move")
+	}
+}
+
+func TestKeyAndKindValidation(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	for _, bad := range []struct{ kind, key string }{
+		{"fat", "../escape"},
+		{"fat", "ABCDEF12"},  // uppercase
+		{"fat", "ab"},        // too short
+		{"../x", "abcd1234"}, // kind escape
+		{"", "abcd1234"},
+		{"fat", ""},
+	} {
+		if err := s.Put(bad.kind, bad.key, []byte("x")); err == nil {
+			t.Errorf("Put(%q, %q) accepted", bad.kind, bad.key)
+		}
+		if _, _, err := s.Get(bad.kind, bad.key); err == nil {
+			t.Errorf("Get(%q, %q) accepted", bad.kind, bad.key)
+		}
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines (run under
+// -race): every Get must return either a miss or the exact bytes some
+// Put wrote for that key.
+func TestConcurrentPutGet(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("%016x", i%5)
+				want := fmt.Sprintf("artifact-%d", i%5)
+				if err := s.Put("k", key, []byte(want)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, ok, err := s.Get("k", key)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if ok && string(got) != want {
+					t.Errorf("Get(%s) = %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestNilStoreIsDisabled: a nil *Store misses every Get and drops every
+// Put, so serve can run storeless without branching.
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	if err := s.Put("fat", "abcd1234", []byte("x")); err != nil {
+		t.Errorf("nil Put: %v", err)
+	}
+	if _, ok, err := s.Get("fat", "abcd1234"); ok || err != nil {
+		t.Errorf("nil Get = ok=%v, err=%v", ok, err)
+	}
+	if n, err := s.Len("fat"); n != 0 || err != nil {
+		t.Errorf("nil Len = %d, %v", n, err)
+	}
+	if s.Stats() != (Stats{}) {
+		t.Errorf("nil Stats = %+v", s.Stats())
+	}
+}
