@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-serve bench-smoke profile-smoke serve-smoke fmt fmt-check
+.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-serve bench-opt bench-smoke bench-opt-smoke profile-smoke serve-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, staticcheck, build,
 ## race-enabled tests, the serial-vs-parallel determinism suite, a short
@@ -8,7 +8,7 @@ GO ?= go
 ## static analyzer, a one-shot run of the cold-sweep benchmark so
 ## compile-path regressions fail loudly, and the end-to-end daemon smoke
 ## (serve-vs-CLI byte identity plus graceful shutdown).
-check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke profile-smoke serve-smoke
+check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke bench-opt-smoke profile-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,7 @@ race: test-race
 ## serve and memo suites run in full here because every one of their
 ## tests is a concurrency/determinism contract.
 determinism:
-	$(GO) test -race -run Determinism ./internal/bench/ ./internal/sim/
+	$(GO) test -race -run Determinism ./internal/bench/ ./internal/sim/ ./internal/opt/
 	$(GO) test -race ./internal/serve/ ./internal/memo/
 
 ## fuzz-short: a quick coverage-guided pass over each fuzz target; the
@@ -54,6 +54,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRealize -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime 10s ./internal/sa/
 	$(GO) test -run '^$$' -fuzz FuzzSimCompiled -fuzztime 10s ./internal/sim/
+	$(GO) test -run '^$$' -fuzz FuzzOpt -fuzztime 10s ./internal/opt/
 
 ## bench-smoke: one iteration of the cold-sweep benchmark (the number
 ## behind BENCH_ladder.json) — not a measurement, just proof the
@@ -75,6 +76,20 @@ bench:
 bench-sim:
 	ORION_BENCH_SIM_OUT=BENCH_sim.json $(GO) test -run WriteSimBench -timeout 2h .
 	@echo "wrote BENCH_sim.json"
+
+## bench-opt: the middle-end artifact behind BENCH_opt.json — the cold
+## occupancy sweep and the cached end-to-end suite timed with the
+## pressure-reducing pass pipeline off and on, plus per-kernel max-live
+## and spill outcomes on both devices.
+bench-opt:
+	ORION_BENCH_OPT_OUT=BENCH_opt.json $(GO) test -run WriteOptBench -timeout 2h .
+	@echo "wrote BENCH_opt.json"
+
+## bench-opt-smoke: one iteration of the cold sweep with the middle end
+## on — not a measurement, just proof the pass pipeline still compiles,
+## runs, and realizes every kernel at every feasible level.
+bench-opt-smoke:
+	$(GO) test -run '^$$' -bench SweepColdOpt -benchtime 1x ./internal/bench/
 
 ## bench-serve: the daemon load benchmark behind BENCH_serve.json — 64
 ## concurrent clients issuing a mixed tune/compile/sweep/scrape workload

@@ -71,6 +71,19 @@ type jsonCandidateProfile struct {
 	CyclesVsBest  float64 `json:"cycles_vs_best"`
 }
 
+// jsonMaxLive is one kernel's register-pressure outcome under the
+// pressure-reducing middle end on one device, measured at the tightest
+// (highest) feasible occupancy level — the budget where the passes have
+// the most work to do. Pre == Post means the pipeline left the kernel's
+// call-chain max-live unchanged at that level.
+type jsonMaxLive struct {
+	Kernel      string `json:"kernel"`
+	Device      string `json:"device"`
+	TargetWarps int    `json:"target_warps"`
+	Pre         int    `json:"max_live_pre"`
+	Post        int    `json:"max_live_post"`
+}
+
 // jsonReport is the -json artifact: enough to diff both the numbers and
 // the wall-clock trajectory between revisions. The cache counters cover
 // this invocation only (the counters are reset at startup).
@@ -93,7 +106,11 @@ type jsonReport struct {
 	// CandidateProfiles is filled by -profile KERNEL: a PC-profile of
 	// every tuning candidate of that kernel on the gtx680/sc platform.
 	CandidateProfiles []jsonCandidateProfile `json:"candidate_profiles,omitempty"`
-	Metrics           any                    `json:"metrics,omitempty"`
+	// MaxLive is filled by -opt: per kernel × device, the call-chain
+	// max-live before and after the middle-end pass pipeline at the
+	// tightest feasible occupancy level.
+	MaxLive []jsonMaxLive `json:"max_live,omitempty"`
+	Metrics any           `json:"metrics,omitempty"`
 }
 
 func run(args []string) error {
@@ -107,6 +124,7 @@ func run(args []string) error {
 	verify := fs.Bool("verify", true, "check allocation invariants and differential semantics on every realized version")
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
+	optFlag := fs.Bool("opt", false, "run the pressure-reducing middle end before allocation and record per-kernel max-live deltas in -json")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
 	profileKernel := fs.String("profile", "", "PC-profile every tuning candidate of this kernel (gtx680/sc) and record the deltas in -json")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -151,6 +169,7 @@ func run(args []string) error {
 	s.Verify = *verify
 	s.Lint = lintMode
 	s.Backend = backend
+	s.Opt = *optFlag
 	if *progress {
 		s.Progress = os.Stderr
 	}
@@ -229,6 +248,20 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	if *optFlag {
+		mls, err := maxLiveDeltas(*verify, lintMode)
+		if err != nil {
+			return fmt.Errorf("-opt max-live deltas: %w", err)
+		}
+		report.MaxLive = mls
+		fmt.Println("middle-end max-live (tightest feasible level):")
+		fmt.Printf("%-18s %-10s %-8s %-8s %-8s\n", "kernel", "device", "warps", "before", "after")
+		for _, ml := range mls {
+			fmt.Printf("%-18s %-10s %-8d %-8d %-8d\n",
+				ml.Kernel, ml.Device, ml.TargetWarps, ml.Pre, ml.Post)
+		}
+		fmt.Println()
+	}
 	report.CacheHits, report.CacheMisses = core.RealizeCacheStats()
 	report.RunHits, report.RunMisses = core.RunCacheStats()
 	lad := core.LadderStats()
@@ -275,6 +308,48 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// maxLiveDeltas realizes every benchmark with the middle-end pass
+// pipeline on, at the tightest occupancy level each kernel/device pair
+// can reach, and records the call-chain max-live before vs after the
+// passes. Realizations hit the process-wide memo cache, so running this
+// after the experiment suite is nearly free.
+func maxLiveDeltas(verify bool, lintMode orion.LintMode) ([]jsonMaxLive, error) {
+	ks, err := orion.Benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	var out []jsonMaxLive
+	for _, d := range orion.Devices() {
+		for _, k := range ks {
+			r := orion.NewRealizer(d, orion.SmallCache)
+			r.Verify = verify
+			r.Lint = lintMode
+			r.Opt = true
+			lad := r.NewLadder(k.Prog)
+			levels := orion.OccupancyLevels(d, k.Prog.BlockDim)
+			found := false
+			for i := len(levels) - 1; i >= 0 && !found; i-- {
+				v, err := lad.Realize(levels[i])
+				if err != nil {
+					continue // infeasible at this level; try a lower one
+				}
+				out = append(out, jsonMaxLive{
+					Kernel:      k.Name,
+					Device:      d.Name,
+					TargetWarps: levels[i],
+					Pre:         v.MaxLivePre,
+					Post:        v.MaxLivePost,
+				})
+				found = true
+			}
+			if !found {
+				return nil, fmt.Errorf("%s on %s: no feasible occupancy level", k.Name, d.Name)
+			}
+		}
+	}
+	return out, nil
 }
 
 // candidateProfiles compiles the named benchmark on the gtx680/sc

@@ -113,6 +113,7 @@ func run(args []string, out io.Writer) error {
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	realized := fs.Bool("realized", false, "for 'lint': also analyze every realized occupancy level")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
+	optFlag := fs.Bool("opt", false, "run the pressure-reducing middle end (remat, live-range splitting, scheduling) before allocation")
 	jsonOut := fs.String("json", "", "for 'profile'/'tune': write the report as JSON to this file (tune writes the canonical report, byte-identical to `orion serve`'s)")
 
 	if cmd == "list" {
@@ -172,6 +173,7 @@ func run(args []string, out io.Writer) error {
 	r.Obs = col
 	r.Verify = *verify
 	r.Lint = lintMode
+	r.Opt = *optFlag
 
 	dispatch := func() error {
 		switch cmd {
@@ -278,11 +280,17 @@ func run(args []string, out io.Writer) error {
 					best = lr.Stats.Cycles
 				}
 			}
-			fmt.Fprintf(out, "%-9s %-8s %-5s %-12s %-10s %-8s %-10s\n", "occupancy", "warps", "regs", "cycles", "normalized", "energy", "realize")
+			fmt.Fprintf(out, "%-9s %-8s %-5s %-9s %-12s %-10s %-8s %-10s\n", "occupancy", "warps", "regs", "maxlive", "cycles", "normalized", "energy", "realize")
 			for _, lr := range res {
-				fmt.Fprintf(out, "%-9.3f %-8d %-5d %-12d %-10.3f %-8.0f %-10v\n",
+				// maxlive is before→after the middle end; a bare number means
+				// the pipeline was off or left this level untouched.
+				ml := fmt.Sprintf("%d", lr.Version.MaxLivePre)
+				if lr.Version.MaxLivePost != lr.Version.MaxLivePre {
+					ml = fmt.Sprintf("%d→%d", lr.Version.MaxLivePre, lr.Version.MaxLivePost)
+				}
+				fmt.Fprintf(out, "%-9.3f %-8d %-5d %-9s %-12d %-10.3f %-8.0f %-10v\n",
 					lr.Occupancy(dev.MaxWarpsPerSM), lr.TargetWarps,
-					lr.Version.RegsPerThread, lr.Stats.Cycles,
+					lr.Version.RegsPerThread, ml, lr.Stats.Cycles,
 					float64(lr.Stats.Cycles)/float64(best), lr.Stats.Energy,
 					lr.RealizeTime.Round(time.Microsecond))
 			}

@@ -16,7 +16,17 @@ import (
 // ladder per kernel per iteration — the configuration behind the
 // incremental-ladder PR's speedup claim (BENCH_ladder.json records the
 // before/after numbers).
-func BenchmarkSweepCold(b *testing.B) {
+func BenchmarkSweepCold(b *testing.B) { sweepCold(b, false) }
+
+// BenchmarkSweepColdOpt is the same cold sweep with the pressure-reducing
+// middle end on: each realization additionally pays for rematerialization,
+// live-range splitting, and pressure-aware scheduling on every function
+// whose max-live exceeds the level's budget. The ratio against
+// BenchmarkSweepCold is the pass pipeline's compile-time overhead
+// (BENCH_opt.json records it).
+func BenchmarkSweepColdOpt(b *testing.B) { sweepCold(b, true) }
+
+func sweepCold(b *testing.B, opt bool) {
 	ks, err := kernels.All()
 	if err != nil {
 		b.Fatal(err)
@@ -31,6 +41,7 @@ func BenchmarkSweepCold(b *testing.B) {
 		for _, k := range ks {
 			r := core.NewRealizer(d, device.SmallCache)
 			r.Verify = false
+			r.Opt = opt
 			lad := r.NewLadder(k.Prog)
 			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
 				if _, err := lad.Realize(lvl); err != nil {

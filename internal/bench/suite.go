@@ -42,6 +42,12 @@ type Suite struct {
 	// (the default) rejects kernels with error-severity findings, warn
 	// records them, off skips analysis. orion-bench exposes -lint.
 	Lint core.LintMode
+	// Opt runs the pressure-reducing middle end (rematerialization,
+	// live-range splitting, pressure-aware scheduling) ahead of the
+	// allocator in every realization the suite performs. Off by default so
+	// recorded tables match the paper's unoptimized compiler; orion-bench
+	// exposes -opt.
+	Opt bool
 	// Backend selects the simulator execution backend for every launch
 	// the suite performs (zero = the process-wide default, normally the
 	// compiled backend). Launches happen behind core's memo caches, so it
@@ -164,6 +170,7 @@ func (s *Suite) realizer(d *device.Device, cc device.CacheConfig) *core.Realizer
 	r.Obs = s.Obs
 	r.Verify = s.Verify
 	r.Lint = s.Lint
+	r.Opt = s.Opt
 	return r
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/sim"
 )
 
@@ -21,6 +22,10 @@ type realizeKey struct {
 	cache       device.CacheConfig
 	spaceMin    bool
 	moveMin     bool
+	// optFP is zero when the pressure-reducing middle end is off, else the
+	// pipeline's behavior fingerprint: cached artifacts built with the
+	// passes on are only reused while the same pipeline would run today.
+	optFP uint64
 }
 
 // realizeCache memoizes Realize process-wide: the experiment suite builds
@@ -39,14 +44,18 @@ func (r *Realizer) cacheKey(p *isa.Program, targetWarps int) (realizeKey, bool) 
 	if r.Interproc.Budget != 0 || r.Interproc.CalleeNeed != nil {
 		return realizeKey{}, false
 	}
-	return realizeKey{
+	key := realizeKey{
 		prog:        p.Fingerprint(),
 		targetWarps: targetWarps,
 		dev:         r.Dev.Fingerprint(),
 		cache:       r.Cache,
 		spaceMin:    r.Interproc.SpaceMin,
 		moveMin:     r.Interproc.MoveMin,
-	}, true
+	}
+	if r.Opt {
+		key.optFP = opt.Fingerprint
+	}
+	return key, true
 }
 
 // runKey identifies one simulated launch of a realized version exactly.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/occupancy"
+	"repro/internal/opt"
 	"repro/internal/prof"
 	"repro/internal/regalloc"
 )
@@ -106,6 +107,7 @@ type Ladder struct {
 	metaErr  error
 	needs    []int // per-function register demand incl. worst callee chain
 	perLive  []int // per-function max-live (clamped >= 1)
+	perRaw   []int // per-function max-live, unclamped (the opt pipeline's baseline)
 	order    []int // caller-first allocation order
 	hasCalls bool
 	maxLive0 int // entry function's unclamped chain max-live (Compile's metric)
@@ -114,6 +116,29 @@ type Ladder struct {
 	entries map[budgetKey]*ladderEntry
 	canon   *ladderEntry     // largest-budget clean call-free allocation
 	hard    map[int]hardFail // shared budget -> worst hard failure
+
+	// optEnts memoizes the pressure-reducing middle end per (function,
+	// budget): distinct occupancy levels collapse onto few distinct
+	// per-function budgets, and both the pipeline and the re-preparation of
+	// its output are deterministic, so each pair runs once per ladder.
+	optMu   sync.Mutex
+	optEnts map[optKey]*optEntry
+}
+
+// optKey identifies one middle-end invocation: which function, at which
+// effective register budget.
+type optKey struct {
+	fi     int
+	budget int
+}
+
+// optEntry memoizes one middle-end invocation: the prepared analyses of
+// the transformed function (nil when the pipeline declined or failed —
+// the baseline prep stands) and the pipeline's stats.
+type optEntry struct {
+	once  sync.Once
+	prep  *regalloc.Prep
+	stats opt.Stats
 }
 
 // NewLadder returns a ladder realization context for p. Callers that
@@ -130,6 +155,7 @@ func (r *Realizer) NewLadder(p *isa.Program) *Ladder {
 		prepErr:  make([]error, n),
 		entries:  map[budgetKey]*ladderEntry{},
 		hard:     map[int]hardFail{},
+		optEnts:  map[optKey]*optEntry{},
 	}
 }
 
@@ -209,6 +235,37 @@ func (l *Ladder) prepFor(fi int, x obs.Ctx) (*regalloc.Prep, error) {
 	return l.preps[fi], l.prepErr[fi]
 }
 
+// optPrepFor runs the pressure-reducing middle end on function fi against
+// an effective register budget and returns the prepared analyses of the
+// transformed body plus the pipeline stats. It falls back to the baseline
+// prep — same pointer, zero stats — whenever the pipeline declines,
+// errors, or fails to beat the baseline's max-live, so callers can always
+// allocate whatever comes back. Memoized per (function, budget) pair.
+func (l *Ladder) optPrepFor(fi, budget int, base *regalloc.Prep, x obs.Ctx) (*regalloc.Prep, opt.Stats) {
+	l.optMu.Lock()
+	e, ok := l.optEnts[optKey{fi, budget}]
+	if !ok {
+		e = &optEntry{}
+		l.optEnts[optKey{fi, budget}] = e
+	}
+	l.optMu.Unlock()
+	e.once.Do(func() {
+		nf, st, err := opt.RunCtx(l.p.Funcs[fi], budget, x)
+		if err != nil || !st.Changed {
+			return
+		}
+		pr, err := regalloc.PrepareCtx(nf, x)
+		if err != nil || pr.MaxLive >= base.MaxLive {
+			return // the allocator measures no win; keep the baseline
+		}
+		e.prep, e.stats = pr, st
+	})
+	if e.prep == nil {
+		return base, opt.Stats{}
+	}
+	return e.prep, e.stats
+}
+
 // ensureMeta computes the program-level facts every budget realization
 // shares: per-function max-live, chain register demands (lazy
 // compression's CalleeNeed), the caller-first allocation order, and
@@ -231,6 +288,7 @@ func (l *Ladder) ensureMeta(x obs.Ctx) error {
 				l.perLive[fi] = 1
 			}
 		}
+		l.perRaw = perRaw
 		for _, f := range l.p.Funcs {
 			for i := range f.Instrs {
 				if f.Instrs[i].Op == isa.OpCall {
@@ -334,8 +392,10 @@ func (l *Ladder) withBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (*Versio
 		if e.err != nil {
 			// Monotone pruning, downward: a hard allocator failure at this
 			// register budget repeats at every smaller one (same shared-slot
-			// configuration), so record the highest failing budget.
-			if hf, ok := l.hard[sharedSlotBudget]; !ok || regBudget > hf.reg {
+			// configuration), so record the highest failing budget. With the
+			// middle end on the premise breaks — a smaller budget allocates a
+			// differently transformed body — so nothing is recorded.
+			if hf, ok := l.hard[sharedSlotBudget]; !l.r.Opt && (!ok || regBudget > hf.reg) {
 				l.hard[sharedSlotBudget] = hardFail{reg: regBudget, err: e.err}
 			}
 		} else if !l.hasCalls && e.clean && e.floor <= regBudget {
@@ -383,6 +443,8 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 	clean = true
 	totalMoves := 0
 	var dbgFuncs map[string][]prof.SpillWeb
+	var dbgOpt map[string][2]int
+	perPost := append([]int(nil), l.perRaw...)
 	for _, fi := range order {
 		if cumReg[fi] < 0 {
 			// Unreachable from entry; allocate standalone with full budget.
@@ -399,21 +461,43 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 		if shBudget < 0 {
 			shBudget = 0
 		}
-		opt := r.Interproc
+		ipo := r.Interproc
 		// Lazy compression and the compress-vs-spill choice below apply
 		// only to the fully optimized configuration; the Figure 5 ablations
 		// (SpaceMin or MoveMin off) reproduce the paper's naive variants
 		// (maximal compression, identity layout).
-		smart := opt.SpaceMin && opt.MoveMin && opt.Budget == 0
+		smart := ipo.SpaceMin && ipo.MoveMin && ipo.Budget == 0
 		if smart {
 			// Compress only as far as each call's callee chain needs within
 			// this function's budget (paper Section 3.2).
-			opt.Budget = c
-			opt.CalleeNeed = func(callee int) int { return needs[callee] }
+			ipo.Budget = c
+			ipo.CalleeNeed = func(callee int) int { return needs[callee] }
 		}
 		pr, err := l.prepFor(fi, x)
 		if err != nil {
 			return nil, false, 0, err
+		}
+		if r.Opt {
+			// Pressure-reducing middle end: when the baseline body cannot
+			// fit the effective budget, allocate the transformed body
+			// instead. The canonical-reuse floor rises to the baseline
+			// max-live so the pipeline's fire/no-fire decision (and its
+			// budget-dependent output) is constant across any reuse window.
+			basePr := pr
+			if basePr.MaxLive > c {
+				var ost opt.Stats
+				pr, ost = l.optPrepFor(fi, c, basePr, x)
+				if ost.Changed {
+					perPost[fi] = pr.MaxLive
+					if dbgOpt == nil {
+						dbgOpt = map[string][2]int{}
+					}
+					dbgOpt[np.Funcs[fi].Name] = [2]int{basePr.MaxLive, pr.MaxLive}
+				}
+			}
+			if basePr.MaxLive > floor {
+				floor = basePr.MaxLive
+			}
 		}
 		allocOnce := func(budget int) (*isa.Function, *interproc.Stats, *regalloc.Alloc, error) {
 			a, err := pr.ReColorCtx(budget, shBudget, x)
@@ -422,7 +506,7 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 			}
 			ladderRecolor.Add(1)
 			x.Metrics().Counter("ladder.recolor").Add(1)
-			nf, st, err := interproc.OptimizeCtx(a, opt, x)
+			nf, st, err := interproc.OptimizeCtx(a, ipo, x)
 			return nf, st, a, err
 		}
 		// variantCost scores an allocation: its own spill/move overhead
@@ -532,7 +616,9 @@ func (l *Ladder) fillBudget(regBudget, sharedSlotBudget int, x obs.Ctx) (v *Vers
 	if err != nil {
 		return nil, false, 0, err
 	}
-	v.Debug = &prof.DebugInfo{RegBudget: regBudget, Funcs: dbgFuncs}
+	v.Debug = &prof.DebugInfo{RegBudget: regBudget, Funcs: dbgFuncs, Opt: dbgOpt}
+	v.MaxLivePre = l.maxLive0
+	v.MaxLivePost = chainSums(p, perPost)[0]
 	return v, clean, floor, nil
 }
 
@@ -549,6 +635,8 @@ func cloneForTarget(proto *Version, targetWarps int) *Version {
 		LocalSlots:     proto.LocalSlots,
 		Moves:          proto.Moves,
 		Natural:        proto.Natural,
+		MaxLivePre:     proto.MaxLivePre,
+		MaxLivePost:    proto.MaxLivePost,
 		Debug:          proto.Debug,
 		fp:             proto.fingerprint(),
 		fpSet:          true,

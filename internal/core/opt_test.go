@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/occupancy"
+	"repro/internal/opt"
+	"repro/internal/sa"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// countSpillInstrs counts spill loads and stores across a program.
+func countSpillInstrs(p *isa.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for i := range f.Instrs {
+			if f.Instrs[i].IsSpill() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestOptSweepSuiteBothDevices is the PR's end-to-end acceptance test: a
+// full occupancy sweep of every suite kernel on both paper devices with
+// the pressure-reducing middle end enabled. The verifier and differential
+// oracle run inside every realization (NewRealizer defaults), so each
+// level doubles as a semantics check of the transformed binaries. On top
+// of that it asserts the paper-facing wins: at least three kernels
+// realize a lower chain max-live than the baseline middle end measured,
+// and at least one kernel reaches an occupancy level with zero spill
+// instructions where the baseline needed spill code.
+func TestOptSweepSuiteBothDevices(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := map[string]bool{}
+	spillFree := map[string]bool{}
+	for _, d := range device.Both() {
+		for _, k := range ks {
+			off := NewRealizer(d, device.SmallCache)
+			on := NewRealizer(d, device.SmallCache)
+			on.Opt = true
+			loff, lon := off.NewLadder(k.Prog), on.NewLadder(k.Prog)
+			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+				voff, eoff := loff.Realize(lvl)
+				von, eon := lon.Realize(lvl)
+				if eon != nil {
+					var inf *ErrInfeasible
+					if !errors.As(eon, &inf) {
+						t.Fatalf("%s %s lvl=%d with opt: %v", d.Name, k.Name, lvl, eon)
+					}
+					if eoff == nil {
+						t.Errorf("%s %s lvl=%d: feasible without opt, infeasible with: %v",
+							d.Name, k.Name, lvl, eon)
+					}
+					continue
+				}
+				if von.MaxLivePost < von.MaxLivePre {
+					reduced[k.Name] = true
+				}
+				if eoff == nil && countSpillInstrs(voff.Prog) > 0 && countSpillInstrs(von.Prog) == 0 {
+					spillFree[k.Name] = true
+					t.Logf("%s %s lvl=%d: spill-free with opt (baseline had %d spill instrs)",
+						d.Name, k.Name, lvl, countSpillInstrs(voff.Prog))
+				}
+			}
+		}
+	}
+	if len(reduced) < 3 {
+		t.Errorf("only %d kernels reduced chain max-live, want >= 3: %v", len(reduced), reduced)
+	}
+	if len(spillFree) < 1 {
+		t.Error("no kernel reached an occupancy level spill-free where the baseline spilled")
+	}
+}
+
+// TestOptRematResidueNotWorse pins the interaction between the middle
+// end's rematerialization and the allocator's own spill insertion: the
+// recompute-then-spill residue (a constant materialized and immediately
+// stored to a spill slot — regalloc/spill.go redirecting a spilled def
+// through a temporary) must not grow in aggregate when the remat pass
+// runs first. Remat deletes exactly the webs whose eviction produces that
+// pattern, so across the suite the residue shrinks; a growing count would
+// mean the two remat mechanisms double-recompute the same values.
+func TestOptRematResidueNotWorse(t *testing.T) {
+	residue := func(p *isa.Program) int {
+		n := 0
+		for _, f := range p.Funcs {
+			for i := 1; i < len(f.Instrs); i++ {
+				in := &f.Instrs[i]
+				if in.Op != isa.OpSpillSS && in.Op != isa.OpSpillLS {
+					continue
+				}
+				prev := &f.Instrs[i-1]
+				if (prev.Op == isa.OpMovI || prev.Op == isa.OpRdSp) && prev.Dst == in.Src[0] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalOff, totalOn := 0, 0
+	for _, d := range device.Both() {
+		for _, k := range ks {
+			off := NewRealizer(d, device.SmallCache)
+			on := NewRealizer(d, device.SmallCache)
+			on.Opt = true
+			loff, lon := off.NewLadder(k.Prog), on.NewLadder(k.Prog)
+			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+				voff, eoff := loff.Realize(lvl)
+				von, eon := lon.Realize(lvl)
+				if eoff != nil || eon != nil {
+					continue
+				}
+				totalOff += residue(voff.Prog)
+				totalOn += residue(von.Prog)
+			}
+		}
+	}
+	t.Logf("recompute-then-spill residue: off=%d on=%d", totalOff, totalOn)
+	if totalOn > totalOff {
+		t.Errorf("middle-end remat grew allocator spill residue: %d -> %d", totalOff, totalOn)
+	}
+}
+
+// TestOptTransformedSaClean gates every transformed (still unallocated)
+// suite function through the static analyzer: the passes may not
+// introduce error-severity findings, and in particular no dead stores —
+// the SA-DEAD-STORE exemption covers only Allocated functions (the
+// spiller's residue), which transformed middle-end output is not.
+func TestOptTransformedSaClean(t *testing.T) {
+	ks, err := kernels.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		for _, budget := range []int{8, 16, 32} {
+			np := k.Prog.Clone()
+			changed := false
+			for fi, f := range np.Funcs {
+				nf, st, err := opt.Run(f, budget)
+				if err != nil {
+					t.Fatalf("%s fn %d budget=%d: %v", k.Name, fi, budget, err)
+				}
+				np.Funcs[fi] = nf
+				changed = changed || st.Changed
+			}
+			if !changed {
+				continue
+			}
+			if err := isa.Validate(np); err != nil {
+				t.Errorf("%s budget=%d: %v", k.Name, budget, err)
+				continue
+			}
+			for _, diag := range sa.Analyze(np) {
+				if diag.Sev == sa.SevError {
+					t.Errorf("%s budget=%d: %s", k.Name, budget, diag)
+				}
+			}
+		}
+	}
+}
+
+// TestOptCrossBackendSuite runs opt-transformed realized binaries through
+// both simulator backends: the compiled executor and the interpreter must
+// agree on the full Stats for the transformed code exactly as they do for
+// baseline output.
+func TestOptCrossBackendSuite(t *testing.T) {
+	for _, name := range []string{"hotspot", "heartwall", "dxtc"} {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range device.Both() {
+			r := NewRealizer(d, device.SmallCache)
+			r.Opt = true
+			lad := r.NewLadder(k.Prog)
+			var v *Version
+			for _, lvl := range occupancy.Levels(d, k.Prog.BlockDim) {
+				if got, err := lad.Realize(lvl); err == nil {
+					v = got // keep the highest feasible level (most spill pressure)
+				}
+			}
+			if v == nil {
+				t.Fatalf("%s on %s: no feasible level", name, d.Name)
+			}
+			cfg := sim.Config{
+				Device:         d,
+				Cache:          device.SmallCache,
+				BlocksPerSM:    v.Natural.ActiveBlocks,
+				RegsPerThread:  v.RegsPerThread,
+				SharedPerBlock: v.SharedPerBlock,
+			}
+			lc := &interp.Launch{Prog: v.Prog, GridWarps: 64}
+			if vs := verify.CrossBackend(cfg, lc); vs != nil {
+				t.Errorf("%s on %s: %s: %s", name, d.Name, vs[0].Invariant, vs[0].Detail)
+			}
+		}
+	}
+}

@@ -44,6 +44,14 @@ type Version struct {
 	// Natural is the residency the binary achieves with no padding.
 	Natural occupancy.Result
 
+	// MaxLivePre and MaxLivePost report the entry chain's max-live metric
+	// before and after the pressure-reducing middle end (internal/opt) ran
+	// under this realization's budget. Equal (and equal to the program's
+	// baseline max-live) when the pipeline is off or never fired; zero on
+	// decoded or hand-built versions.
+	MaxLivePre  int
+	MaxLivePost int
+
 	// Debug is the provenance map from this realization's register
 	// allocation: the budget it was colored for and the spill webs each
 	// function evicted, letting profiles resolve spill instructions back
@@ -103,6 +111,13 @@ type Realizer struct {
 	// candidate after tuning and attach the ranked hot-spot report to
 	// TuneReport.Profile. Nil (the default) adds no simulation work.
 	ProfileSpec *prof.Spec
+	// Opt enables the pressure-reducing middle end (internal/opt): when a
+	// function's max-live exceeds the ladder's per-function register budget,
+	// the SSA-lite pass pipeline (rematerialization, live-range splitting,
+	// pressure-aware scheduling) runs before allocation and the allocator
+	// colors the transformed body instead. Off by default; realized output
+	// with Opt false is byte-identical to a realizer without the field.
+	Opt bool
 }
 
 // NewRealizer returns a Realizer with the full optimization set.

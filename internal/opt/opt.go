@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// Fingerprint identifies this pipeline's behavior for realize-cache keys:
+// a cached artifact built with the pipeline enabled is only reused while
+// the pipeline that built it is byte-for-byte the one that would run now.
+// Bump the low bits whenever any pass's output can change.
+const Fingerprint uint64 = 0x6f70_7400_0000_0001 // "opt", revision 1
+
+// Stats reports what one pipeline invocation did.
+type Stats struct {
+	MaxLiveBefore int  // width-summed max-live of the input function
+	MaxLiveAfter  int  // max-live of the returned function
+	Remats        int  // recomputation instructions inserted
+	RematWebs     int  // webs removed by rematerialization
+	SplitWebs     int  // webs split at loop boundaries
+	SchedBlocks   int  // blocks whose instruction order changed
+	Changed       bool // whether the returned function differs from the input
+}
+
+// Run is RunCtx without observability.
+func Run(f *isa.Function, budget int) (*isa.Function, Stats, error) {
+	return RunCtx(f, budget, obs.Ctx{})
+}
+
+// RunCtx runs the pressure-reducing pipeline on f against a register
+// budget. It returns the input f untouched when the function already fits
+// the budget or no pass improves it; otherwise it returns a transformed
+// clone (web-split register numbering, possibly more virtual registers)
+// whose max-live is strictly below the input's. Each pass is re-measured
+// after it runs and reverted when it fails its own acceptance bar —
+// strict max-live decrease for remat and scheduling, no increase for
+// splitting (which trades web shape, not peak pressure). A non-nil error
+// means the pipeline declined; the input f is still valid and returned.
+func RunCtx(f *isa.Function, budget int, x obs.Ctx) (*isa.Function, Stats, error) {
+	fm, err := buildForm(f)
+	if err != nil {
+		return f, Stats{}, err
+	}
+	st := Stats{MaxLiveBefore: fm.maxLive, MaxLiveAfter: fm.maxLive}
+	if budget <= 0 || fm.maxLive <= budget {
+		return f, st, nil
+	}
+
+	sp := x.Span("opt.pipeline",
+		obs.String("func", f.Name),
+		obs.Int("budget", budget),
+		obs.Int("maxlive_before", fm.maxLive))
+	defer sp.End()
+
+	// Rematerialization to a fixpoint: each accepted round deletes webs
+	// and may expose new candidates (operands whose last blocker was a
+	// deleted def's live range).
+	for round := 0; round < rematMaxRounds && fm.maxLive > budget; round++ {
+		e, recomputed, webs := rematerialize(fm, budget)
+		if e == nil {
+			break
+		}
+		nfm, err := applyEdits(fm, e)
+		if err != nil || nfm.maxLive >= fm.maxLive {
+			break // revert: keep fm
+		}
+		fm = nfm
+		st.Remats += recomputed
+		st.RematWebs += webs
+		st.Changed = true
+	}
+
+	// Pressure-aware scheduling: accepted only on strict improvement.
+	if fm.maxLive > budget {
+		if nf, blocks := schedule(fm); nf != nil {
+			if nfm, err := buildForm(nf); err == nil && nfm.maxLive < fm.maxLive {
+				x.Metrics().Counter("opt.sched.maxlive_delta").Add(uint64(fm.maxLive - nfm.maxLive))
+				fm = nfm
+				st.SchedBlocks = blocks
+				st.Changed = true
+			}
+		}
+	}
+
+	// Loop-boundary splitting runs last and only when still over budget:
+	// it does not lower max-live, it reshapes loop-crossing webs so the
+	// allocator spills them cheaply. Accepted unless max-live regresses.
+	if fm.maxLive > budget {
+		if e, webs := splitLoops(fm, budget); e != nil {
+			if nfm, err := applyEdits(fm, e); err == nil && nfm.maxLive <= fm.maxLive {
+				fm = nfm
+				st.SplitWebs = webs
+				st.Changed = true
+			}
+		}
+	}
+
+	st.MaxLiveAfter = fm.maxLive
+	sp.SetAttr(obs.Int("maxlive_after", fm.maxLive),
+		obs.Int("remats", st.Remats), obs.Int("split_webs", st.SplitWebs))
+	if !st.Changed {
+		return f, st, nil
+	}
+	x.Metrics().Counter("opt.remat.recomputed").Add(uint64(st.Remats))
+	x.Metrics().Counter("opt.split.webs").Add(uint64(st.SplitWebs))
+	return fm.f, st, nil
+}
+
+// applyEdits rebuilds fm's function with e and derives the fresh form.
+func applyEdits(fm *form, e *edits) (*form, error) {
+	nf, err := rebuild(fm.f, e)
+	if err != nil {
+		return nil, err
+	}
+	return buildForm(nf)
+}

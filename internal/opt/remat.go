@@ -1,0 +1,133 @@
+package opt
+
+import "repro/internal/isa"
+
+// Rematerialization: a cheap pure value that is live across a
+// high-pressure region is recomputed immediately before each of its uses
+// instead of being kept in a register the whole way — its web disappears
+// and each use gets a short-lived temporary instead.
+//
+// Legality (DESIGN.md §15). A candidate variable v needs a single pure
+// def D that dominates every use. Each register operand s of D must be a
+// single-def (or argument) variable whose def dominates D. Those two
+// dominance facts imply that no path from any execution of s's def to a
+// use U of v can avoid D (otherwise a path entry→s-def→U avoiding D would
+// exist, contradicting D dom U), so at U the operands still hold exactly
+// the values D read — the recomputation is exact.
+//
+// Pressure monotonicity. Zero-operand defs (MOVI, RDSP) always shrink
+// pressure: the temporary's range is a strict subset of v's. For
+// register-operand defs we additionally require every operand to be live
+// immediately before every use of v, so the recomputation never stretches
+// an operand's live range.
+const (
+	// rematMaxUses bounds recomputation fan-out: past this many use sites
+	// the inserted instructions outweigh the register saved.
+	rematMaxUses = 8
+	// rematMaxRounds bounds the driver's remat fixpoint iteration.
+	rematMaxRounds = 8
+)
+
+// rematerialize returns the edits for one remat round against the given
+// register budget, plus the number of recomputations inserted and webs
+// removed. Returns nil when no candidate qualifies.
+func rematerialize(fm *form, budget int) (*edits, int, int) {
+	e := newEdits()
+	recomputed, webs := 0, 0
+	admitted := make([]bool, fm.vars.NumVars())  // webs rematerialized this round
+	usedAsSrc := make([]bool, fm.vars.NumVars()) // webs feeding an admitted def
+
+	for v := 0; v < fm.vars.NumVars(); v++ {
+		d := &fm.vars.Defs[v]
+		if d.IsArg || d.NoSpill || d.Width != 1 || usedAsSrc[v] {
+			continue
+		}
+		if len(fm.defs[v]) != 1 || len(fm.uses[v]) == 0 || len(fm.uses[v]) > rematMaxUses {
+			continue
+		}
+		site := fm.defs[v][0]
+		def := &fm.f.Instrs[site]
+		if !pureOp(def.Op) || def.W() != 1 {
+			continue
+		}
+		ok := true
+		for _, u := range fm.uses[v] {
+			if !fm.instrDom(site, u) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Hot: v must be live somewhere pressure exceeds the budget —
+		// otherwise removing its range buys nothing.
+		hot := false
+		for i, la := range fm.liveAfter {
+			if la != nil && fm.pressure[i] > budget && la.Has(v) {
+				hot = true
+				break
+			}
+		}
+		if !hot {
+			continue
+		}
+		// Operand legality; also reject batch conflicts (an operand whose
+		// own def is being deleted this round).
+		conflict := false
+		for s := 0; ok && s < def.NumSrcs(); s++ {
+			if def.SrcWidth(s) != 1 {
+				ok = false
+				break
+			}
+			sv := fm.vars.VarAt(def.Src[s])
+			if admitted[sv] {
+				conflict = true
+				break
+			}
+			ssite, single := fm.defSite(sv)
+			if !single || !fm.siteDominates(ssite, site) {
+				ok = false
+				break
+			}
+			for _, u := range fm.uses[v] {
+				if !fm.liveBefore(u, sv) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok || conflict {
+			continue
+		}
+
+		// Transform: one fresh temporary per use instruction; the def's
+		// clone is inserted immediately before the use (branches targeting
+		// the use land on the clone, so every path computes it).
+		for _, u := range fm.uses[v] {
+			t := isa.Reg(fm.f.NumVRegs + e.extraRegs)
+			e.extraRegs++
+			clone := *def
+			clone.Dst = t
+			e.ins[u] = append(e.ins[u], clone)
+			pu := e.patched(fm.f, u)
+			for s := 0; s < pu.NumSrcs(); s++ {
+				if pu.Src[s] == d.Base {
+					pu.Src[s] = t
+				}
+			}
+			e.patch[u] = pu
+			recomputed++
+		}
+		e.drop[site] = true
+		webs++
+		admitted[v] = true
+		for s := 0; s < def.NumSrcs(); s++ {
+			usedAsSrc[fm.vars.VarAt(def.Src[s])] = true
+		}
+	}
+	if webs == 0 {
+		return nil, 0, 0
+	}
+	return e, recomputed, webs
+}

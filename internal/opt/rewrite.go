@@ -1,0 +1,121 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// edits is a position-stable description of one pass's rewrites: code to
+// insert before existing instructions, operand replacements on existing
+// instructions, and dead definitions to delete. Positions refer to the
+// untransformed function; rebuild applies everything at once and remaps
+// branch targets.
+type edits struct {
+	ins   map[int][]isa.Instr // instructions inserted immediately before index i
+	patch map[int]isa.Instr   // operand-rewritten replacement for index i
+	drop  map[int]bool        // dead definitions to delete
+
+	// skipIns[t][j] marks the branch at original index j, targeting t, as
+	// jumping past the code inserted before t. By default branches land on
+	// the inserts (a rematerialized value must be computed before its use;
+	// a loop-entry copy must run on entry edges); loop back edges are the
+	// exception — they must not re-execute a header copy, or the copied
+	// variable would stay live around the loop.
+	skipIns map[int]map[int]bool
+
+	extraRegs int // fresh virtual register units consumed by inserted code
+}
+
+func newEdits() *edits {
+	return &edits{
+		ins:     map[int][]isa.Instr{},
+		patch:   map[int]isa.Instr{},
+		drop:    map[int]bool{},
+		skipIns: map[int]map[int]bool{},
+	}
+}
+
+// patched returns the current version of instruction i: the accumulated
+// patch if one exists, else a copy of the original. Passes mutate the
+// returned copy and store it back into e.patch.
+func (e *edits) patched(f *isa.Function, i int) isa.Instr {
+	if in, ok := e.patch[i]; ok {
+		return in
+	}
+	return f.Instrs[i]
+}
+
+// skipInserts records that the branch at index branchIdx (targeting tgt)
+// must land on the original instruction at tgt, not on code inserted
+// before it.
+func (e *edits) skipInserts(tgt, branchIdx int) {
+	m := e.skipIns[tgt]
+	if m == nil {
+		m = map[int]bool{}
+		e.skipIns[tgt] = m
+	}
+	m[branchIdx] = true
+}
+
+// rebuild applies the edits to f and returns a fresh function with all
+// branch targets remapped. Inserted instructions must never be branches
+// or calls and dropped instructions must never be calls, so the static
+// call order — and with it CallBounds — is preserved verbatim.
+func rebuild(f *isa.Function, e *edits) (*isa.Function, error) {
+	n := len(f.Instrs)
+	insPos := make([]int, n) // new position of the first instruction inserted before i
+	ownPos := make([]int, n) // new position of instruction i (of its successor when dropped)
+	pos := 0
+	for i := 0; i < n; i++ {
+		insPos[i] = pos
+		pos += len(e.ins[i])
+		ownPos[i] = pos
+		if !e.drop[i] {
+			pos++
+		}
+	}
+	out := make([]isa.Instr, 0, pos)
+	for i := 0; i < n; i++ {
+		for _, in := range e.ins[i] {
+			if in.IsBranch() || in.Op == isa.OpCall {
+				return nil, fmt.Errorf("opt: %s: inserted control-flow instruction", f.Name)
+			}
+			out = append(out, in)
+		}
+		if !e.drop[i] {
+			out = append(out, e.patched(f, i))
+		} else if f.Instrs[i].Op == isa.OpCall {
+			return nil, fmt.Errorf("opt: %s: dropped a call instruction", f.Name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if e.drop[i] {
+			continue
+		}
+		in := &out[ownPos[i]]
+		if !in.IsBranch() {
+			continue
+		}
+		t := int(in.Tgt)
+		np := insPos[t]
+		if e.skipIns[t][i] {
+			np = ownPos[t]
+		}
+		if np >= len(out) {
+			return nil, fmt.Errorf("opt: %s[%d]: branch target %d maps past the function end", f.Name, i, t)
+		}
+		in.Tgt = int32(np)
+	}
+
+	nf := *f
+	nf.Instrs = out
+	nf.NumVRegs = f.NumVRegs + e.extraRegs
+	if f.CallBounds != nil {
+		nf.CallBounds = append([]int(nil), f.CallBounds...)
+	}
+	if err := checkFunc(&nf); err != nil {
+		return nil, err
+	}
+	return &nf, nil
+}

@@ -1,0 +1,209 @@
+package opt
+
+import "repro/internal/isa"
+
+// Pressure-aware list scheduling: within each basic block, independent
+// instructions are reordered — Sethi–Ullman style — to shrink the peak
+// number of simultaneously live variables, preferring ready instructions
+// that kill more operand width than they define.
+//
+// Legality. Register dependences (true, anti, output) are edges at
+// variable granularity. Everything with an effect beyond registers —
+// memory accesses, spill-slot traffic, calls, barriers, control flow — is
+// chained in program order, so the per-thread memory trace and the
+// barrier structure are untouched; only pure computations move between
+// them. Branches end blocks by construction, and a permutation within a
+// block keeps every block boundary in place, so no branch target moves.
+
+// schedule reorders every reachable block of fm's function and returns
+// the permuted clone plus the number of blocks whose order changed, or
+// (nil, 0) when no block moved.
+func schedule(fm *form) (*isa.Function, int) {
+	changed := 0
+	var nf *isa.Function
+	for bi := range fm.cfg.Blocks {
+		if !fm.cfg.Reachable(bi) {
+			continue
+		}
+		b := &fm.cfg.Blocks[bi]
+		if b.End-b.Start < 3 {
+			continue
+		}
+		order, moved := scheduleBlock(fm, bi)
+		if !moved {
+			continue
+		}
+		if nf == nil {
+			nf = fm.f.Clone()
+		}
+		for k, o := range order {
+			nf.Instrs[b.Start+k] = fm.f.Instrs[o]
+		}
+		changed++
+	}
+	return nf, changed
+}
+
+// scheduleBlock list-schedules one block and returns the chosen order as
+// original (absolute) instruction indices, plus whether it differs from
+// the original order. Ties break toward the smaller original index, so
+// the result is deterministic and the identity order wins when nothing
+// improves.
+func scheduleBlock(fm *form, bi int) ([]int, bool) {
+	b := &fm.cfg.Blocks[bi]
+	n := b.End - b.Start
+	at := func(k int) *isa.Instr { return &fm.f.Instrs[b.Start+k] }
+
+	// Dependence edges (duplicates are fine: indegrees count them and the
+	// release loop decrements per edge).
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(from, to int) {
+		if from != to {
+			succs[from] = append(succs[from], to)
+			indeg[to]++
+		}
+	}
+	lastDef := map[int]int{}
+	curUses := map[int][]int{}
+	lastPinned := -1
+	for k := 0; k < n; k++ {
+		in := at(k)
+		for s := 0; s < in.NumSrcs(); s++ {
+			sv := fm.vars.VarAt(in.Src[s])
+			if d, ok := lastDef[sv]; ok {
+				addEdge(d, k) // true dependence
+			}
+			curUses[sv] = append(curUses[sv], k)
+		}
+		if d, _ := fm.vars.DefOf(in); d >= 0 {
+			if pd, ok := lastDef[d]; ok {
+				addEdge(pd, k) // output dependence
+			}
+			for _, u := range curUses[d] {
+				addEdge(u, k) // anti dependence
+			}
+			lastDef[d] = k
+			delete(curUses, d)
+		}
+		if !pureOp(in.Op) {
+			if lastPinned >= 0 {
+				addEdge(lastPinned, k) // effect order: memory/spill/call/barrier/control
+			}
+			lastPinned = k
+		}
+	}
+	// A control transfer at the block end must stay last.
+	if last := at(n - 1); last.IsBranch() || last.Terminates() {
+		for k := 0; k < n-1; k++ {
+			addEdge(k, n-1)
+		}
+	}
+
+	// Remaining-work tables for the pressure heuristic.
+	nv := fm.vars.NumVars()
+	usesLeft := make([]int, nv)
+	defsLeft := make([]int, nv)
+	srcVars := make([][]int, n) // distinct source vars per node
+	for k := 0; k < n; k++ {
+		in := at(k)
+		for s := 0; s < in.NumSrcs(); s++ {
+			sv := fm.vars.VarAt(in.Src[s])
+			dup := false
+			for _, p := range srcVars[k] {
+				if p == sv {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				srcVars[k] = append(srcVars[k], sv)
+				usesLeft[sv]++
+			}
+		}
+		if d, _ := fm.vars.DefOf(in); d >= 0 {
+			defsLeft[d]++
+		}
+	}
+	liveNow := fm.live.In[bi].Clone()
+	liveOut := fm.live.Out[bi]
+	// defOf(k) with -1 for none, for the closures below.
+	defOf := func(k int) int {
+		d, _ := fm.vars.DefOf(at(k))
+		return d
+	}
+	// dead reports whether variable v holds no value anyone still needs,
+	// assuming remaining counts usesRem/defsRem.
+	dead := func(v, usesRem, defsRem int) bool {
+		return usesRem == 0 && defsRem == 0 && !liveOut.Has(v)
+	}
+
+	// score prefers instructions that free more width than they allocate:
+	// killed operand widths minus the width a not-yet-live destination
+	// would newly occupy.
+	score := func(k int) int {
+		d := defOf(k)
+		sc := 0
+		for _, sv := range srcVars[k] {
+			if sv == d {
+				continue // read-modify-write of one var: no net change
+			}
+			if liveNow.Has(sv) && dead(sv, usesLeft[sv]-1, defsLeft[sv]) {
+				sc += fm.width(sv)
+			}
+		}
+		if d >= 0 && !liveNow.Has(d) {
+			sc -= fm.width(d)
+		}
+		return sc
+	}
+
+	order := make([]int, 0, n)
+	ready := make([]bool, n)
+	for k := 0; k < n; k++ {
+		ready[k] = indeg[k] == 0
+	}
+	for len(order) < n {
+		best, bestScore := -1, 0
+		for k := 0; k < n; k++ {
+			if !ready[k] {
+				continue
+			}
+			if sc := score(k); best < 0 || sc > bestScore {
+				best, bestScore = k, sc
+			}
+		}
+		k := best
+		order = append(order, k)
+		ready[k] = false
+		if d := defOf(k); d >= 0 {
+			defsLeft[d]--
+			liveNow.Set(d)
+			if dead(d, usesLeft[d], defsLeft[d]) {
+				liveNow.Clear(d) // dead definition: occupies only its own point
+			}
+		}
+		for _, sv := range srcVars[k] {
+			usesLeft[sv]--
+			if dead(sv, usesLeft[sv], defsLeft[sv]) {
+				liveNow.Clear(sv)
+			}
+		}
+		for _, t := range succs[k] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				ready[t] = true
+			}
+		}
+	}
+
+	moved := false
+	abs := make([]int, n)
+	for k, o := range order {
+		if o != k {
+			moved = true
+		}
+		abs[k] = b.Start + o
+	}
+	return abs, moved
+}

@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Live-range splitting at loop boundaries: a variable that is live across
+// a loop but untouched inside it is copied into a fresh variable on the
+// loop entry edge, and every use the loop header dominates reads the copy.
+// The original dies at the copy; the loop-crossing half becomes its own
+// web with one def and few uses — exactly the shape the allocator's
+// spill-cost model (occurrences over degree) evicts first, so when the
+// loop body is over budget the allocator can park the crossing value in a
+// spill slot with all of the traffic outside the loop, instead of
+// spilling a loop-hot web. Max-live itself is unchanged (one value crosses
+// the loop either way), which is why the driver only requires this pass
+// not to regress.
+//
+// Placement. The copy is inserted before the header's first instruction.
+// Entry edges land on it: branch entries are remapped onto the insert by
+// rebuild's default, and a fallthrough entry runs through it in line.
+// Back edges are registered with skipInserts so every iteration after the
+// first jumps straight to the original header — otherwise the source
+// would stay live around the loop and nothing would be gained. Loops with
+// a fallthrough back edge are skipped (such an edge cannot jump over the
+// copy).
+//
+// Soundness mirrors the remat argument (DESIGN.md §15): the source's def
+// D dominates the header h, and h dominates every redirected use U, so no
+// path from an execution of D to U can avoid h — the copy always reruns
+// after the source's latest value is produced, and the copy's variable is
+// defined on every path to U.
+
+// loopInfo is one natural loop: all back edges sharing a header, merged.
+type loopInfo struct {
+	header  int          // header block id
+	blocks  map[int]bool // body block ids, header included
+	latches []int        // back-edge source block ids, ascending
+}
+
+// findLoops returns the natural loops of fm's CFG, sorted by header id.
+func findLoops(fm *form) []loopInfo {
+	byHeader := map[int][]int{}
+	for bi := range fm.cfg.Blocks {
+		if !fm.cfg.Reachable(bi) {
+			continue
+		}
+		for _, h := range fm.cfg.Blocks[bi].Succs {
+			if fm.blockDom(h, bi) {
+				byHeader[h] = append(byHeader[h], bi)
+			}
+		}
+	}
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]loopInfo, 0, len(headers))
+	for _, h := range headers {
+		latches := byHeader[h]
+		sort.Ints(latches)
+		body := map[int]bool{h: true}
+		stack := []int{}
+		for _, l := range latches {
+			if !body[l] {
+				body[l] = true
+				stack = append(stack, l)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range fm.cfg.Blocks[b].Preds {
+				if !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		loops = append(loops, loopInfo{header: h, blocks: body, latches: latches})
+	}
+	return loops
+}
+
+// splitLoops returns the edits splitting every qualifying variable at
+// every qualifying loop against the given budget, plus the number of webs
+// split. Returns nil when nothing qualifies.
+func splitLoops(fm *form, budget int) (*edits, int) {
+	loops := findLoops(fm)
+	if len(loops) == 0 {
+		return nil, 0
+	}
+	e := newEdits()
+	count := 0
+	claimed := make([]bool, fm.vars.NumVars())
+
+	for _, lp := range loops {
+		hb := &fm.cfg.Blocks[lp.header]
+		// Every back edge must be an explicit branch to the header so it
+		// can skip the entry copy.
+		ok := true
+		for _, p := range lp.latches {
+			pb := &fm.cfg.Blocks[p]
+			last := &fm.f.Instrs[pb.End-1]
+			if !(last.IsBranch() && int(last.Tgt) == hb.Start) {
+				ok = false // fallthrough (or Cbr-else) back edge
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Loop body over budget anywhere? Collect the hot points once.
+		hotInstr := []int{}
+		bodyBlocks := make([]int, 0, len(lp.blocks))
+		for bi := range lp.blocks {
+			bodyBlocks = append(bodyBlocks, bi)
+		}
+		sort.Ints(bodyBlocks)
+		for _, bi := range bodyBlocks {
+			bb := &fm.cfg.Blocks[bi]
+			for i := bb.Start; i < bb.End; i++ {
+				if fm.pressure[i] > budget {
+					hotInstr = append(hotInstr, i)
+				}
+			}
+		}
+		if len(hotInstr) == 0 {
+			continue
+		}
+
+		for v := 0; v < fm.vars.NumVars(); v++ {
+			if claimed[v] || fm.vars.Defs[v].NoSpill {
+				continue
+			}
+			site, single := fm.defSite(v)
+			if !single {
+				continue
+			}
+			if site >= 0 {
+				db := fm.cfg.BlockOf[site]
+				if db < 0 || lp.blocks[db] || !fm.blockDom(db, lp.header) {
+					continue // defined inside the loop, or not on every entry path
+				}
+			}
+			// Untouched inside the loop, and hot across it.
+			ok := true
+			for _, u := range fm.uses[v] {
+				if ub := fm.cfg.BlockOf[u]; ub >= 0 && lp.blocks[ub] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			hot := false
+			for _, i := range hotInstr {
+				if fm.liveAfter[i].Has(v) {
+					hot = true
+					break
+				}
+			}
+			if !hot {
+				continue
+			}
+			// Uses the header dominates read the copy.
+			var red []int
+			for _, u := range fm.uses[v] {
+				if ub := fm.cfg.BlockOf[u]; ub >= 0 && fm.blockDom(lp.header, ub) {
+					red = append(red, u)
+				}
+			}
+			if len(red) == 0 {
+				continue
+			}
+
+			d := &fm.vars.Defs[v]
+			w := isa.Reg(fm.f.NumVRegs + e.extraRegs)
+			e.extraRegs += d.Width
+			e.ins[hb.Start] = append(e.ins[hb.Start], isa.Instr{
+				Op:    isa.OpMov,
+				Width: uint8(d.Width),
+				Dst:   w,
+				Src:   [3]isa.Reg{d.Base, isa.RegNone, isa.RegNone},
+			})
+			for _, p := range lp.latches {
+				e.skipInserts(hb.Start, fm.cfg.Blocks[p].End-1)
+			}
+			for _, u := range red {
+				pu := e.patched(fm.f, u)
+				for s := 0; s < pu.NumSrcs(); s++ {
+					r := pu.Src[s]
+					if r >= d.Base && int(r) < int(d.Base)+d.Width {
+						pu.Src[s] = w + (r - d.Base)
+					}
+				}
+				e.patch[u] = pu
+			}
+			claimed[v] = true
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, 0
+	}
+	return e, count
+}

@@ -62,6 +62,11 @@ type DebugInfo struct {
 	RegBudget int `json:"reg_budget"`
 	// Funcs maps function name to the webs spilled in it, in spill order.
 	Funcs map[string][]SpillWeb `json:"funcs,omitempty"`
+	// Opt maps function name to {max-live before, after} for functions the
+	// pressure-reducing middle end transformed under this realization's
+	// budget. Spill webs recorded in Funcs for those functions refer to the
+	// transformed body. Empty when the pipeline was off or never fired.
+	Opt map[string][2]int `json:"opt,omitempty"`
 }
 
 // spillClassOf maps a spill opcode to the storage class it addresses.
