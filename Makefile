@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-serve bench-opt bench-smoke bench-opt-smoke profile-smoke serve-smoke fmt fmt-check
+.PHONY: check build vet lint test race test-race determinism fuzz-short bench bench-sim bench-serve bench-opt bench-smoke bench-opt-smoke profile-smoke serve-smoke tv-smoke fmt fmt-check
 
 ## check: the full CI gate — formatting, vet, staticcheck, build,
 ## race-enabled tests, the serial-vs-parallel determinism suite, a short
-## fuzz pass over the binary decoder, the realization pipeline, and the
-## static analyzer, a one-shot run of the cold-sweep benchmark so
-## compile-path regressions fail loudly, and the end-to-end daemon smoke
+## fuzz pass over the binary decoder, the realization pipeline, the
+## static analyzer, and the translation validator, a one-shot run of the
+## cold-sweep benchmark so compile-path regressions fail loudly, the
+## strict-TV whole-suite sweep, and the end-to-end daemon smoke
 ## (serve-vs-CLI byte identity plus graceful shutdown).
-check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke bench-opt-smoke profile-smoke serve-smoke
+check: fmt-check vet lint build test-race determinism fuzz-short bench-smoke bench-opt-smoke tv-smoke profile-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +56,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime 10s ./internal/sa/
 	$(GO) test -run '^$$' -fuzz FuzzSimCompiled -fuzztime 10s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzOpt -fuzztime 10s ./internal/opt/
+	$(GO) test -run '^$$' -fuzz FuzzTV -fuzztime 10s ./internal/tv/
 
 ## bench-smoke: one iteration of the cold-sweep benchmark (the number
 ## behind BENCH_ladder.json) — not a measurement, just proof the
@@ -104,6 +106,13 @@ bench-serve:
 ## `orion tune -json` for the same kernel and flags, then SIGINT-drain.
 serve-smoke:
 	$(GO) test -race -count=1 -run ServeSmoke ./cmd/orion/
+
+## tv-smoke: every benchmark kernel at every feasible occupancy level on
+## both devices with the middle end on and translation validation
+## strict; fails on any rejection (a pass miscompiled) or abstention
+## (the validator lost precision on the real corpus).
+tv-smoke:
+	$(GO) test -count=1 -run TestTVSmoke .
 
 ## profile-smoke: profile one kernel on both execution backends and
 ## diff the PC-profile artifacts — the profiler's cross-backend

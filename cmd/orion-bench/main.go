@@ -103,6 +103,12 @@ type jsonReport struct {
 	LadderReuse   uint64 `json:"ladder_reuse"`
 	LadderRecolor uint64 `json:"ladder_recolor"`
 	LadderPruned  uint64 `json:"ladder_pruned"`
+	// Translation-validation counters for the whole invocation: middle-end
+	// pass applications symbolically checked, rejected (reverted in strict
+	// mode), and abstained (deferred to the differential oracle).
+	TVChecked   uint64 `json:"tv_checked"`
+	TVRejected  uint64 `json:"tv_rejected"`
+	TVAbstained uint64 `json:"tv_abstained"`
 	// CandidateProfiles is filled by -profile KERNEL: a PC-profile of
 	// every tuning candidate of that kernel on the gtx680/sc platform.
 	CandidateProfiles []jsonCandidateProfile `json:"candidate_profiles,omitempty"`
@@ -125,6 +131,7 @@ func run(args []string) error {
 	lintFlag := fs.String("lint", "strict", "static-analysis gate: strict (reject on errors), warn, or off")
 	simBackend := fs.String("sim-backend", "", "simulator execution backend: compiled (default) or interp")
 	optFlag := fs.Bool("opt", false, "run the pressure-reducing middle end before allocation and record per-kernel max-live deltas in -json")
+	tvFlag := fs.String("tv", "strict", "middle-end translation validation: strict, warn, or off; only meaningful with -opt")
 	jsonOut := fs.String("json", "", "write per-experiment wall-clock and row data to this JSON file")
 	profileKernel := fs.String("profile", "", "PC-profile every tuning candidate of this kernel (gtx680/sc) and record the deltas in -json")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -155,6 +162,7 @@ func run(args []string) error {
 	// Counters reset at startup so every report covers exactly this
 	// invocation, even when the process (or a test binary) is warm.
 	core.ResetCacheCounters()
+	orion.ResetTVCounters()
 
 	lintMode, err := orion.ParseLintMode(*lintFlag)
 	if err != nil {
@@ -170,6 +178,11 @@ func run(args []string) error {
 	s.Lint = lintMode
 	s.Backend = backend
 	s.Opt = *optFlag
+	tvMode, err := orion.ParseTVMode(*tvFlag)
+	if err != nil {
+		return err
+	}
+	s.TV = tvMode
 	if *progress {
 		s.Progress = os.Stderr
 	}
@@ -249,7 +262,7 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	if *optFlag {
-		mls, err := maxLiveDeltas(*verify, lintMode)
+		mls, err := maxLiveDeltas(*verify, lintMode, tvMode)
 		if err != nil {
 			return fmt.Errorf("-opt max-live deltas: %w", err)
 		}
@@ -266,6 +279,7 @@ func run(args []string) error {
 	report.RunHits, report.RunMisses = core.RunCacheStats()
 	lad := core.LadderStats()
 	report.LadderReuse, report.LadderRecolor, report.LadderPruned = lad.Reuse, lad.Recolor, lad.Pruned
+	report.TVChecked, report.TVRejected, report.TVAbstained = orion.TVCounters()
 	if col != nil {
 		orion.PublishCacheMetrics(col)
 		report.Metrics = col.Metrics().Snapshot()
@@ -315,7 +329,7 @@ func run(args []string) error {
 // can reach, and records the call-chain max-live before vs after the
 // passes. Realizations hit the process-wide memo cache, so running this
 // after the experiment suite is nearly free.
-func maxLiveDeltas(verify bool, lintMode orion.LintMode) ([]jsonMaxLive, error) {
+func maxLiveDeltas(verify bool, lintMode orion.LintMode, tvMode orion.TVMode) ([]jsonMaxLive, error) {
 	ks, err := orion.Benchmarks()
 	if err != nil {
 		return nil, err
@@ -327,6 +341,7 @@ func maxLiveDeltas(verify bool, lintMode orion.LintMode) ([]jsonMaxLive, error) 
 			r.Verify = verify
 			r.Lint = lintMode
 			r.Opt = true
+			r.TV = tvMode
 			lad := r.NewLadder(k.Prog)
 			levels := orion.OccupancyLevels(d, k.Prog.BlockDim)
 			found := false

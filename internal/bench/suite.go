@@ -17,6 +17,7 @@ import (
 	"repro/internal/occupancy"
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/tv"
 )
 
 // Suite runs the paper's experiments. Scale < 1 shrinks the evaluation
@@ -48,6 +49,10 @@ type Suite struct {
 	// recorded tables match the paper's unoptimized compiler; orion-bench
 	// exposes -opt.
 	Opt bool
+	// TV selects the middle end's translation-validation mode when Opt is
+	// on (strict by default from New; orion-bench exposes -tv). Ignored
+	// when Opt is off.
+	TV tv.Mode
 	// Backend selects the simulator execution backend for every launch
 	// the suite performs (zero = the process-wide default, normally the
 	// compiled backend). Launches happen behind core's memo caches, so it
@@ -62,7 +67,7 @@ func New(scale float64) *Suite {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Suite{Scale: scale, Verify: true, Lint: core.LintStrict}
+	return &Suite{Scale: scale, Verify: true, Lint: core.LintStrict, TV: tv.ModeStrict}
 }
 
 func (s *Suite) logf(format string, args ...interface{}) {
@@ -171,6 +176,7 @@ func (s *Suite) realizer(d *device.Device, cc device.CacheConfig) *core.Realizer
 	r.Verify = s.Verify
 	r.Lint = s.Lint
 	r.Opt = s.Opt
+	r.TV = s.TV
 	return r
 }
 

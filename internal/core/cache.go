@@ -7,6 +7,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/tv"
 )
 
 // realizeKey identifies one realization exactly: the program's content
@@ -26,6 +27,12 @@ type realizeKey struct {
 	// pipeline's behavior fingerprint: cached artifacts built with the
 	// passes on are only reused while the same pipeline would run today.
 	optFP uint64
+	// tvMode is the translation-validation mode when the middle end is on
+	// (zero/off otherwise). The mode changes which pass applications the
+	// driver accepts — strict reverts rejections, off disables chain
+	// remat entirely — so versions built under different modes must not
+	// share a cache entry.
+	tvMode tv.Mode
 }
 
 // realizeCache memoizes Realize process-wide: the experiment suite builds
@@ -54,6 +61,7 @@ func (r *Realizer) cacheKey(p *isa.Program, targetWarps int) (realizeKey, bool) 
 	}
 	if r.Opt {
 		key.optFP = opt.Fingerprint
+		key.tvMode = r.TV
 	}
 	return key, true
 }

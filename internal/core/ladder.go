@@ -250,7 +250,7 @@ func (l *Ladder) optPrepFor(fi, budget int, base *regalloc.Prep, x obs.Ctx) (*re
 	}
 	l.optMu.Unlock()
 	e.once.Do(func() {
-		nf, st, err := opt.RunCtx(l.p.Funcs[fi], budget, x)
+		nf, st, err := opt.RunTV(l.p.Funcs[fi], budget, l.r.TV, x)
 		if err != nil || !st.Changed {
 			return
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/tv"
 	"repro/internal/verify"
 )
 
@@ -118,9 +119,12 @@ loop:
 	if e == nil || webs == 0 {
 		t.Fatal("split pass found no candidate")
 	}
-	nf, err := rebuild(fm.f, e)
+	nf, hint, err := rebuild(fm.f, e)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res := tv.Validate(fm.f, nf, hint); res.Verdict != tv.Accept {
+		t.Fatalf("split pass not TV-accepted: %v (%s)", res.Verdict, res.Reason)
 	}
 	np := p.Clone()
 	np.Funcs[0] = nf

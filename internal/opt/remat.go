@@ -131,3 +131,261 @@ func rematerialize(fm *form, budget int) (*edits, int, int) {
 	}
 	return e, recomputed, webs
 }
+
+// Address-arithmetic-chain rematerialization. Plain remat stalls on the
+// common address idiom
+//
+//	t = IMUL i, stride
+//	a = IADD base, t
+//	... many instructions later ...
+//	LDG [a]
+//
+// because a's operand t is dead by the time a is used, so recomputing a
+// alone would stretch t's live range. Chain remat recomputes the whole
+// pure expression tree rooted at a: each use gets a private clone of the
+// chain, so only values that are genuinely live at the use feed the
+// recomputation. A chain node is one of three kinds:
+//
+//   - dropped internal: every use is inside the chain, so the original
+//     def becomes dead and its web disappears (t above);
+//   - kept internal: a pure single-def value with uses outside the chain
+//     — its def stays for those, but the chain still clones it rather
+//     than keeping it live up to a's uses (an RDSP or MOVI feeding an
+//     address is the typical case);
+//   - leaf: anything else, required to be a single-def (or argument)
+//     variable that is live immediately before every use of the root, so
+//     cloning never stretches a live range.
+//
+// Legality is the single-def-dominance argument of plain remat applied
+// transitively: every chain instruction has a single pure width-1 def
+// dominating the root def D, so D's dominance of each use U puts every
+// chain def before U on every path, and single-def-ness means the leaf
+// values the clone reads at U are the values the chain read originally.
+// This pass is the first whose acceptance rests on the translation
+// validator rather than on that argument alone: the driver only runs it
+// with TV on, and every application is checked symbolically before it is
+// kept. Pressure is policed by the driver too — a round that does not
+// strictly lower max-live is reverted — so the pass may propose
+// aggressive chains (kept internals trade inserted instructions for a
+// shorter web) and let measurement arbitrate.
+const chainMaxInstrs = 4
+
+// chainNode classifies one chain variable.
+type chainNode uint8
+
+const (
+	chainDropped chainNode = iota // def deleted; web disappears
+	chainKept                     // def stays (outside uses); cloned anyway
+)
+
+// rematChains returns the edits for one chain-remat round, plus
+// recomputations inserted and webs removed. Returns nil when no chain
+// qualifies.
+func rematChains(fm *form, budget int) (*edits, int, int) {
+	e := newEdits()
+	recomputed, webs := 0, 0
+	admitted := make([]bool, fm.vars.NumVars())  // defs dropped this round
+	usedAsSrc := make([]bool, fm.vars.NumVars()) // defs that must survive this round
+
+	for v := 0; v < fm.vars.NumVars(); v++ {
+		d := &fm.vars.Defs[v]
+		if d.IsArg || d.NoSpill || d.Width != 1 || usedAsSrc[v] || admitted[v] {
+			continue
+		}
+		if len(fm.defs[v]) != 1 || len(fm.uses[v]) == 0 || len(fm.uses[v]) > rematMaxUses {
+			continue
+		}
+		site := fm.defs[v][0]
+		def := &fm.f.Instrs[site]
+		if !pureOp(def.Op) || def.W() != 1 {
+			continue
+		}
+		ok := true
+		for _, u := range fm.uses[v] {
+			if !fm.instrDom(site, u) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		hot := false
+		for i, la := range fm.liveAfter {
+			if la != nil && fm.pressure[i] > budget && la.Has(v) {
+				hot = true
+				break
+			}
+		}
+		if !hot {
+			continue
+		}
+
+		chain, leaves, ok := fm.growChain(v, site, admitted, usedAsSrc)
+		if !ok || len(chain) < 2 {
+			continue // single-instruction chains are plain remat's job
+		}
+
+		order := fm.chainTopo(v, chain)
+		for _, u := range fm.uses[v] {
+			temp := map[int]isa.Reg{} // chain var -> fresh temp at this use
+			for _, cv := range order {
+				ci := fm.defs[cv][0]
+				clone := fm.f.Instrs[ci]
+				t := isa.Reg(fm.f.NumVRegs + e.extraRegs)
+				e.extraRegs++
+				clone.Dst = t
+				for s := 0; s < clone.NumSrcs(); s++ {
+					if nt, isChain := temp[fm.vars.VarAt(clone.Src[s])]; isChain {
+						clone.Src[s] = nt
+					}
+				}
+				temp[cv] = t
+				e.ins[u] = append(e.ins[u], clone)
+				recomputed++
+			}
+			pu := e.patched(fm.f, u)
+			for s := 0; s < pu.NumSrcs(); s++ {
+				if pu.Src[s] == d.Base {
+					pu.Src[s] = temp[v]
+				}
+			}
+			e.patch[u] = pu
+		}
+		for cv, kind := range chain {
+			if kind == chainDropped {
+				e.drop[fm.defs[cv][0]] = true
+				admitted[cv] = true
+				webs++
+			} else {
+				usedAsSrc[cv] = true
+			}
+		}
+		for _, lv := range leaves {
+			usedAsSrc[lv] = true
+		}
+	}
+	if webs == 0 {
+		return nil, 0, 0
+	}
+	return e, recomputed, webs
+}
+
+// growChain builds the pure expression chain rooted at v's def,
+// classifying every operand it reaches as a dropped internal, a kept
+// internal, or a leaf (in that order of preference — dropping kills a
+// web, keeping merely shortens one, a leaf costs nothing but must
+// already be live at the root's uses). ok is false when some operand
+// fits no class, when the chain would exceed chainMaxInstrs, or when a
+// batch conflict (a def dropped by an earlier chain this round) makes
+// the edit unsound.
+func (fm *form) growChain(v, site int, admitted, usedAsSrc []bool) (chain map[int]chainNode, leaves []int, ok bool) {
+	chain = map[int]chainNode{v: chainDropped}
+	inChainInstr := map[int]bool{site: true}
+	leafSeen := map[int]bool{}
+	queue := []int{v}
+	for len(queue) > 0 {
+		cv := queue[0]
+		queue = queue[1:]
+		ci := fm.defs[cv][0]
+		in := &fm.f.Instrs[ci]
+		for s := 0; s < in.NumSrcs(); s++ {
+			if in.SrcWidth(s) != 1 {
+				return nil, nil, false
+			}
+			sv := fm.vars.VarAt(in.Src[s])
+			if _, seen := chain[sv]; seen || leafSeen[sv] {
+				continue
+			}
+			if admitted[sv] {
+				return nil, nil, false // its def is already dropped this round
+			}
+			if fm.clonable(sv, site) && len(chain) < chainMaxInstrs {
+				kind := chainKept
+				if fm.usesInside(sv, inChainInstr) && !usedAsSrc[sv] && !fm.vars.Defs[sv].NoSpill {
+					kind = chainDropped
+				} else if fm.leafOK(sv, ci, v) {
+					// Already live at every use: a free leaf beats a clone.
+					leafSeen[sv] = true
+					leaves = append(leaves, sv)
+					continue
+				}
+				chain[sv] = kind
+				inChainInstr[fm.defs[sv][0]] = true
+				queue = append(queue, sv)
+				continue
+			}
+			if !fm.leafOK(sv, ci, v) {
+				return nil, nil, false
+			}
+			leafSeen[sv] = true
+			leaves = append(leaves, sv)
+		}
+	}
+	return chain, leaves, true
+}
+
+// clonable reports whether sv's def can appear inside a chain at all:
+// single pure width-1 def dominating the root def.
+func (fm *form) clonable(sv, rootSite int) bool {
+	d := &fm.vars.Defs[sv]
+	if d.IsArg || d.Width != 1 || len(fm.defs[sv]) != 1 {
+		return false
+	}
+	ssite := fm.defs[sv][0]
+	in := &fm.f.Instrs[ssite]
+	return pureOp(in.Op) && in.W() == 1 && fm.instrDom(ssite, rootSite)
+}
+
+// usesInside reports whether every use of sv is a chain instruction (the
+// condition for dropping its def).
+func (fm *form) usesInside(sv int, inChainInstr map[int]bool) bool {
+	for _, u := range fm.uses[sv] {
+		if !inChainInstr[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// leafOK reports whether sv qualifies as a chain leaf read by the
+// instruction at reader: single def (or argument) dominating the reader,
+// and live immediately before every use of the root variable rootV so
+// the clones never stretch its range.
+func (fm *form) leafOK(sv, reader, rootV int) bool {
+	ssite, single := fm.defSite(sv)
+	if !single || !fm.siteDominates(ssite, reader) {
+		return false
+	}
+	for _, u := range fm.uses[rootV] {
+		if !fm.liveBefore(u, sv) {
+			return false
+		}
+	}
+	return true
+}
+
+// chainTopo orders the chain variables dependencies-first (root last) so
+// each clone's in-chain operands are emitted before it.
+func (fm *form) chainTopo(root int, chain map[int]chainNode) []int {
+	order := make([]int, 0, len(chain))
+	done := map[int]bool{}
+	var visit func(cv int)
+	visit = func(cv int) {
+		if done[cv] {
+			return
+		}
+		done[cv] = true
+		in := &fm.f.Instrs[fm.defs[cv][0]]
+		for s := 0; s < in.NumSrcs(); s++ {
+			if sv := fm.vars.VarAt(in.Src[s]); !done[sv] {
+				if _, isChain := chain[sv]; isChain {
+					visit(sv)
+				}
+			}
+		}
+		order = append(order, cv)
+	}
+	visit(root)
+	return order
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/tv"
 )
 
 // edits is a position-stable description of one pass's rewrites: code to
@@ -59,13 +60,14 @@ func (e *edits) skipInserts(tgt, branchIdx int) {
 }
 
 // rebuild applies the edits to f and returns a fresh function with all
-// branch targets remapped. Inserted instructions must never be branches
-// or calls and dropped instructions must never be calls, so the static
-// call order — and with it CallBounds — is preserved verbatim.
-func rebuild(f *isa.Function, e *edits) (*isa.Function, error) {
+// branch targets remapped, plus the position maps as a correspondence
+// hint for the translation validator. Inserted instructions must never be
+// branches or calls and dropped instructions must never be calls, so the
+// static call order — and with it CallBounds — is preserved verbatim.
+func rebuild(f *isa.Function, e *edits) (*isa.Function, *tv.Hint, error) {
 	n := len(f.Instrs)
-	insPos := make([]int, n) // new position of the first instruction inserted before i
-	ownPos := make([]int, n) // new position of instruction i (of its successor when dropped)
+	insPos := make([]int, n+1) // new position of the first instruction inserted before i
+	ownPos := make([]int, n+1) // new position of instruction i (of its successor when dropped)
 	pos := 0
 	for i := 0; i < n; i++ {
 		insPos[i] = pos
@@ -75,18 +77,19 @@ func rebuild(f *isa.Function, e *edits) (*isa.Function, error) {
 			pos++
 		}
 	}
+	insPos[n], ownPos[n] = pos, pos
 	out := make([]isa.Instr, 0, pos)
 	for i := 0; i < n; i++ {
 		for _, in := range e.ins[i] {
 			if in.IsBranch() || in.Op == isa.OpCall {
-				return nil, fmt.Errorf("opt: %s: inserted control-flow instruction", f.Name)
+				return nil, nil, fmt.Errorf("opt: %s: inserted control-flow instruction", f.Name)
 			}
 			out = append(out, in)
 		}
 		if !e.drop[i] {
 			out = append(out, e.patched(f, i))
 		} else if f.Instrs[i].Op == isa.OpCall {
-			return nil, fmt.Errorf("opt: %s: dropped a call instruction", f.Name)
+			return nil, nil, fmt.Errorf("opt: %s: dropped a call instruction", f.Name)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -103,7 +106,7 @@ func rebuild(f *isa.Function, e *edits) (*isa.Function, error) {
 			np = ownPos[t]
 		}
 		if np >= len(out) {
-			return nil, fmt.Errorf("opt: %s[%d]: branch target %d maps past the function end", f.Name, i, t)
+			return nil, nil, fmt.Errorf("opt: %s[%d]: branch target %d maps past the function end", f.Name, i, t)
 		}
 		in.Tgt = int32(np)
 	}
@@ -115,7 +118,7 @@ func rebuild(f *isa.Function, e *edits) (*isa.Function, error) {
 		nf.CallBounds = append([]int(nil), f.CallBounds...)
 	}
 	if err := checkFunc(&nf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &nf, nil
+	return &nf, &tv.Hint{InsPos: insPos, OwnPos: ownPos}, nil
 }

@@ -1,0 +1,176 @@
+package tv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// FuzzTV throws random pass-style edit-sets at the validator: decode an
+// arbitrary binary, derive a post function by randomly dropping,
+// patching, and inserting instructions (with the honest position maps a
+// real rebuild would produce, including randomly exercising the
+// skip-inserts branch landing), and validate. The validator makes no
+// promise about the verdict on garbage edits — most are rejected, some
+// abstain — but it must always terminate without panicking and must
+// return the same verdict and diagnostic when asked twice. Soundness
+// (no unsound Accept) is covered by the seeded-mutant suite; this target
+// covers totality and determinism over the whole input space.
+func FuzzTV(f *testing.F) {
+	for _, src := range []string{
+		`
+.kernel straight
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 3
+  IADD v2, v0, v1
+  STG [v2], v1
+  EXIT
+`,
+		`
+.kernel loop
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 0
+  MOVI v2, 0
+loop:
+  IADD v3, v0, v2
+  LDG v4, [v3]
+  IADD v1, v1, v4
+  MOVI v5, 1
+  IADD v2, v2, v5
+  MOVI v6, 4
+  ISET.LT v7, v2, v6
+  CBR v7, loop
+  STG [v0], v1
+  EXIT
+`,
+	} {
+		for seed := uint64(0); seed < 4; seed++ {
+			f.Add(isa.Encode(isa.MustParse(src)), seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		p, err := isa.Decode(data)
+		if err != nil || isa.Validate(p) != nil {
+			return
+		}
+		pre := p.Entry()
+		if pre == nil || len(pre.Instrs) > 256 {
+			return
+		}
+		post, h := mutateFunc(pre, seed)
+		t0 := time.Now()
+		r1 := Validate(pre, post, h)
+		if d := time.Since(t0); d > 5*time.Second {
+			t.Fatalf("validation escaped the work budget: %v (%v)", d, r1.Verdict)
+		}
+		r2 := Validate(pre, post, h)
+		if r1.Verdict != r2.Verdict || r1.Reason != r2.Reason {
+			t.Fatalf("nondeterministic verdict: %v/%q vs %v/%q", r1.Verdict, r1.Reason, r2.Verdict, r2.Reason)
+		}
+		// A seed that makes no edit is the identity transformation. The
+		// validator may abstain on adversarial shapes (huge register
+		// frames, budget exhaustion) — that is sound, the driver falls
+		// back to the dynamic oracle — but calling the identity a
+		// miscompile would be a soundness-of-rejection bug. Acceptance of
+		// identity on realistic shapes is covered by the seeded corpus and
+		// the tv-smoke sweep.
+		if identical(pre, post) && r1.Verdict == Reject {
+			t.Fatalf("identity edit rejected: %s", r1.Reason)
+		}
+	})
+}
+
+// mutateFunc applies a seed-driven random edit-set to f and returns the
+// edited clone plus the position maps a rebuild of those edits would
+// report — the same contract the optimizer's rebuild provides, so the
+// validator sees honest hints over arbitrary (mostly broken) edits.
+func mutateFunc(f *isa.Function, seed uint64) (*isa.Function, *Hint) {
+	rng := seed
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		x := rng
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		return x ^ x>>31
+	}
+	n := len(f.Instrs)
+	insPos := make([]int, n+1)
+	ownPos := make([]int, n+1)
+	dropped := make([]bool, n)
+	var out []isa.Instr
+	extra := 0
+	for i := 0; i < n; i++ {
+		insPos[i] = len(out)
+		in := f.Instrs[i]
+		roll := next() % 10
+		if roll == 0 && i > 0 {
+			// Insert a fresh-register MOVI before this instruction.
+			out = append(out, isa.Instr{
+				Op:  isa.OpMovI,
+				Dst: isa.Reg(f.NumVRegs + extra),
+				Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+				Imm: int32(next()),
+			})
+			extra++
+		}
+		ownPos[i] = len(out)
+		switch {
+		case roll == 1 && !in.Terminates() && i != n-1:
+			dropped[i] = true
+			continue
+		case roll == 2 && in.Op == isa.OpMovI:
+			in.Imm = int32(next()) // corrupt a constant
+		case roll == 3 && in.NumSrcs() >= 2:
+			in.Src[0], in.Src[1] = in.Src[1], in.Src[0] // swap operands
+		}
+		out = append(out, in)
+	}
+	insPos[n], ownPos[n] = len(out), len(out)
+	// Remap surviving branches, randomly landing on the inserts or past
+	// them (both are positions the hint declares legitimate).
+	for i := 0; i < n; i++ {
+		if dropped[i] {
+			continue
+		}
+		in := &out[ownPos[i]]
+		if !in.IsBranch() {
+			continue
+		}
+		t := int(in.Tgt)
+		if t < 0 || t > n {
+			continue
+		}
+		np := insPos[t]
+		if next()%2 == 0 {
+			np = ownPos[t]
+		}
+		if np >= len(out) {
+			np = len(out) - 1
+		}
+		in.Tgt = int32(np)
+	}
+	nf := *f
+	nf.Instrs = out
+	nf.NumVRegs = f.NumVRegs + extra
+	return &nf, &Hint{InsPos: insPos, OwnPos: ownPos}
+}
+
+// identical reports whether the edit turned out to be a no-op.
+func identical(a, b *isa.Function) bool {
+	if len(a.Instrs) != len(b.Instrs) || a.NumVRegs != b.NumVRegs {
+		return false
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i] != b.Instrs[i] {
+			return false
+		}
+	}
+	return true
+}

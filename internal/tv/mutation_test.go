@@ -1,0 +1,160 @@
+package tv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// The mutation harness: each seeded mutant is a deliberately broken
+// variant of a real pass's transformation — the bug classes the
+// validator exists to stop. Every mutant must be rejected statically
+// (not abstained: abstention would fall through to the dynamic oracle,
+// and these miscompiles must never get that far), and each mutant is
+// paired with the correct form of the same transformation, which must be
+// accepted — proving the rejection comes from the broken edit, not from
+// normalizer incompleteness on the surrounding shape.
+type mutCase struct {
+	name      string
+	pre, post *isa.Function
+	hint      *Hint
+	want      Verdict
+	reason    string // required substring of a rejection's diagnostic
+}
+
+func mutationCases() []mutCase {
+	var cases []mutCase
+
+	// 1. Dropped copy: a live copy is deleted without patching its use,
+	// so the use reads whatever the register held at entry. The correct
+	// transformation (copy propagation) redirects the use to the source.
+	copyPre := fn(3, movi(1, 7), mov(2, 1), stg(0, 2, 0), ret())
+	copyHint := &Hint{InsPos: []int{0, 1, 1, 2, 3}, OwnPos: []int{0, 1, 1, 2, 3}}
+	cases = append(cases,
+		mutCase{
+			name: "dropped-copy",
+			pre:  copyPre,
+			post: fn(3, movi(1, 7), stg(0, 2, 0), ret()),
+			hint: copyHint,
+			want: Reject, reason: "operand",
+		},
+		mutCase{
+			name: "dropped-copy-propagated",
+			pre:  copyPre,
+			post: fn(3, movi(1, 7), stg(0, 1, 0), ret()),
+			hint: copyHint,
+			want: Accept,
+		})
+
+	// 2. Wrong remat operand: the rematerialized clone reads the wrong
+	// source register (the constant instead of the argument), computing
+	// (3+3)^2 where the original computed (arg+3)^2.
+	rematPre := fn(4, movi(1, 3), alu(isa.OpIAdd, 2, 0, 1), alu(isa.OpIMul, 3, 2, 2), stg(0, 3, 0), ret())
+	rematHint := &Hint{InsPos: []int{0, 1, 1, 3, 4, 5}, OwnPos: []int{0, 1, 2, 3, 4, 5}}
+	cases = append(cases,
+		mutCase{
+			name: "wrong-remat-operand",
+			pre:  rematPre,
+			post: fn(5, movi(1, 3), alu(isa.OpIAdd, 4, 1, 1), alu(isa.OpIMul, 3, 4, 4), stg(0, 3, 0), ret()),
+			hint: rematHint,
+			want: Reject, reason: "operand",
+		},
+		mutCase{
+			name: "correct-remat",
+			pre:  rematPre,
+			post: fn(5, movi(1, 3), alu(isa.OpIAdd, 4, 0, 1), alu(isa.OpIMul, 3, 4, 4), stg(0, 3, 0), ret()),
+			hint: rematHint,
+			want: Accept,
+		})
+
+	// 3. Reordered store past a load: the scheduler may permute pure
+	// instructions within a block but must never move a store across a
+	// load — the effect sequence is the observable. The correct variant
+	// hoists a pure MOVI past the load instead.
+	cases = append(cases,
+		mutCase{
+			name: "store-past-load",
+			pre:  fn(3, movi(2, 9), ldg(1, 0, 0), stg(0, 2, 0), stg(0, 1, 4), ret()),
+			post: fn(3, movi(2, 9), stg(0, 2, 0), ldg(1, 0, 0), stg(0, 1, 4), ret()),
+			hint: IdentityHint(5),
+			want: Reject, reason: "effect",
+		},
+		mutCase{
+			name: "pure-past-load",
+			pre:  fn(3, ldg(1, 0, 0), movi(2, 9), stg(0, 2, 0), stg(0, 1, 4), ret()),
+			post: fn(3, movi(2, 9), ldg(1, 0, 0), stg(0, 2, 0), stg(0, 1, 4), ret()),
+			hint: IdentityHint(5),
+			want: Accept,
+		})
+
+	// 4. Latch copy on the back edge: loop splitting inserts a copy
+	// before the header, and the back edge must skip it (land on the
+	// header's own position) — the copy runs once per loop entry. The
+	// mutant lands the back edge on the copy instead, resetting the
+	// loop-carried value from the stale pre-split register every
+	// iteration.
+	loopPre := fn(2,
+		movi(1, 0),
+		alu(isa.OpIAdd, 1, 1, 0),
+		stg(0, 1, 0),
+		cbr(1, 1),
+		ret())
+	loopHint := &Hint{InsPos: []int{0, 1, 3, 4, 5, 6}, OwnPos: []int{0, 2, 3, 4, 5, 6}}
+	cases = append(cases,
+		mutCase{
+			name: "latch-copy-on-back-edge",
+			pre:  loopPre,
+			post: fn(3,
+				movi(1, 0),
+				mov(2, 1),
+				alu(isa.OpIAdd, 2, 2, 0),
+				stg(0, 2, 0),
+				cbr(2, 1), // re-executes the copy every iteration
+				ret()),
+			hint: loopHint,
+			want: Reject,
+		},
+		mutCase{
+			name: "latch-copy-skipped",
+			pre:  loopPre,
+			post: fn(3,
+				movi(1, 0),
+				mov(2, 1),
+				alu(isa.OpIAdd, 2, 2, 0),
+				stg(0, 2, 0),
+				cbr(2, 2), // back edge lands past the copy
+				ret()),
+			hint: loopHint,
+			want: Accept,
+		})
+
+	return cases
+}
+
+func TestSeededMutants(t *testing.T) {
+	for _, tc := range mutationCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Validate(tc.pre, tc.post, tc.hint)
+			if res.Verdict != tc.want {
+				t.Fatalf("got %v (%s), want %v", res.Verdict, res.Reason, tc.want)
+			}
+			if tc.want == Reject && tc.reason != "" && !strings.Contains(res.Reason, tc.reason) {
+				t.Fatalf("diagnostic %q does not mention %q", res.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestMutantsDeterministic runs every mutant twice and demands identical
+// verdicts and diagnostics: the refuter's trials are seeded, so a flaky
+// verdict would mean nondeterminism crept into term construction.
+func TestMutantsDeterministic(t *testing.T) {
+	for _, tc := range mutationCases() {
+		r1 := Validate(tc.pre, tc.post, tc.hint)
+		r2 := Validate(tc.pre, tc.post, tc.hint)
+		if r1.Verdict != r2.Verdict || r1.Reason != r2.Reason {
+			t.Fatalf("%s: verdict flapped: %v/%q vs %v/%q", tc.name, r1.Verdict, r1.Reason, r2.Verdict, r2.Reason)
+		}
+	}
+}

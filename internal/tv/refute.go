@@ -1,0 +1,80 @@
+package tv
+
+import "repro/internal/isa"
+
+// The quick-check concrete refuter. When two terms at an observation
+// point differ syntactically, the validator must decide whether it is
+// looking at a real miscompile or at its own normalizer's incompleteness.
+// The refuter evaluates both terms on a handful of seeded pseudo-random
+// assignments to their leaves — init values, join symbols, effect results
+// and special-register reads all become concrete 32-bit words, shared
+// between the two terms so common leaves agree — and runs the pure
+// operations with the interpreter's exact semantics. Any assignment on
+// which the values split is a concrete witness that the terms denote
+// different functions of the machine state: a rejection. If every trial
+// agrees the difference stays unproven and the validator abstains,
+// deferring to the dynamic differential oracle.
+
+// refuteTrials is the number of seeded assignments tried. Word-level
+// disagreements are dense (two distinct linear/bitwise combinations of
+// random words collide with probability ~2^-32 per trial), so a handful
+// of trials is decisive in practice.
+const refuteTrials = 8
+
+// refute reports whether some concrete assignment separates the terms,
+// along with the number of term nodes visited (for the caller's work
+// meter — both DAGs can be as large as everything the fixpoint built).
+// It is deterministic: leaf values derive from the leaf's interning id
+// and the trial number alone.
+func refute(p, q *term) (bool, int) {
+	visits := 0
+	for trial := 0; trial < refuteTrials; trial++ {
+		env := map[*term]uint32{}
+		if evalTerm(p, trial, env, &visits) != evalTerm(q, trial, env, &visits) {
+			return true, visits
+		}
+	}
+	return false, visits
+}
+
+// evalTerm evaluates a term under the trial's leaf assignment. The env
+// memoizes leaves (and interior nodes) per trial so shared leaves get one
+// value.
+func evalTerm(t *term, trial int, env map[*term]uint32, visits *int) uint32 {
+	if t.kind == kConst {
+		return t.word
+	}
+	if w, ok := env[t]; ok {
+		return w
+	}
+	*visits++
+	var w uint32
+	if t.kind == kOp && t.op != isa.OpRdSp && len(t.kids) > 0 {
+		var args [3]uint32
+		for i, k := range t.kids {
+			args[i] = evalTerm(k, trial, env, visits)
+		}
+		w = evalPure(t.op, t.cmp, args)
+	} else {
+		// Leaf: init, symbol, effect result, or special-register read.
+		w = leafValue(t, trial)
+	}
+	env[t] = w
+	return w
+}
+
+// leafValue derives a well-mixed 32-bit word from the leaf identity and
+// trial (splitmix64 finalizer). Trial 0 uses small values so mismatches
+// that only show up near zero (shift counts, compares) get a look too.
+func leafValue(t *term, trial int) uint32 {
+	x := uint64(t.id)<<8 ^ uint64(trial)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if trial == 0 {
+		return uint32(x) & 7
+	}
+	return uint32(x)
+}

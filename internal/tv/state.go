@@ -1,0 +1,119 @@
+package tv
+
+import "encoding/binary"
+
+// A state maps register-unit keys to terms. Keys [0, preNV) are the pre
+// function's units; keys [preNV, preNV+postNV) are the post function's
+// units offset by preNV, so one state carries both sides of the joint
+// symbolic execution and a term shared between a pre key and a post key
+// is exactly the claim that the two registers hold equal values.
+type state []*term
+
+func (s state) clone() state {
+	n := make(state, len(s))
+	copy(n, s)
+	return n
+}
+
+func statesEqual(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonJoin computes the least general generalization of the contribution
+// states at one correspondence node: positions where every contribution
+// agrees keep their term structure (recursively — matching operations
+// keep the op and join children), and positions that disagree collapse to
+// a generalization symbol owned by the node. Symbols are shared between
+// positions with identical contribution tuples and numbered in traversal
+// order (keys ascending, children left to right), so two keys receive the
+// same symbol exactly when they are equal under every contribution — the
+// equality relation the rest of the validator relies on — and re-joining
+// unchanged contributions reproduces the state verbatim, which is what
+// makes the fixpoint detectable by plain pointer comparison.
+func canonJoin(c *ctx, node int, contribs []state) state {
+	m := len(contribs)
+	if m == 1 {
+		return contribs[0]
+	}
+	memo := map[string]*term{}
+	next := 0
+	var buf []byte
+	key := func(ts []*term) string {
+		buf = buf[:0]
+		for _, t := range ts {
+			buf = binary.AppendUvarint(buf, uint64(t.id))
+		}
+		return string(buf)
+	}
+	var join func(ts []*term) *term
+	join = func(ts []*term) *term {
+		same := true
+		for _, t := range ts[1:] {
+			if t != ts[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ts[0]
+		}
+		k := key(ts)
+		if got := memo[k]; got != nil {
+			return got
+		}
+		var res *term
+		if structMatch(ts) {
+			kids := make([]*term, len(ts[0].kids))
+			sub := make([]*term, m)
+			for p := range kids {
+				for i, t := range ts {
+					sub[i] = t.kids[p]
+				}
+				kids[p] = join(sub)
+			}
+			res = c.mkOp(ts[0].op, ts[0].cmp, ts[0].sp, kids...)
+		} else {
+			res = c.sym(node, next)
+			next++
+		}
+		memo[k] = res
+		return res
+	}
+
+	nk := len(contribs[0])
+	out := make(state, nk)
+	col := make([]*term, m)
+	for u := 0; u < nk; u++ {
+		for i, s := range contribs {
+			col[i] = s[u]
+		}
+		out[u] = join(col)
+	}
+	return out
+}
+
+// structMatch reports whether every term is the same pure operation with
+// the same auxiliaries and arity, so the join can recurse into children.
+// Only kOp recurses: differing constants, symbols, or effect results have
+// no common structure to keep.
+func structMatch(ts []*term) bool {
+	t0 := ts[0]
+	if t0.kind != kOp || len(t0.kids) == 0 {
+		return false
+	}
+	for _, t := range ts[1:] {
+		if t.kind != kOp || t.op != t0.op || t.cmp != t0.cmp || t.sp != t0.sp ||
+			len(t.kids) != len(t0.kids) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package tv
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// kind discriminates term shapes.
+type kind uint8
+
+const (
+	kConst kind = iota // a known 32-bit word (folded constant / MOVI)
+	kOp                // a pure operation over child terms
+	kInit              // the initial content of a register unit at entry
+	kSym               // a generalization symbol minted at a join point
+	kEff               // the value produced by an effect (load / call result)
+)
+
+// term is one hash-consed symbolic value. Terms are interned per
+// validation context, so semantic equality under the normalizer is
+// pointer equality. a/b carry the identity of non-op leaves: the unit for
+// kInit, (node, index) for kSym, (node, effect<<8|unitOffset) for kEff.
+type term struct {
+	kind kind
+	op   isa.Op
+	cmp  isa.Cmp
+	sp   isa.Sp
+	word uint32
+	a, b int32
+	kids []*term
+	id   uint32 // interning sequence number, used for canonical child order
+}
+
+// tkey is the interning key. Arity is at most 3 (IMAD/FFMA).
+type tkey struct {
+	kind       kind
+	op         isa.Op
+	cmp        isa.Cmp
+	sp         isa.Sp
+	word       uint32
+	a, b       int32
+	k0, k1, k2 uint32
+}
+
+// ctx interns terms for one validation run. Runs are single-goroutine, so
+// no locking; keeping the table per-run keeps term ids deterministic.
+type ctx struct {
+	table map[tkey]*term
+	n     uint32
+}
+
+func newCtx() *ctx { return &ctx{table: map[tkey]*term{}} }
+
+func (c *ctx) intern(t term) *term {
+	k := tkey{kind: t.kind, op: t.op, cmp: t.cmp, sp: t.sp, word: t.word, a: t.a, b: t.b}
+	for i, kid := range t.kids {
+		switch i {
+		case 0:
+			k.k0 = kid.id + 1
+		case 1:
+			k.k1 = kid.id + 1
+		case 2:
+			k.k2 = kid.id + 1
+		}
+	}
+	if got := c.table[k]; got != nil {
+		return got
+	}
+	nt := new(term)
+	*nt = t
+	nt.id = c.n
+	c.n++
+	c.table[k] = nt
+	return nt
+}
+
+func (c *ctx) konst(w uint32) *term { return c.intern(term{kind: kConst, word: w}) }
+func (c *ctx) init(unit int) *term  { return c.intern(term{kind: kInit, a: int32(unit)}) }
+func (c *ctx) sym(node, idx int) *term {
+	return c.intern(term{kind: kSym, a: int32(node), b: int32(idx)})
+}
+func (c *ctx) effRes(node, eff, off int) *term {
+	return c.intern(term{kind: kEff, a: int32(node), b: int32(eff<<8 | off)})
+}
+
+// commutative reports whether the integer op's first two operands may be
+// reordered. Float ops are excluded deliberately: the passes never swap
+// operands, so float commutativity is never load-bearing, and excluding
+// it sidesteps any question about NaN payload selection.
+func commutative(op isa.Op) bool {
+	switch op {
+	case isa.OpIAdd, isa.OpIMul, isa.OpIMad, isa.OpIMin, isa.OpIMax,
+		isa.OpAnd, isa.OpOr, isa.OpXor:
+		return true
+	}
+	return false
+}
+
+// mirrorCmp flips a comparison across an operand swap.
+func mirrorCmp(c isa.Cmp) isa.Cmp {
+	switch c {
+	case isa.CmpLT:
+		return isa.CmpGT
+	case isa.CmpGT:
+		return isa.CmpLT
+	case isa.CmpLE:
+		return isa.CmpGE
+	case isa.CmpGE:
+		return isa.CmpLE
+	}
+	return c // EQ, NE are symmetric
+}
+
+// mkOp builds the normalized term for a pure operation: constants fold
+// (mirroring the interpreter's semantics bit for bit), commutative
+// integer operands sort by term id, and integer/float compares canonicalize
+// the operand order by mirroring the comparison. OpRdSp stays an opaque
+// leaf — special registers are launch constants, equal only to reads of
+// the same special.
+func (c *ctx) mkOp(op isa.Op, cmp isa.Cmp, sp isa.Sp, kids ...*term) *term {
+	if op != isa.OpRdSp {
+		folded := true
+		var args [3]uint32
+		for i, k := range kids {
+			if k.kind != kConst {
+				folded = false
+				break
+			}
+			args[i] = k.word
+		}
+		if folded && len(kids) > 0 {
+			return c.konst(evalPure(op, cmp, args))
+		}
+	}
+	if len(kids) >= 2 && commutative(op) && kids[0].id > kids[1].id {
+		kids = append([]*term(nil), kids...)
+		kids[0], kids[1] = kids[1], kids[0]
+	}
+	if (op == isa.OpISet || op == isa.OpFSet) && len(kids) == 2 && kids[0].id > kids[1].id {
+		kids = []*term{kids[1], kids[0]}
+		cmp = mirrorCmp(cmp)
+	}
+	return c.intern(term{kind: kOp, op: op, cmp: cmp, sp: sp, kids: kids})
+}
+
+// evalPure computes one pure op on concrete words, mirroring the
+// interpreter's Warp.Step / Compiled cases exactly (int32 wraparound,
+// shift masks, float32 round trips, F2I saturation).
+func evalPure(op isa.Op, cmp isa.Cmp, s [3]uint32) uint32 {
+	f := func(w uint32) float32 { return math.Float32frombits(w) }
+	fb := math.Float32bits
+	switch op {
+	case isa.OpIAdd:
+		return s[0] + s[1]
+	case isa.OpISub:
+		return s[0] - s[1]
+	case isa.OpIMul:
+		return s[0] * s[1]
+	case isa.OpIMad:
+		return s[0]*s[1] + s[2]
+	case isa.OpIMin:
+		if int32(s[1]) < int32(s[0]) {
+			return s[1]
+		}
+		return s[0]
+	case isa.OpIMax:
+		if int32(s[1]) > int32(s[0]) {
+			return s[1]
+		}
+		return s[0]
+	case isa.OpAnd:
+		return s[0] & s[1]
+	case isa.OpOr:
+		return s[0] | s[1]
+	case isa.OpXor:
+		return s[0] ^ s[1]
+	case isa.OpShl:
+		return s[0] << (s[1] & 31)
+	case isa.OpShr:
+		return s[0] >> (s[1] & 31)
+	case isa.OpISet:
+		return boolWord(cmpInt(cmp, int32(s[0]), int32(s[1])))
+	case isa.OpFAdd:
+		return fb(f(s[0]) + f(s[1]))
+	case isa.OpFSub:
+		return fb(f(s[0]) - f(s[1]))
+	case isa.OpFMul:
+		return fb(f(s[0]) * f(s[1]))
+	case isa.OpFFma:
+		return fb(f(s[0])*f(s[1]) + f(s[2]))
+	case isa.OpFMin:
+		x, y := f(s[0]), f(s[1])
+		if y < x {
+			x = y
+		}
+		return fb(x)
+	case isa.OpFMax:
+		x, y := f(s[0]), f(s[1])
+		if y > x {
+			x = y
+		}
+		return fb(x)
+	case isa.OpFSet:
+		return boolWord(cmpFloat(cmp, f(s[0]), f(s[1])))
+	case isa.OpF2I:
+		fv := float64(f(s[0]))
+		switch {
+		case fv != fv: // NaN
+			return 0
+		case fv >= math.MaxInt32:
+			iv := int32(math.MaxInt32)
+			return uint32(iv)
+		case fv <= math.MinInt32:
+			iv := int32(math.MinInt32)
+			return uint32(iv)
+		default:
+			return uint32(int32(fv))
+		}
+	case isa.OpI2F:
+		return fb(float32(int32(s[0])))
+	case isa.OpMovI, isa.OpMov:
+		return s[0]
+	}
+	return 0
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(c isa.Cmp, a, b int32) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpGT:
+		return a > b
+	}
+	return false
+}
+
+func cmpFloat(c isa.Cmp, a, b float32) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpGT:
+		return a > b
+	}
+	return false
+}
+
+// String renders the term as a bounded-depth s-expression for
+// diagnostics.
+func (t *term) String() string {
+	var b strings.Builder
+	t.render(&b, 4)
+	return b.String()
+}
+
+func (t *term) render(b *strings.Builder, depth int) {
+	switch t.kind {
+	case kConst:
+		fmt.Fprintf(b, "#%d", int32(t.word))
+	case kInit:
+		fmt.Fprintf(b, "init:v%d", t.a)
+	case kSym:
+		fmt.Fprintf(b, "φ%d.%d", t.a, t.b)
+	case kEff:
+		fmt.Fprintf(b, "eff%d.%d[%d]", t.a, t.b>>8, t.b&0xff)
+	case kOp:
+		if t.op == isa.OpRdSp {
+			fmt.Fprintf(b, "%s", t.sp)
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(t.op.String())
+		if t.cmp != isa.CmpNone {
+			b.WriteByte('.')
+			b.WriteString(t.cmp.String())
+		}
+		for _, k := range t.kids {
+			b.WriteByte(' ')
+			if depth <= 0 {
+				b.WriteString("…")
+			} else {
+				k.render(b, depth-1)
+			}
+		}
+		b.WriteByte(')')
+	}
+}

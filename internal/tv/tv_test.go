@@ -1,0 +1,146 @@
+package tv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// fn builds a test function with the given register count; instructions
+// use the compact constructors below.
+func fn(nregs int, instrs ...isa.Instr) *isa.Function {
+	return &isa.Function{Name: "t", NumArgs: 1, NumVRegs: nregs, Instrs: instrs}
+}
+
+func movi(d int, imm int32) isa.Instr {
+	return isa.Instr{Op: isa.OpMovI, Dst: isa.Reg(d), Src: none3(), Imm: imm}
+}
+func alu(op isa.Op, d, a, b int) isa.Instr {
+	return isa.Instr{Op: op, Dst: isa.Reg(d), Src: [3]isa.Reg{isa.Reg(a), isa.Reg(b), isa.RegNone}}
+}
+func mov(d, a int) isa.Instr {
+	return isa.Instr{Op: isa.OpMov, Dst: isa.Reg(d), Src: [3]isa.Reg{isa.Reg(a), isa.RegNone, isa.RegNone}}
+}
+func ldg(d, addr int, off int32) isa.Instr {
+	return isa.Instr{Op: isa.OpLdG, Dst: isa.Reg(d), Src: [3]isa.Reg{isa.Reg(addr), isa.RegNone, isa.RegNone}, Imm: off}
+}
+func stg(addr, val int, off int32) isa.Instr {
+	return isa.Instr{Op: isa.OpStG, Dst: isa.RegNone, Src: [3]isa.Reg{isa.Reg(addr), isa.Reg(val), isa.RegNone}, Imm: off}
+}
+func cbr(cond, tgt int) isa.Instr {
+	return isa.Instr{Op: isa.OpCbr, Dst: isa.RegNone, Src: [3]isa.Reg{isa.Reg(cond), isa.RegNone, isa.RegNone}, Tgt: int32(tgt)}
+}
+func bra(tgt int) isa.Instr {
+	return isa.Instr{Op: isa.OpBra, Dst: isa.RegNone, Src: none3(), Tgt: int32(tgt)}
+}
+func ret() isa.Instr { return isa.Instr{Op: isa.OpRet, Dst: isa.RegNone, Src: none3()} }
+func none3() [3]isa.Reg {
+	return [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone}
+}
+
+func TestIdentityAccepts(t *testing.T) {
+	f := fn(4,
+		movi(1, 5),
+		alu(isa.OpIAdd, 2, 0, 1),
+		stg(0, 2, 0),
+		ret(),
+	)
+	res := Validate(f, f, IdentityHint(len(f.Instrs)))
+	if res.Verdict != Accept {
+		t.Fatalf("identity: got %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestLoopIdentityAccepts(t *testing.T) {
+	// v1 = 0; loop: v1 += v0; x = LDG[v1]; STG[v1] = x; if v1 != 0 goto loop; ret
+	f := fn(4,
+		movi(1, 0),
+		alu(isa.OpIAdd, 1, 1, 0),
+		ldg(2, 1, 0),
+		stg(1, 2, 4),
+		cbr(1, 1),
+		ret(),
+	)
+	res := Validate(f, f, IdentityHint(len(f.Instrs)))
+	if res.Verdict != Accept {
+		t.Fatalf("loop identity: got %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+// rematPair is a hand-built single-def rematerialization: the MOVI def is
+// dropped and recomputed into a fresh temp before its use.
+func rematPair(cloneImm int32) (pre, post *isa.Function, h *Hint) {
+	pre = fn(3,
+		movi(1, 5),
+		alu(isa.OpIAdd, 2, 0, 1),
+		stg(0, 2, 0),
+		ret(),
+	)
+	post = fn(4,
+		movi(3, cloneImm),
+		alu(isa.OpIAdd, 2, 0, 3),
+		stg(0, 2, 0),
+		ret(),
+	)
+	h = &Hint{InsPos: []int{0, 0, 2, 3, 4}, OwnPos: []int{0, 1, 2, 3, 4}}
+	return pre, post, h
+}
+
+func TestRematAccepts(t *testing.T) {
+	res := Validate(rematPairArgs(t, 5))
+	if res.Verdict != Accept {
+		t.Fatalf("remat: got %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestWrongRematConstantRejects(t *testing.T) {
+	res := Validate(rematPairArgs(t, 6))
+	if res.Verdict != Reject {
+		t.Fatalf("wrong clone: got %v (%s), want reject", res.Verdict, res.Reason)
+	}
+	if !strings.Contains(res.Reason, "operand") {
+		t.Fatalf("diagnostic does not name the operand: %s", res.Reason)
+	}
+}
+
+func rematPairArgs(t *testing.T, imm int32) (*isa.Function, *isa.Function, *Hint) {
+	t.Helper()
+	return rematPair(imm)
+}
+
+func TestCountersAdvance(t *testing.T) {
+	ResetCounters()
+	Validate(rematPair(5))
+	Validate(rematPair(7))
+	c, r, a := Counters()
+	if c != 2 || r != 1 || a != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 2/1/0", c, r, a)
+	}
+}
+
+func TestDeterministicVerdict(t *testing.T) {
+	pre, post, h := rematPair(6)
+	r1 := Validate(pre, post, h)
+	r2 := Validate(pre, post, h)
+	if r1.Verdict != r2.Verdict || r1.Reason != r2.Reason {
+		t.Fatalf("nondeterministic verdict: %v/%q vs %v/%q", r1.Verdict, r1.Reason, r2.Verdict, r2.Reason)
+	}
+}
+
+func TestNormalizationCommutes(t *testing.T) {
+	c := newCtx()
+	a, b := c.init(0), c.init(1)
+	if c.mkOp(isa.OpIAdd, isa.CmpNone, isa.SpNone, a, b) != c.mkOp(isa.OpIAdd, isa.CmpNone, isa.SpNone, b, a) {
+		t.Fatal("IADD not commutative under normalization")
+	}
+	lt := c.mkOp(isa.OpISet, isa.CmpLT, isa.SpNone, b, a)
+	gt := c.mkOp(isa.OpISet, isa.CmpGT, isa.SpNone, a, b)
+	if lt != gt {
+		t.Fatal("ISET mirror normalization failed")
+	}
+	five := c.mkOp(isa.OpIAdd, isa.CmpNone, isa.SpNone, c.konst(2), c.konst(3))
+	if five.kind != kConst || five.word != 5 {
+		t.Fatalf("constant folding failed: %v", five)
+	}
+}

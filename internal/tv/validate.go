@@ -1,0 +1,519 @@
+package tv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// effect is one entry of a block pair's sequenced effect chain: anything
+// whose order or operands the machine can observe — memory and spill
+// traffic, calls, barriers, returns, exits. Loads and calls additionally
+// produce values; those are modeled as kEff terms salted by (node, chain
+// index), so the k-th pre-side effect and the k-th post-side effect share
+// a result exactly when the chains are verified to match element-wise.
+type effect struct {
+	op       isa.Op
+	width    int
+	imm      int32
+	tgt      int32 // callee index for OpCall
+	instr    int   // instruction index on its own side, for diagnostics
+	operands []*term
+}
+
+// nodeKey identifies one correspondence node: a pre-side block together
+// with the post-side cut it is entered at. A block whose leader has code
+// inserted before it yields two nodes — one entered at the inserts
+// (entry edges) and one at the original leader (edges that skip them).
+type nodeKey struct {
+	b   int // pre block id
+	cut int // post-side entry position
+}
+
+// contribKey identifies one incoming contribution: the source node and
+// its out-edge slot (0 = taken/only edge, 1 = fallthrough).
+type contribKey struct {
+	from int
+	slot int
+}
+
+// node is the per-correspondence-node fixpoint storage.
+type node struct {
+	key      nodeKey
+	id       int
+	stored   state
+	contribs map[contribKey]state
+}
+
+// edgeOut is one outgoing edge of a processed node.
+type edgeOut struct {
+	slot int
+	preB int // successor pre block
+	cut  int // successor post cut
+	st   state
+}
+
+// failure aborts validation with a classified verdict.
+type failure struct {
+	verdict Verdict
+	reason  string
+	block   int
+}
+
+type validator struct {
+	c         *ctx
+	pre, post *isa.Function
+	hint      *Hint
+	cfg       *ir.CFG
+	preNV     int
+
+	nodes map[nodeKey]*node
+	byID  []*node
+
+	// work counts instructions symbolically executed plus state units
+	// touched by joins, clones, and equality checks. The fixpoint budget
+	// bounds block processings, but a function can declare a huge register
+	// frame with few instructions, making every state-sized operation
+	// expensive; this meter bounds total work so validation stays cheap
+	// even on adversarial (fuzzed) inputs.
+	work int
+}
+
+// workBudget caps total validator work (instructions executed + state
+// units processed). The heaviest pass application over the benchmark
+// corpus uses ~59k units, so this leaves ~4x headroom; past the cap the
+// validator abstains rather than burning tens of milliseconds on an
+// adversarial shape.
+const workBudget = 1 << 18
+
+// charge adds n to the work meter, returning an abstention once the
+// budget is gone.
+func (v *validator) charge(n int) *failure {
+	if v.work += n; v.work > workBudget {
+		return &failure{Abstain, "tv: work budget exhausted", -1}
+	}
+	return nil
+}
+
+// Validate checks that post refines pre under the given correspondence
+// hint. It never panics on malformed input: structural impossibilities
+// that no opt pass produces are Reject, and anything the normalizer or
+// the correspondence machinery cannot decide is Abstain.
+func Validate(pre, post *isa.Function, h *Hint) (res Result) {
+	counters.checked.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Verdict: Abstain, Reason: fmt.Sprintf("tv: internal panic: %v", r), Block: -1}
+		}
+		switch res.Verdict {
+		case Reject:
+			counters.rejected.Add(1)
+		case Abstain:
+			counters.abstained.Add(1)
+		}
+	}()
+
+	if f := checkInputs(pre, post, h); f != nil {
+		return Result{Verdict: f.verdict, Reason: f.reason, Block: f.block}
+	}
+	v := &validator{
+		c:     newCtx(),
+		pre:   pre,
+		post:  post,
+		hint:  h,
+		cfg:   ir.BuildCFG(pre),
+		preNV: pre.NumVRegs,
+		nodes: map[nodeKey]*node{},
+	}
+	f := v.run()
+	if f != nil {
+		return Result{Verdict: f.verdict, Reason: f.reason, Block: f.block}
+	}
+	return Result{Verdict: Accept, Block: -1}
+}
+
+// checkInputs rejects or abstains on inputs the walk cannot interpret.
+func checkInputs(pre, post *isa.Function, h *Hint) *failure {
+	if pre == nil || post == nil || h == nil {
+		return &failure{Abstain, "tv: nil input", -1}
+	}
+	n := len(pre.Instrs)
+	if n == 0 || len(post.Instrs) == 0 {
+		return &failure{Abstain, "tv: empty function", -1}
+	}
+	if len(h.InsPos) != n+1 || len(h.OwnPos) != n+1 {
+		return &failure{Abstain, "tv: malformed hint length", -1}
+	}
+	prev := 0
+	for i := 0; i <= n; i++ {
+		if h.InsPos[i] < prev || h.OwnPos[i] < h.InsPos[i] || h.OwnPos[i] > len(post.Instrs) {
+			return &failure{Abstain, "tv: non-monotone hint", -1}
+		}
+		prev = h.InsPos[i]
+	}
+	if h.InsPos[0] != 0 {
+		return &failure{Abstain, "tv: hint does not map the entry to post position 0", -1}
+	}
+	if h.InsPos[n] != len(post.Instrs) {
+		return &failure{Abstain, "tv: hint does not cover the post function", -1}
+	}
+	if post.NumVRegs < pre.NumVRegs {
+		return &failure{Reject, "tv: post function shrank the register frame", -1}
+	}
+	if len(pre.Instrs) > 1<<16 || post.NumVRegs > 1<<15 {
+		return &failure{Abstain, "tv: function too large to validate", -1}
+	}
+	// Every state operation costs O(frame size); a frame far larger than
+	// the code that could touch it only arises from adversarial input, and
+	// pricing it against the work budget would let a tiny function burn the
+	// whole budget on dead units.
+	if post.NumVRegs > 64*len(pre.Instrs) {
+		return &failure{Abstain, "tv: register frame disproportionate to code size", -1}
+	}
+	return nil
+}
+
+// initial returns the function-entry state: every pre unit and its
+// same-numbered post unit share one init term (both functions start from
+// the same register file), and post-side fresh temporaries get their own
+// init terms — unequal to everything until the post side defines them.
+func (v *validator) initial() state {
+	st := make(state, v.preNV+v.post.NumVRegs)
+	for u := 0; u < v.preNV; u++ {
+		t := v.c.init(u)
+		st[u] = t
+		st[v.preNV+u] = t
+	}
+	for u := v.preNV; u < v.post.NumVRegs; u++ {
+		st[v.preNV+u] = v.c.init(v.preNV + u)
+	}
+	return st
+}
+
+func (v *validator) getNode(k nodeKey) *node {
+	if n := v.nodes[k]; n != nil {
+		return n
+	}
+	n := &node{key: k, id: len(v.byID), contribs: map[contribKey]state{}}
+	v.nodes[k] = n
+	v.byID = append(v.byID, n)
+	return n
+}
+
+// run drives the two phases: a chaotic-iteration fixpoint propagating
+// joined states along corresponding edges, then a checking pass over the
+// final state of every reached node. Value checks only run on final
+// states, so transient imprecision mid-fixpoint can never manufacture a
+// rejection; structural divergence fails in either phase because
+// propagation cannot even be defined across it.
+func (v *validator) run() *failure {
+	entry := v.getNode(nodeKey{b: 0, cut: 0})
+	entry.contribs[contribKey{from: -1}] = v.initial()
+
+	dirty := map[int]bool{entry.id: true}
+	budget := 256 + 64*len(v.cfg.Blocks)
+	for len(dirty) > 0 {
+		ids := make([]int, 0, len(dirty))
+		for id := range dirty {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		dirty = map[int]bool{}
+		for _, id := range ids {
+			if budget--; budget < 0 {
+				return &failure{Abstain, "tv: correspondence fixpoint did not converge", -1}
+			}
+			n := v.byID[id]
+			// One processing joins and compares whole state vectors; charge
+			// units × contributions so a tiny function with an enormous
+			// register frame cannot loop here for seconds.
+			units := v.preNV + v.post.NumVRegs
+			if f := v.charge(units * (len(n.contribs) + 2)); f != nil {
+				return f
+			}
+			ns := v.joined(n)
+			if n.stored != nil && statesEqual(ns, n.stored) {
+				continue
+			}
+			n.stored = ns
+			outs, f := v.walk(n, false)
+			if f != nil {
+				return f
+			}
+			for _, out := range outs {
+				succ := v.getNode(nodeKey{b: out.preB, cut: out.cut})
+				ck := contribKey{from: n.id, slot: out.slot}
+				if old := succ.contribs[ck]; old == nil || !statesEqual(old, out.st) {
+					succ.contribs[ck] = out.st
+					dirty[succ.id] = true
+				}
+			}
+		}
+	}
+
+	for _, n := range v.byID {
+		if n.stored == nil {
+			continue
+		}
+		if _, f := v.walk(n, true); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// joined recomputes a node's state from its stored state (kept in the
+// join so precision only ever decreases — the monotonicity that makes the
+// fixpoint terminate) and every contribution, in deterministic order.
+func (v *validator) joined(n *node) state {
+	keys := make([]contribKey, 0, len(n.contribs))
+	for k := range n.contribs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].slot < keys[j].slot
+	})
+	contribs := make([]state, 0, len(keys)+1)
+	if n.stored != nil {
+		contribs = append(contribs, n.stored)
+	}
+	for _, k := range keys {
+		contribs = append(contribs, n.contribs[k])
+	}
+	return canonJoin(v.c, n.id, contribs)
+}
+
+// walk symbolically executes one node from its stored state: the pre
+// block over pre keys, the corresponding post region over post keys. In
+// check mode it additionally demands the two effect chains, branch
+// conditions, and terminators match; in both modes it derives the
+// outgoing edges.
+func (v *validator) walk(n *node, check bool) ([]edgeOut, *failure) {
+	b := &v.cfg.Blocks[n.key.b]
+	if f := v.charge(len(n.stored)); f != nil {
+		return nil, f
+	}
+	vals := n.stored.clone()
+
+	preEff, f := v.execRange(vals, v.pre, 0, b.Start, b.End, n.id)
+	if f != nil {
+		f.block = n.key.b
+		return nil, f
+	}
+	regionEnd := v.hint.InsPos[b.End]
+	if n.key.cut > regionEnd {
+		return nil, &failure{Abstain, "tv: hint region is inverted", n.key.b}
+	}
+	postEff, f := v.execRange(vals, v.post, v.preNV, n.key.cut, regionEnd, n.id)
+	if f != nil {
+		f.block = n.key.b
+		return nil, f
+	}
+
+	if check {
+		if f := v.checkEffects(n.key.b, preEff, postEff); f != nil {
+			return nil, f
+		}
+	}
+
+	last := &v.pre.Instrs[b.End-1]
+	var postLast *isa.Instr
+	if regionEnd > n.key.cut {
+		postLast = &v.post.Instrs[regionEnd-1]
+	}
+	var outs []edgeOut
+	switch {
+	case last.Op == isa.OpRet || last.Op == isa.OpExit:
+		// Ends of execution; compared as effects.
+	case last.IsBranch():
+		if postLast == nil || postLast.Op != last.Op {
+			return nil, &failure{Reject,
+				fmt.Sprintf("tv: block %d terminator changed (%s vs %s)", n.key.b, last.Op, postOpName(postLast)), n.key.b}
+		}
+		if check && last.Op == isa.OpCbr {
+			p := vals[int(last.Src[0])]
+			q := vals[v.preNV+int(postLast.Src[0])]
+			if f := v.compareTerms(n.key.b, "branch condition", p, q); f != nil {
+				return nil, f
+			}
+		}
+		cut, f := v.mapTarget(n.key.b, int(last.Tgt), int(postLast.Tgt))
+		if f != nil {
+			return nil, f
+		}
+		outs = append(outs, edgeOut{slot: 0, preB: v.cfg.BlockOf[int(last.Tgt)], cut: cut, st: vals})
+		if last.Op == isa.OpCbr && b.End < len(v.pre.Instrs) {
+			outs = append(outs, edgeOut{slot: 1, preB: v.cfg.BlockOf[b.End], cut: v.hint.InsPos[b.End], st: vals})
+		}
+	default:
+		// Fallthrough block: the post region must flow straight into the
+		// next cut, so it may not end (or contain — execRange checked) a
+		// control transfer.
+		if postLast != nil && (postLast.IsBranch() || postLast.Terminates()) {
+			return nil, &failure{Reject,
+				fmt.Sprintf("tv: block %d gained a terminator (%s)", n.key.b, postLast.Op), n.key.b}
+		}
+		if b.End >= len(v.pre.Instrs) {
+			return nil, &failure{Abstain, "tv: control falls off the pre function", n.key.b}
+		}
+		outs = append(outs, edgeOut{slot: 0, preB: v.cfg.BlockOf[b.End], cut: v.hint.InsPos[b.End], st: vals})
+	}
+	for _, o := range outs {
+		if o.preB < 0 {
+			return nil, &failure{Abstain, "tv: pre successor is unreachable", n.key.b}
+		}
+	}
+	return outs, nil
+}
+
+func postOpName(in *isa.Instr) string {
+	if in == nil {
+		return "empty region"
+	}
+	return in.Op.String()
+}
+
+// mapTarget resolves the post-side cut a pre branch target corresponds
+// to: a post branch must land on the inserts before the pre target or on
+// the pre target itself (a latch skipping a loop-entry copy); anything
+// else is a rewired CFG.
+func (v *validator) mapTarget(block, preTgt, postTgt int) (int, *failure) {
+	if preTgt < 0 || preTgt >= len(v.pre.Instrs) {
+		return 0, &failure{Abstain, "tv: pre branch target out of range", block}
+	}
+	switch postTgt {
+	case v.hint.InsPos[preTgt], v.hint.OwnPos[preTgt]:
+		return postTgt, nil
+	}
+	return 0, &failure{Reject,
+		fmt.Sprintf("tv: block %d branch retargeted (pre target %d, post target %d off every corresponding cut)",
+			block, preTgt, postTgt), block}
+}
+
+// execRange symbolically executes instructions [start, end) of f over the
+// key window base+unit, updating vals in place and returning the effect
+// chain in order. Control transfers are legal only as the final
+// instruction of the range; effect result registers receive kEff terms
+// indexed by position in the chain.
+func (v *validator) execRange(vals state, f *isa.Function, base, start, end, nodeID int) ([]effect, *failure) {
+	c := v.c
+	nv := f.NumVRegs
+	var effs []effect
+	if f := v.charge(end - start); f != nil {
+		return nil, f
+	}
+	for i := start; i < end; i++ {
+		in := &f.Instrs[i]
+		if in.IsBranch() && i != end-1 {
+			return nil, &failure{Reject, fmt.Sprintf("tv: control transfer inside a region at %d", i), -1}
+		}
+		// Bounds: a malformed rewrite must fail validation, not crash it.
+		if in.HasDst() && (in.Dst == isa.RegNone || int(in.Dst)+in.W() > nv) {
+			return nil, &failure{Reject, fmt.Sprintf("tv: destination out of frame at %d", i), -1}
+		}
+		for s := 0; s < in.NumSrcs(); s++ {
+			if in.Src[s] == isa.RegNone || int(in.Src[s])+in.SrcWidth(s) > nv {
+				return nil, &failure{Reject, fmt.Sprintf("tv: source out of frame at %d", i), -1}
+			}
+		}
+		switch in.Op {
+		case isa.OpMov:
+			for j := 0; j < in.W(); j++ {
+				vals[base+int(in.Dst)+j] = vals[base+int(in.Src[0])+j]
+			}
+		case isa.OpMovI:
+			vals[base+int(in.Dst)] = c.konst(uint32(in.Imm))
+		case isa.OpRdSp:
+			vals[base+int(in.Dst)] = c.mkOp(isa.OpRdSp, isa.CmpNone, in.Sp)
+		case isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIMad, isa.OpIMin, isa.OpIMax,
+			isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpISet,
+			isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFFma, isa.OpFMin, isa.OpFMax,
+			isa.OpFSet, isa.OpF2I, isa.OpI2F:
+			kids := make([]*term, in.NumSrcs())
+			for s := range kids {
+				kids[s] = vals[base+int(in.Src[s])]
+			}
+			vals[base+int(in.Dst)] = c.mkOp(in.Op, in.Cmp, isa.SpNone, kids...)
+		case isa.OpBra, isa.OpCbr:
+			// The caller reads the condition and target from the block end.
+		default:
+			// Effect: record operands at this program point, then define the
+			// result (if any) as an opaque effect term tied to the chain
+			// position, shared with the other side once the chains check out.
+			eff := effect{op: in.Op, width: in.W(), imm: in.Imm, tgt: in.Tgt, instr: i}
+			for s := 0; s < in.NumSrcs(); s++ {
+				for j := 0; j < in.SrcWidth(s); j++ {
+					eff.operands = append(eff.operands, vals[base+int(in.Src[s])+j])
+				}
+			}
+			k := len(effs)
+			effs = append(effs, eff)
+			if in.HasDst() {
+				for j := 0; j < in.W(); j++ {
+					vals[base+int(in.Dst)+j] = c.effRes(nodeID, k, j)
+				}
+			}
+		}
+	}
+	return effs, nil
+}
+
+// checkEffects demands the two chains match element-wise: same length,
+// same opcode, width, immediate (address offset / spill slot), and callee
+// on every entry, and equal operand terms — with the concrete refuter
+// classifying any term mismatch.
+func (v *validator) checkEffects(block int, pre, post []effect) *failure {
+	if len(pre) != len(post) {
+		return &failure{Reject,
+			fmt.Sprintf("tv: block %d effect chain length changed (%d vs %d)", block, len(pre), len(post)), block}
+	}
+	for k := range pre {
+		p, q := &pre[k], &post[k]
+		if p.op != q.op || p.width != q.width || p.imm != q.imm || p.tgt != q.tgt {
+			return &failure{Reject,
+				fmt.Sprintf("tv: block %d effect %d changed shape (%s/%d/%d vs %s/%d/%d)",
+					block, k, p.op, p.width, p.imm, q.op, q.width, q.imm), block}
+		}
+		if len(p.operands) != len(q.operands) {
+			return &failure{Reject,
+				fmt.Sprintf("tv: block %d effect %d operand count changed", block, k), block}
+		}
+		for s := range p.operands {
+			what := fmt.Sprintf("%s operand %d (effect %d)", p.op, s, k)
+			if f := v.compareTerms(block, what, p.operands[s], q.operands[s]); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// compareTerms is the value check at an observation point. Equal terms
+// (pointer equality, thanks to hash-consing) pass outright; differing
+// terms go to the concrete refuter, which separates real miscompiles
+// (some input distinguishes the terms) from normalizer incompleteness.
+func (v *validator) compareTerms(block int, what string, p, q *term) *failure {
+	if p == q {
+		return nil
+	}
+	// Refuse to start a refutation with the budget already gone: each one
+	// can walk the whole term table.
+	if f := v.charge(1); f != nil {
+		return f
+	}
+	sep, visits := refute(p, q)
+	if f := v.charge(visits); f != nil && !sep {
+		return f
+	}
+	if sep {
+		return &failure{Reject,
+			fmt.Sprintf("tv: block %d %s differs: pre %s vs post %s", block, what, p, q), block}
+	}
+	return &failure{Abstain,
+		fmt.Sprintf("tv: block %d %s unproven: pre %s vs post %s", block, what, p, q), block}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sa"
 	"repro/internal/sim"
+	"repro/internal/tv"
 )
 
 // Re-exported core types. The paper's contribution lives in these:
@@ -125,6 +126,10 @@ type (
 	LintMode = core.LintMode
 	// AnalysisError is the strict-mode rejection carrying the findings.
 	AnalysisError = core.AnalysisError
+
+	// TVMode selects how the middle end's translation validator gates the
+	// optimization passes (Realizer.TV: TVStrict, TVWarn, TVOff).
+	TVMode = tv.Mode
 )
 
 // Cache configurations (paper Table 3).
@@ -152,6 +157,26 @@ const (
 	SevWarning = sa.SevWarning
 	SevError   = sa.SevError
 )
+
+// Translation-validation modes (Realizer.TV; the CLIs' -tv flag).
+const (
+	TVOff    = tv.ModeOff
+	TVWarn   = tv.ModeWarn
+	TVStrict = tv.ModeStrict
+)
+
+// ParseTVMode parses a -tv flag value (strict, warn, or off).
+func ParseTVMode(s string) (TVMode, error) { return tv.ParseMode(s) }
+
+// TVCounters reports the process-wide translation-validation counters:
+// pass applications checked, rejected, and abstained (orion-bench's
+// tv_checked/tv_rejected/tv_abstained JSON fields).
+func TVCounters() (checked, rejected, abstained uint64) { return tv.Counters() }
+
+// ResetTVCounters zeroes the process-wide translation-validation
+// counters (orion-bench calls it at startup so reports cover exactly one
+// invocation).
+func ResetTVCounters() { tv.ResetCounters() }
 
 // AnalyzeKernel runs the SIMT static analyzer on a program and returns
 // its findings in deterministic order: thread-variance classification of
