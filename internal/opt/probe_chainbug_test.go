@@ -1,0 +1,61 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/tv"
+)
+
+// Probe: kept internal (SHL, outside use at STG) whose operand (MOVI)
+// is used only inside the chain -> growChain drops the MOVI while the
+// SHL survives and still reads it.
+func TestProbeChainDropUnderKept(t *testing.T) {
+	p := isa.MustParse(`
+.kernel chainbug
+.blockdim 32
+.func main
+  RDSP v0, WARPID
+  MOVI v1, 7
+  SHL v2, v0, v1
+  STG [v2], v0
+  IADD v3, v2, v0
+  LDG v4, [v0]
+  LDG v5, [v0+4]
+  LDG v6, [v0+8]
+  IADD v7, v4, v5
+  IADD v8, v7, v6
+  LDG v9, [v3]
+  IADD v10, v8, v9
+  STG [v3], v10
+  EXIT
+`)
+	f := p.Entry()
+	fm, err := buildForm(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("maxLive=%d", fm.maxLive)
+	e, rec, webs := rematChains(fm, fm.maxLive-1)
+	if e == nil {
+		t.Fatalf("chain remat did not fire")
+	}
+	t.Logf("rec=%d webs=%d extraRegs=%d", rec, webs, e.extraRegs)
+	for i := range fm.f.Instrs {
+		if e.drop[i] {
+			t.Logf("drop %d: %v", i, fm.f.Instrs[i])
+		}
+	}
+	nf, hint, err := rebuild(fm.f, e)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for i, in := range nf.Instrs {
+		t.Logf("post %2d: %v", i, in)
+	}
+	res := tv.Validate(fm.f, nf, hint)
+	t.Logf("tv verdict: %s reason=%q", res.Verdict, res.Reason)
+	if res.Verdict == tv.Reject {
+		t.Logf("CONFIRMED: pass proposed a miscompile; strict reverts it but -tv warn ships it")
+	}
+}
